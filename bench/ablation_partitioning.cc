@@ -1,0 +1,88 @@
+// Ablation: partitioning strategies on the two-cluster workload of Fig. 9.
+// Compares equal contiguous packing (the paper's experiment), the
+// cluster-aware partitioning it proposes as a fix, and our cost-based
+// dynamic-programming partitioner driven by the analytic R-tree estimator.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cost_model.h"
+#include "transform/builders.h"
+#include "transform/partition.h"
+#include "ts/distance.h"
+#include "ts/generate.h"
+
+int main() {
+  using namespace tsq;
+  const std::size_t n = 128;
+  std::printf("Ablation: partitioning strategies (two-cluster workload)\n");
+  std::printf("(1068 stocks, MA 6..29 + inverted => |T| = 48, rho = 0.96, "
+              "%zu queries/point)\n\n",
+              bench::QueryReps());
+
+  ts::StockMarketConfig config;
+  core::SimilarityEngine engine(ts::GenerateStockMarket(config));
+
+  core::RangeQuerySpec spec;
+  spec.transforms = transform::MovingAverageRange(n, 6, 29);
+  {
+    const auto plain = spec.transforms;
+    for (const auto& t : plain) {
+      spec.transforms.push_back(transform::Inverted(t));
+    }
+  }
+  spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, n);
+  const std::size_t total = spec.transforms.size();
+
+  std::vector<transform::FeatureTransform> fts;
+  for (const auto& t : spec.transforms) {
+    fts.push_back(t.ToFeatureTransform(engine.dataset().layout()));
+  }
+  const core::TreeCostEstimator estimator(engine.index());
+
+  struct Strategy {
+    const char* name;
+    transform::Partition partition;
+  };
+  std::vector<Strategy> strategies;
+  strategies.push_back({"one MBR (spans gap)", transform::PartitionAll(total)});
+  strategies.push_back(
+      {"contiguous, 8/MBR", transform::PartitionBySize(total, 8)});
+  strategies.push_back(
+      {"contiguous, 16/MBR (spans gap)", transform::PartitionBySize(total, 16)});
+  strategies.push_back(
+      {"singletons (ST)", transform::PartitionSingletons(total)});
+  strategies.push_back(
+      {"cluster-aware, 8/MBR", transform::PartitionByClusters(fts, 8)});
+  strategies.push_back(
+      {"cluster-aware, 24/MBR", transform::PartitionByClusters(fts, 24)});
+  strategies.push_back(
+      {"cost-based DP",
+       transform::PartitionCostBased(
+           total, [&](std::size_t first, std::size_t last) {
+             const std::span<const transform::FeatureTransform> group(
+                 fts.data() + first, last - first + 1);
+             return core::EstimateGroupCost(estimator, group, spec.epsilon,
+                                            engine.dataset().layout());
+           })});
+
+  bench::Table table({"strategy", "rects", "time(ms)", "disk acc.",
+                      "candidates", "cost fn"});
+  for (Strategy& strategy : strategies) {
+    spec.partition = strategy.partition;
+    Rng rng(42);
+    const auto m = bench::MeasureRangeQuery(engine, spec,
+                                            core::Algorithm::kMtIndex, rng);
+    table.AddRow({strategy.name, std::to_string(strategy.partition.size()),
+                  bench::FormatDouble(m.millis),
+                  bench::FormatDouble(m.disk_accesses, 0),
+                  bench::FormatDouble(m.candidates, 0),
+                  bench::FormatDouble(m.cost, 0)});
+  }
+  table.Print();
+  table.WriteCsv("ablation_partitioning");
+  std::printf("\nExpected: gap-spanning rectangles inflate candidates; "
+              "cluster-aware packing matches\nthe good contiguous sizes "
+              "without needing to know them in advance.\n");
+  return 0;
+}

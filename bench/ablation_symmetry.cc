@@ -1,0 +1,53 @@
+// Ablation: the symmetry-property improvement (Section 2.1). For real
+// sequences |X_{n-f}| == |X_f|, so each retained coefficient's contribution
+// to the distance lower bound can be doubled, tightening every filter
+// without adding index dimensions. The author's thesis claims this improves
+// search time by more than a factor of 2; this bench measures candidates,
+// disk accesses and time with the doubling on and off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+#include "ts/generate.h"
+
+int main() {
+  using namespace tsq;
+  const std::size_t n = 128;
+  std::printf("Ablation: symmetry-property distance doubling\n");
+  std::printf("(1068 stocks, MA 5..20, rho thresholds swept, "
+              "%zu queries/point)\n\n",
+              bench::QueryReps());
+
+  ts::StockMarketConfig config;
+  const auto stocks = ts::GenerateStockMarket(config);
+
+  bench::Table table({"rho", "symmetry", "time(ms)", "disk acc.",
+                      "candidates", "output"});
+  for (const double rho : {0.90, 0.96, 0.99}) {
+    for (const bool use_symmetry : {false, true}) {
+      core::SimilarityEngine::Options options;
+      options.layout.use_symmetry = use_symmetry;
+      core::SimilarityEngine engine(stocks, options);
+
+      core::RangeQuerySpec spec;
+      spec.transforms = transform::MovingAverageRange(n, 5, 20);
+      spec.epsilon = ts::CorrelationToDistanceThreshold(rho, n);
+      Rng rng(static_cast<std::uint64_t>(rho * 1000));
+      const auto m = bench::MeasureRangeQuery(engine, spec,
+                                              core::Algorithm::kMtIndex, rng);
+      table.AddRow({bench::FormatDouble(rho), use_symmetry ? "on" : "off",
+                    bench::FormatDouble(m.millis),
+                    bench::FormatDouble(m.disk_accesses, 0),
+                    bench::FormatDouble(m.candidates, 0),
+                    bench::FormatDouble(m.output_size, 1)});
+    }
+  }
+  table.Print();
+  table.WriteCsv("ablation_symmetry");
+  std::printf("\nExpected: with the doubling on, noticeably fewer candidates "
+              "and disk accesses\nat every threshold (the thesis' >2x filter "
+              "improvement), identical output sizes.\n");
+  return 0;
+}

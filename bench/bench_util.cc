@@ -1,0 +1,148 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/cost_model.h"
+#include "transform/builders.h"
+#include "ts/normal_form.h"
+
+namespace tsq::bench {
+
+bool FastMode() {
+  const char* value = std::getenv("TSQ_BENCH_FAST");
+  return value != nullptr && value[0] == '1';
+}
+
+std::size_t QueryReps() {
+  if (const char* value = std::getenv("TSQ_BENCH_REPS")) {
+    const long reps = std::strtol(value, nullptr, 10);
+    if (reps > 0) return static_cast<std::size_t>(reps);
+  }
+  return FastMode() ? 5 : 100;
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  TSQ_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(widths[c] + 2, c + 1 == columns_.size() ? '-' : '-');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::WriteCsv(const std::string& name) const {
+  std::ofstream out(name + ".csv", std::ios::trunc);
+  if (!out) return;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << columns_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::uint64_t CalibrateSimulatedDisk(core::SimilarityEngine& engine,
+                                     double cmp_to_da_ratio) {
+  TSQ_CHECK(cmp_to_da_ratio > 0.0);
+  TSQ_CHECK_GE(engine.size(), std::size_t{2});
+  const auto t = transform::MovingAverageTransform(engine.length(), 10);
+  const auto& x = engine.dataset().spectrum(0);
+  const auto& y = engine.dataset().spectrum(1);
+  const std::size_t reps = 200000;
+  Stopwatch watch;
+  double sink = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    sink += t.TransformedSquaredDistance(x, y);
+  }
+  const double cmp_nanos =
+      watch.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+  // Keep the compiler from dropping the loop.
+  if (sink < 0.0) std::printf("%f\n", sink);
+  const std::uint64_t latency =
+      static_cast<std::uint64_t>(cmp_nanos / cmp_to_da_ratio);
+  engine.SetSimulatedDiskLatency(latency);
+  std::printf("calibrated: comparison ~%.0f ns -> page read ~%llu ns "
+              "(C_cmp = %.1f * C_DA)\n\n",
+              cmp_nanos, static_cast<unsigned long long>(latency),
+              cmp_to_da_ratio);
+  return latency;
+}
+
+QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
+                                   core::RangeQuerySpec spec,
+                                   core::Algorithm algorithm, Rng& rng) {
+  const std::size_t reps = QueryReps();
+  QueryMeasurement m;
+  const double leaf_capacity = engine.index().AverageLeafCapacity();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const std::size_t query_id = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(engine.size()) - 1));
+    spec.query = ts::Denormalize(engine.dataset().normal(query_id));
+    std::vector<core::GroupRunStats> groups;
+    Stopwatch watch;
+    const auto result = engine.RangeQuery(spec, algorithm, &groups);
+    const double elapsed = watch.ElapsedMillis();
+    TSQ_CHECK(result.ok()) << result.status().ToString();
+    m.millis += elapsed;
+    m.disk_accesses += static_cast<double>(result->stats.disk_accesses());
+    m.index_accesses +=
+        static_cast<double>(result->stats.index_nodes_accessed);
+    m.candidates += static_cast<double>(result->stats.candidates);
+    m.comparisons += static_cast<double>(result->stats.comparisons);
+    m.output_size += static_cast<double>(result->stats.output_size);
+    m.cost += core::CostEq20(groups, leaf_capacity);
+    m.last_group_stats = std::move(groups);
+  }
+  const double d = static_cast<double>(reps);
+  m.millis /= d;
+  m.disk_accesses /= d;
+  m.index_accesses /= d;
+  m.candidates /= d;
+  m.comparisons /= d;
+  m.output_size /= d;
+  m.cost /= d;
+  return m;
+}
+
+}  // namespace tsq::bench

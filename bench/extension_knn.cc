@@ -1,0 +1,71 @@
+// Extension bench: k-nearest-neighbour queries under multiple
+// transformations (the nearest-neighbour paragraph of the paper's Section
+// 4.1). Measures the branch-and-bound search against the sequential scan
+// for growing k and |T|.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "transform/builders.h"
+#include "ts/generate.h"
+#include "ts/normal_form.h"
+
+int main() {
+  using namespace tsq;
+  const std::size_t n = 128;
+  std::printf("Extension: k-NN under multiple transformations\n");
+
+  ts::StockMarketConfig config;
+  config.num_series = bench::FastMode() ? 300 : 1068;
+  core::SimilarityEngine engine(ts::GenerateStockMarket(config));
+  bench::CalibrateSimulatedDisk(engine);
+  const std::size_t queries = bench::FastMode() ? 3 : 50;
+  std::printf("(%zu stocks, %zu queries averaged)\n\n", engine.size(),
+              queries);
+
+  bench::Table table({"k", "|T|", "scan(ms)", "MT-index(ms)",
+                      "MT candidates", "MT index nodes"});
+  for (const std::size_t k : {1u, 5u, 20u}) {
+    for (const std::size_t transforms : {1u, 8u, 16u}) {
+      core::KnnQuerySpec spec;
+      spec.k = k;
+      spec.transforms = transform::MovingAverageRange(n, 5, 4 + transforms);
+
+      double scan_ms = 0.0, mt_ms = 0.0, candidates = 0.0, nodes = 0.0;
+      Rng rng(k * 100 + transforms);
+      for (std::size_t q = 0; q < queries; ++q) {
+        const std::size_t id = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(engine.size()) - 1));
+        spec.query = ts::Denormalize(engine.dataset().normal(id));
+        Stopwatch watch;
+        const auto scan =
+            engine.Knn(spec, core::Algorithm::kSequentialScan);
+        scan_ms += watch.ElapsedMillis();
+        watch.Reset();
+        const auto mt = engine.Knn(spec, core::Algorithm::kMtIndex);
+        mt_ms += watch.ElapsedMillis();
+        if (!scan.ok() || !mt.ok()) return 1;
+        if (scan->matches.size() != mt->matches.size()) {
+          std::printf("MISMATCH\n");
+          return 1;
+        }
+        candidates += static_cast<double>(mt->stats.candidates);
+        nodes += static_cast<double>(mt->stats.index_nodes_accessed);
+      }
+      const double d = static_cast<double>(queries);
+      table.AddRow({std::to_string(k), std::to_string(transforms),
+                    bench::FormatDouble(scan_ms / d),
+                    bench::FormatDouble(mt_ms / d),
+                    bench::FormatDouble(candidates / d, 0),
+                    bench::FormatDouble(nodes / d, 0)});
+    }
+  }
+  table.Print();
+  table.WriteCsv("extension_knn");
+  std::printf("\nExpected: the transformed-MBR bound refines only a small "
+              "fraction of the data set\nfor small k, degrading gracefully "
+              "as k and the transformation spread grow.\n");
+  return 0;
+}

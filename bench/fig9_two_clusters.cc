@@ -1,0 +1,91 @@
+// Figure 9 of the paper: the Fig. 8 sweep repeated after adding the
+// *inverted* version of every transformation, creating two clusters of
+// transformation points. Packing a rectangle across the inter-cluster gap
+// destroys the filter: the paper observes bumps in both running time and
+// disk accesses when one third (16) or all (48) of the transformations share
+// a rectangle, because exactly those packings straddle the gap.
+//
+// The fix the paper proposes — detect clusters first, never span the gap —
+// is measured as the final rows (cluster-aware partitioning).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "transform/builders.h"
+#include "transform/partition.h"
+#include "ts/distance.h"
+#include "ts/generate.h"
+
+int main() {
+  using namespace tsq;
+  const std::size_t n = 128;
+
+  std::printf("Figure 9: two transformation clusters (MA 6..29 + inverted)\n");
+  std::printf("(|T| = 48; equal contiguous partitions vs. cluster-aware; "
+              "%zu queries/point)\n\n",
+              bench::QueryReps());
+
+  ts::StockMarketConfig config;
+  core::SimilarityEngine engine(ts::GenerateStockMarket(config));
+  bench::CalibrateSimulatedDisk(engine);
+
+  core::RangeQuerySpec spec;
+  spec.transforms = transform::MovingAverageRange(n, 6, 29);
+  {
+    const auto plain = spec.transforms;
+    for (const auto& t : plain) {
+      spec.transforms.push_back(transform::Inverted(t));
+    }
+  }
+  spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, n);
+  const std::size_t total = spec.transforms.size();
+
+  std::vector<std::size_t> per_group_values = {1,  2,  4,  6,  8,  12,
+                                               16, 24, 32, 48};
+  if (bench::FastMode()) per_group_values = {4, 16, 48};
+
+  bench::Table table({"partitioning", "per MBR", "rects", "time(ms)",
+                      "disk accesses", "candidates"});
+  for (const std::size_t per_group : per_group_values) {
+    spec.partition = transform::PartitionBySize(total, per_group);
+    Rng rng(per_group);
+    const auto m = bench::MeasureRangeQuery(engine, spec,
+                                            core::Algorithm::kMtIndex, rng);
+    // A contiguous group straddles the gap exactly when the group size does
+    // not divide the 24-transformation cluster evenly: 16 (one third), 32,
+    // and 48 (all) do; 24 happens to split exactly at the cluster boundary.
+    const bool spans_gap =
+        per_group == 16 || per_group == 32 || per_group == 48;
+    table.AddRow({spans_gap ? "contiguous (spans gap)" : "contiguous",
+                  std::to_string(per_group),
+                  std::to_string(spec.partition.size()),
+                  bench::FormatDouble(m.millis),
+                  bench::FormatDouble(m.disk_accesses, 0),
+                  bench::FormatDouble(m.candidates, 0)});
+  }
+
+  // Cluster-aware partitioning: detect the two clusters, then pack within
+  // each cluster only.
+  std::vector<transform::FeatureTransform> fts;
+  for (const auto& t : spec.transforms) {
+    fts.push_back(t.ToFeatureTransform(engine.dataset().layout()));
+  }
+  for (const std::size_t per_group : {8u, 24u}) {
+    spec.partition = transform::PartitionByClusters(fts, per_group);
+    Rng rng(1000 + per_group);
+    const auto m = bench::MeasureRangeQuery(engine, spec,
+                                            core::Algorithm::kMtIndex, rng);
+    table.AddRow({"cluster-aware", std::to_string(per_group),
+                  std::to_string(spec.partition.size()),
+                  bench::FormatDouble(m.millis),
+                  bench::FormatDouble(m.disk_accesses, 0),
+                  bench::FormatDouble(m.candidates, 0)});
+  }
+  table.Print();
+  table.WriteCsv("fig9_two_clusters");
+  std::printf("\nExpected shape (paper Fig. 9): bumps in time and disk "
+              "accesses where a rectangle\nspans the inter-cluster gap "
+              "(16+ per MBR with contiguous packing); the cluster-aware\n"
+              "partitioning avoids the bumps at the same packing sizes.\n");
+  return 0;
+}

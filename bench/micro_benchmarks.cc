@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: FFT
+// throughput, R*-tree operations, transformation-MBR application, and the
+// frequency-domain distance kernel that dominates post-processing.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/polar_bounds.h"
+#include "dft/fft.h"
+#include "rstar/rstar_tree.h"
+#include "storage/page_file.h"
+#include "transform/builders.h"
+#include "transform/transform_mbr.h"
+#include "ts/generate.h"
+
+namespace {
+
+using tsq::Rng;
+
+std::vector<double> RandomSignal(std::size_t n, Rng& rng) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  return x;
+}
+
+void BM_FftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const auto x = RandomSignal(n, rng);
+  tsq::dft::FftPlan plan(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.Forward(std::span<const double>(x)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FftForward)->Arg(128)->Arg(129)->Arg(1024)->Arg(4096);
+
+void BM_TransformedDistance(benchmark::State& state) {
+  const std::size_t n = 128;
+  Rng rng(1);
+  tsq::dft::FftPlan plan(n);
+  const auto x = plan.Forward(std::span<const double>(RandomSignal(n, rng)));
+  const auto y = plan.Forward(std::span<const double>(RandomSignal(n, rng)));
+  const auto t = tsq::transform::MovingAverageTransform(n, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.TransformedSquaredDistance(x, y));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformedDistance);
+
+void BM_RStarInsert(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<tsq::rstar::Point> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({rng.Uniform(-100.0, 100.0), rng.Uniform(-100.0, 100.0),
+                      rng.Uniform(-100.0, 100.0),
+                      rng.Uniform(-100.0, 100.0)});
+  }
+  for (auto _ : state) {
+    tsq::storage::PageFile file;
+    tsq::rstar::RStarTree tree(&file, 4);
+    for (std::size_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(tsq::rstar::Rect::FromPoint(points[i]), i).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_RStarInsert)->Arg(1000)->Arg(5000);
+
+void BM_RStarWindowQuery(benchmark::State& state) {
+  Rng rng(8);
+  tsq::storage::PageFile file;
+  tsq::rstar::RStarTree tree(&file, 4);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    tsq::rstar::Point p = {rng.Uniform(-100.0, 100.0),
+                           rng.Uniform(-100.0, 100.0),
+                           rng.Uniform(-100.0, 100.0),
+                           rng.Uniform(-100.0, 100.0)};
+    (void)tree.Insert(tsq::rstar::Rect::FromPoint(p), i);
+  }
+  const tsq::rstar::Rect window({-10.0, -10.0, -10.0, -10.0},
+                                {10.0, 10.0, 10.0, 10.0});
+  for (auto _ : state) {
+    std::vector<tsq::rstar::Entry> results;
+    benchmark::DoNotOptimize(tree.WindowQuery(window, &results).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RStarWindowQuery);
+
+void BM_MbrApply(benchmark::State& state) {
+  tsq::transform::FeatureLayout layout;
+  std::vector<tsq::transform::FeatureTransform> fts;
+  for (const auto& t : tsq::transform::MovingAverageRange(128, 5, 34)) {
+    fts.push_back(t.ToFeatureTransform(layout));
+  }
+  const tsq::transform::TransformMbr mbr(fts, layout);
+  Rng rng(9);
+  std::vector<double> lo(layout.dimensions()), hi(layout.dimensions());
+  for (std::size_t d = 0; d < layout.dimensions(); ++d) {
+    lo[d] = rng.Uniform(-1.0, 1.0);
+    hi[d] = lo[d] + rng.Uniform(0.0, 1.0);
+  }
+  const tsq::rstar::Rect rect(lo, hi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbr.Apply(rect));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MbrApply);
+
+void BM_PolarBoxMin(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsq::core::PolarBoxMinSquaredDistance(
+        0.5, 1.5, -0.3, 0.2, 2.0, 3.0, 1.0, 1.4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolarBoxMin);
+
+void BM_StockGeneration(benchmark::State& state) {
+  tsq::ts::StockMarketConfig config;
+  config.num_series = 1068;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsq::ts::GenerateStockMarket(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 1068);
+}
+BENCHMARK(BM_StockGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Example 1.1 of the paper, on synthetic analogues of the COMPV/NYV/DECL
+// indices: two volume indices track the same activity trend at different
+// scales, a third tracks it noisily. Raw Euclidean distances are huge;
+// normalization plus the right moving average reveals the similarity, and
+// the example hunts for the *shortest* qualifying window, as the paper
+// recommends.
+//
+// Build & run:   ./build/examples/market_indices
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ts/distance.h"
+#include "ts/normal_form.h"
+#include "ts/ops.h"
+
+namespace {
+
+using tsq::ts::Series;
+
+struct Indices {
+  Series compv;  // composite volume
+  Series nyv;    // exchange volume (tightly coupled)
+  Series decl;   // declining issues (coupled with more noise)
+};
+
+Indices MakeIndices(std::size_t n, tsq::Rng& rng) {
+  Series activity(n);
+  double level = 0.0;
+  for (double& v : activity) {
+    level += rng.Uniform(-1.0, 1.0);
+    v = level;
+  }
+  Indices out;
+  out.compv.resize(n);
+  out.nyv.resize(n);
+  out.decl.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out.compv[t] = 50.0 + 4.0 * activity[t] + 1.2 * rng.NextGaussian();
+    out.nyv[t] = 280.0 + 14.0 * activity[t] + 5.0 * rng.NextGaussian();
+    out.decl[t] = 900.0 + 55.0 * activity[t] + 65.0 * rng.NextGaussian();
+  }
+  return out;
+}
+
+// Shortest moving-average window (1..40) whose smoothed normal forms are
+// within `threshold`; 0 when none qualifies.
+std::size_t ShortestQualifyingWindow(const Series& a, const Series& b,
+                                     double threshold) {
+  const Series na = tsq::ts::Normalize(a).values;
+  const Series nb = tsq::ts::Normalize(b).values;
+  for (std::size_t w = 1; w <= 40; ++w) {
+    const double d =
+        tsq::ts::EuclideanDistance(tsq::ts::CircularMovingAverage(na, w),
+                                   tsq::ts::CircularMovingAverage(nb, w));
+    if (d < threshold) return w;
+  }
+  return 0;
+}
+
+void Compare(const char* label_a, const Series& a, const char* label_b,
+             const Series& b, double threshold) {
+  std::printf("%s vs %s\n", label_a, label_b);
+  std::printf("  raw Euclidean distance:        %10.1f\n",
+              tsq::ts::EuclideanDistance(a, b));
+  const Series na = tsq::ts::Normalize(a).values;
+  const Series nb = tsq::ts::Normalize(b).values;
+  std::printf("  normalized distance:           %10.2f\n",
+              tsq::ts::EuclideanDistance(na, nb));
+  const std::size_t w = ShortestQualifyingWindow(a, b, threshold);
+  if (w == 0) {
+    std::printf("  no moving average within %.2f\n\n", threshold);
+    return;
+  }
+  const double d =
+      tsq::ts::EuclideanDistance(tsq::ts::CircularMovingAverage(na, w),
+                                 tsq::ts::CircularMovingAverage(nb, w));
+  std::printf("  shortest qualifying MA window: %10zu days\n", w);
+  std::printf("  distance after %2zu-day MA:      %10.2f  (rho = %.4f)\n\n",
+              w, d,
+              tsq::ts::SquaredDistanceToCorrelation(d * d, na.size()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Example 1.1: market volume indices and moving averages\n");
+  std::printf("=======================================================\n\n");
+  const std::size_t n = 128;
+  tsq::Rng rng(940615);  // the date in Fig. 1's captions
+  const Indices indices = MakeIndices(n, rng);
+
+  // The paper's threshold: distance < 3 (correlation ~0.96 via Eq. 9).
+  const double threshold =
+      tsq::ts::CorrelationToDistanceThreshold(0.96, n);
+  std::printf("threshold: D < %.3f  (rho >= 0.96 by Eq. 9)\n\n", threshold);
+
+  Compare("COMPV", indices.compv, "NYV", indices.nyv, threshold);
+  Compare("COMPV", indices.compv, "DECL", indices.decl, threshold);
+
+  std::printf(
+      "As in the paper: the noisier pair needs a longer moving average\n"
+      "before the underlying trend similarity crosses the threshold.\n");
+  return 0;
+}

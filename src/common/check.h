@@ -1,0 +1,67 @@
+#ifndef TSQ_COMMON_CHECK_H_
+#define TSQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tsq::internal {
+
+/// Prints a fatal-check failure message and aborts the process.
+///
+/// Kept out-of-line so that the CHECK macros expand to very little code at
+/// each call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector used by the `CHECK(...) << "msg"` syntax.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tsq::internal
+
+/// Aborts with a diagnostic when `condition` is false. Always enabled;
+/// use for invariants whose violation would corrupt results.
+#define TSQ_CHECK(condition)                                          \
+  while (!(condition))                                                \
+  ::tsq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TSQ_CHECK_EQ(a, b) TSQ_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define TSQ_CHECK_NE(a, b) TSQ_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define TSQ_CHECK_LT(a, b) TSQ_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define TSQ_CHECK_LE(a, b) TSQ_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define TSQ_CHECK_GT(a, b) TSQ_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define TSQ_CHECK_GE(a, b) TSQ_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+/// Debug-only variant; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define TSQ_DCHECK(condition) \
+  while (false) ::tsq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define TSQ_DCHECK(condition) TSQ_CHECK(condition)
+#endif
+
+#endif  // TSQ_COMMON_CHECK_H_

@@ -1,0 +1,56 @@
+#ifndef TSQ_COMMON_RNG_H_
+#define TSQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tsq {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomized code in the library (data generators, randomized tests,
+/// benchmark workloads) draws from this generator so that experiments are
+/// reproducible from a seed. Satisfies the UniformRandomBitGenerator
+/// concept, so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; the same seed always produces the same stream.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64 random bits.
+  result_type operator()() { return Next64(); }
+  std::uint64_t Next64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_RNG_H_

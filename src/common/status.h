@@ -1,0 +1,132 @@
+#ifndef TSQ_COMMON_STATUS_H_
+#define TSQ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace tsq {
+
+/// Coarse error taxonomy for recoverable failures at API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kCorruption,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success/error carrier, modeled after absl::Status.
+///
+/// Functions that can fail for reasons the caller should handle (bad input,
+/// missing data, I/O problems) return Status or Result<T>. Violated internal
+/// invariants use TSQ_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return value;` works in functions returning
+  /// Result<T>. Implicit conversions are intentional here, mirroring
+  /// absl::StatusOr ergonomics.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status: `return Status::NotFound(...)`.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    TSQ_CHECK(!std::get<Status>(payload_).ok())
+        << "Result<T> cannot hold an OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Requires ok(); aborts otherwise.
+  const T& value() const& {
+    TSQ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    TSQ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    TSQ_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TSQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::tsq::Status _tsq_status = (expr);      \
+    if (!_tsq_status.ok()) return _tsq_status; \
+  } while (false)
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef TSQ_COMMON_STOPWATCH_H_
+#define TSQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tsq {
+
+/// Wall-clock stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the watch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_STOPWATCH_H_

@@ -1,0 +1,117 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "transform/transform_mbr.h"
+
+namespace tsq::core {
+
+double CostEq20(std::span<const GroupRunStats> groups, double leaf_capacity,
+                const CostConstants& constants) {
+  double da_term = 0.0;
+  double cmp_term = 0.0;
+  for (const GroupRunStats& g : groups) {
+    da_term += static_cast<double>(g.da_all);
+    cmp_term += static_cast<double>(g.da_leaf) *
+                static_cast<double>(g.transforms);
+  }
+  return constants.c_da * da_term +
+         leaf_capacity * constants.c_cmp * cmp_term;
+}
+
+TreeCostEstimator::TreeCostEstimator(const SequenceIndex& index) {
+  const std::size_t dims = index.tree().dimensions();
+  const auto root_rect = index.tree().RootRect();
+  domain_ = root_rect.has_value() ? *root_rect : rstar::Rect::Empty(dims);
+  leaf_capacity_ = index.AverageLeafCapacity();
+
+  const Status status =
+      index.tree().VisitNodes([&](const rstar::RStarTree::NodeView& view) {
+        if (view.level >= levels_.size()) {
+          levels_.resize(view.level + 1);
+          for (LevelStats& level : levels_) {
+            if (level.avg_extent.empty()) {
+              level.avg_extent.assign(dims, 0.0);
+              level.avg_abs_center.assign(dims, 0.0);
+            }
+          }
+        }
+        LevelStats& level = levels_[view.level];
+        ++level.node_count;
+        rstar::Rect rect = view.entries.front().rect;
+        for (std::size_t i = 1; i < view.entries.size(); ++i) {
+          rect.Enlarge(view.entries[i].rect);
+        }
+        for (std::size_t d = 0; d < dims; ++d) {
+          level.avg_extent[d] += rect.Extent(d);
+          level.avg_abs_center[d] += std::fabs(rect.Center(d));
+        }
+      });
+  TSQ_CHECK(status.ok()) << status.ToString();
+  for (LevelStats& level : levels_) {
+    if (level.node_count == 0) continue;
+    for (std::size_t d = 0; d < level.avg_extent.size(); ++d) {
+      level.avg_extent[d] /= static_cast<double>(level.node_count);
+      level.avg_abs_center[d] /= static_cast<double>(level.node_count);
+    }
+  }
+}
+
+TreeCostEstimator::Estimate TreeCostEstimator::EstimateTraversal(
+    std::span<const transform::FeatureTransform> group, double epsilon,
+    const transform::FeatureLayout& layout) const {
+  Estimate estimate;
+  if (levels_.empty() || group.empty()) return estimate;
+  const std::size_t dims = layout.dimensions();
+  const transform::TransformMbr mbr(group, layout);
+
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const LevelStats& stats = levels_[level];
+    if (stats.node_count == 0) continue;
+    double probability = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double domain = domain_.Extent(d);
+      if (domain <= 0.0) continue;  // degenerate dimension filters nothing
+      if (layout.include_mean_std &&
+          (d == layout.mean_dimension() || d == layout.stddev_dimension())) {
+        continue;  // the query region is unbounded on these dimensions
+      }
+      // Extent of the average node rectangle after the transformation MBR:
+      // the multiplicative interval stretches positions by (Mh - Ml)*|c|
+      // and widths by the mid multiplier; the additive interval adds its
+      // own width.
+      const double mult_mid = 0.5 * (mbr.mult_low(d) + mbr.mult_high(d));
+      const double mult_spread = mbr.mult_high(d) - mbr.mult_low(d);
+      const double add_spread = mbr.add_high(d) - mbr.add_low(d);
+      const double transformed_extent =
+          std::fabs(mult_mid) * stats.avg_extent[d] +
+          mult_spread * stats.avg_abs_center[d] + add_spread;
+      // Query window extent along d: 2 epsilon around the transformed query
+      // (the angular window is epsilon-dependent too; 2 epsilon is a
+      // serviceable proxy for ranking partitions).
+      const double window = 2.0 * epsilon;
+      probability *= std::min(1.0, (transformed_extent + window) / domain);
+    }
+    const double accesses =
+        static_cast<double>(stats.node_count) * probability;
+    estimate.da_all += accesses;
+    if (level == 0) estimate.da_leaf += accesses;
+  }
+  return estimate;
+}
+
+double EstimateGroupCost(const TreeCostEstimator& estimator,
+                         std::span<const transform::FeatureTransform> group,
+                         double epsilon,
+                         const transform::FeatureLayout& layout,
+                         const CostConstants& constants) {
+  const TreeCostEstimator::Estimate estimate =
+      estimator.EstimateTraversal(group, epsilon, layout);
+  return constants.c_da * estimate.da_all +
+         estimator.leaf_capacity() * constants.c_cmp * estimate.da_leaf *
+             static_cast<double>(group.size());
+}
+
+}  // namespace tsq::core

@@ -1,0 +1,80 @@
+#ifndef TSQ_CORE_COST_MODEL_H_
+#define TSQ_CORE_COST_MODEL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "rstar/rect.h"
+#include "transform/feature_layout.h"
+#include "transform/feature_transform.h"
+
+namespace tsq::core {
+
+/// Constants of the paper's cost function (Section 5.2 uses C_DA = 1 and
+/// C_cmp = 0.4 * C_DA: "a sequence comparison takes as much as 40 percent
+/// the time of a disk access").
+struct CostConstants {
+  double c_da = 1.0;
+  double c_cmp = 0.4;
+};
+
+/// The cost function Ck of Eq. 20 evaluated on *measured* per-rectangle
+/// counters:
+///   Ck = C_DA * sum_i DA_all(q, r_i)
+///      + CA_leaf * C_cmp * sum_i DA_leaf(q, r_i) * NT(r_i)
+double CostEq20(std::span<const GroupRunStats> groups, double leaf_capacity,
+                const CostConstants& constants = CostConstants());
+
+/// Analytic R-tree disk-access estimator in the Kamel-Faloutsos style,
+/// extended for transformed traversals: per level, the expected number of
+/// node accesses is the node count times the probability that a random node
+/// rectangle, *after* application of the transformation MBR, intersects the
+/// query window — estimated from per-level average extents and the domain
+/// extent. The paper (Section 4.3) observes that estimators ignoring the
+/// actual rectangle distribution mispredict the best rectangle count; this
+/// one keeps the dependence on the transformation rectangle's size, which is
+/// what the cost-based partitioner needs.
+class TreeCostEstimator {
+ public:
+  /// Snapshots per-level statistics of the index (reads every node once).
+  explicit TreeCostEstimator(const SequenceIndex& index);
+
+  /// Expected page accesses of one traversal with the given transformation
+  /// group: `mult_spread`/`add_spread` are the per-dimension extents of the
+  /// group's mult-/add-MBR and `query_extent` the per-dimension extent of
+  /// the query region. Returns {expected DA_all, expected DA_leaf}.
+  struct Estimate {
+    double da_all = 0.0;
+    double da_leaf = 0.0;
+  };
+  Estimate EstimateTraversal(
+      std::span<const transform::FeatureTransform> group, double epsilon,
+      const transform::FeatureLayout& layout) const;
+
+  double leaf_capacity() const { return leaf_capacity_; }
+
+ private:
+  struct LevelStats {
+    std::size_t node_count = 0;
+    std::vector<double> avg_extent;   // per dimension
+    std::vector<double> avg_abs_center;  // per dimension
+  };
+  std::vector<LevelStats> levels_;  // levels_[0] = leaf level
+  rstar::Rect domain_;
+  double leaf_capacity_ = 0.0;
+};
+
+/// Group-cost function for transform::PartitionCostBased: estimated Eq. 19
+/// per-rectangle cost C_DA * DA_all + CA_leaf * C_cmp * DA_leaf * NT.
+double EstimateGroupCost(const TreeCostEstimator& estimator,
+                         std::span<const transform::FeatureTransform> group,
+                         double epsilon,
+                         const transform::FeatureLayout& layout,
+                         const CostConstants& constants = CostConstants());
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_COST_MODEL_H_

@@ -1,0 +1,117 @@
+#include "core/dataset.h"
+
+#include "common/check.h"
+
+namespace tsq::core {
+
+Dataset::Dataset(std::vector<ts::Series> raw,
+                 transform::FeatureLayout layout)
+    : layout_(layout) {
+  TSQ_CHECK(!raw.empty());
+  length_ = raw.front().size();
+  TSQ_CHECK_GE(length_, std::size_t{2});
+  plan_ = std::make_unique<dft::FftPlan>(length_);
+  records_ = std::make_unique<storage::RecordStore>(&record_file_);
+
+  normals_.reserve(raw.size());
+  spectra_.reserve(raw.size());
+  features_.reserve(raw.size());
+  record_ids_.reserve(raw.size());
+  for (const ts::Series& series : raw) {
+    Append(series);
+  }
+  // Loading I/O is not part of any query's cost.
+  record_file_.ResetStats();
+}
+
+std::size_t Dataset::Append(const ts::Series& series) {
+  TSQ_CHECK_EQ(series.size(), length_)
+      << "all series in a dataset must have equal length";
+  ts::NormalForm normal = ts::Normalize(series);
+  std::vector<dft::Complex> spectrum = plan_->Forward(normal.values);
+  features_.push_back(ExtractFeatures(normal, spectrum, layout_));
+  // The stored "full database record" is the normal form's spectrum
+  // (real/imaginary interleaved). By Parseval (Eq. 8) it carries exactly
+  // the information of the normal form itself, and the post-processing
+  // step can evaluate transformed distances straight from it without an
+  // FFT per candidate fetch.
+  ts::Series record(2 * length_);
+  for (std::size_t f = 0; f < length_; ++f) {
+    record[2 * f] = spectrum[f].real();
+    record[2 * f + 1] = spectrum[f].imag();
+  }
+  Result<storage::RecordId> id = records_->AppendSeries(record);
+  TSQ_CHECK(id.ok()) << id.status().ToString();
+  record_ids_.push_back(*id);
+  normals_.push_back(std::move(normal));
+  spectra_.push_back(std::move(spectrum));
+  removed_.push_back(false);
+  ++active_count_;
+  return normals_.size() - 1;
+}
+
+Status Dataset::MarkRemoved(std::size_t i) {
+  if (i >= removed_.size()) {
+    return Status::NotFound("no such sequence id");
+  }
+  if (!removed_[i]) {
+    removed_[i] = true;
+    --active_count_;
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Dataset>> Dataset::LoadFrom(
+    const std::string& records_path, transform::FeatureLayout layout,
+    std::size_t length, std::vector<SequenceMeta> sequences,
+    storage::PageId store_page, std::uint32_t store_cursor) {
+  if (length < 2) return Status::InvalidArgument("length must be >= 2");
+  std::unique_ptr<Dataset> dataset(new Dataset());
+  dataset->layout_ = layout;
+  dataset->length_ = length;
+  dataset->plan_ = std::make_unique<dft::FftPlan>(length);
+  TSQ_RETURN_IF_ERROR(dataset->record_file_.LoadFrom(records_path));
+  dataset->records_ =
+      std::make_unique<storage::RecordStore>(&dataset->record_file_);
+  dataset->records_->RestoreForLoad(store_page, store_cursor,
+                                    sequences.size());
+
+  dataset->normals_.reserve(sequences.size());
+  dataset->spectra_.reserve(sequences.size());
+  dataset->features_.reserve(sequences.size());
+  dataset->record_ids_.reserve(sequences.size());
+  for (const SequenceMeta& meta : sequences) {
+    dataset->record_ids_.push_back(meta.record);
+    dataset->removed_.push_back(meta.removed);
+    if (!meta.removed) ++dataset->active_count_;
+    Result<std::vector<dft::Complex>> spectrum =
+        dataset->FetchSpectrum(dataset->record_ids_.size() - 1);
+    if (!spectrum.ok()) return spectrum.status();
+    ts::NormalForm normal;
+    normal.values = dataset->plan_->InverseReal(*spectrum);
+    normal.mean = meta.mean;
+    normal.stddev = meta.stddev;
+    dataset->features_.push_back(
+        ExtractFeatures(normal, *spectrum, dataset->layout_));
+    dataset->normals_.push_back(std::move(normal));
+    dataset->spectra_.push_back(std::move(*spectrum));
+  }
+  dataset->record_file_.ResetStats();
+  return dataset;
+}
+
+Result<std::vector<dft::Complex>> Dataset::FetchSpectrum(std::size_t i) const {
+  TSQ_CHECK_LT(i, record_ids_.size());
+  Result<ts::Series> record = records_->GetSeries(record_ids_[i]);
+  if (!record.ok()) return record.status();
+  if (record->size() != 2 * length_) {
+    return Status::Corruption("spectrum record has unexpected size");
+  }
+  std::vector<dft::Complex> spectrum(length_);
+  for (std::size_t f = 0; f < length_; ++f) {
+    spectrum[f] = dft::Complex((*record)[2 * f], (*record)[2 * f + 1]);
+  }
+  return spectrum;
+}
+
+}  // namespace tsq::core

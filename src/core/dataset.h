@@ -1,0 +1,125 @@
+#ifndef TSQ_CORE_DATASET_H_
+#define TSQ_CORE_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feature.h"
+#include "dft/fft.h"
+#include "rstar/rect.h"
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+#include "transform/feature_layout.h"
+#include "ts/normal_form.h"
+#include "ts/series.h"
+
+namespace tsq::core {
+
+/// The "stocks relation" of the paper: a collection of equal-length
+/// sequences, each stored in normal form together with its mean and standard
+/// deviation (Section 3.2), plus the derived artifacts the query algorithms
+/// need:
+///
+///  * normal-form records packed into a paged RecordStore — the table the
+///    sequential scan reads and the post-processing step fetches candidates
+///    from, with every touched page counted;
+///  * per-sequence index feature vectors (mean, stddev, polar DFT
+///    coefficients of the normal form);
+///  * in-memory spectra, used by reference/brute-force evaluation in tests
+///    and by feature extraction (query executors never read them for data
+///    sequences — they fetch records and pay the I/O).
+class Dataset {
+ public:
+  /// Builds from raw series. All series must have the same length >= 2.
+  Dataset(std::vector<ts::Series> raw, transform::FeatureLayout layout);
+
+  /// Appends one more sequence (normalizes, stores the record, derives
+  /// features) and returns its id. Requires series.size() == length().
+  std::size_t Append(const ts::Series& series);
+
+  /// Tombstones sequence `i`: it stays in the (append-only) record store but
+  /// is excluded from every query. Idempotent. NotFound for bad ids.
+  Status MarkRemoved(std::size_t i);
+
+  /// True when `i` has been removed.
+  bool removed(std::size_t i) const { return removed_[i]; }
+
+  /// Sequences ever loaded (including removed ones); valid id range.
+  std::size_t size() const { return normals_.size(); }
+
+  /// Sequences currently live.
+  std::size_t active_size() const { return active_count_; }
+  std::size_t length() const { return length_; }
+  const transform::FeatureLayout& layout() const { return layout_; }
+  const dft::FftPlan& plan() const { return *plan_; }
+
+  const ts::NormalForm& normal(std::size_t i) const { return normals_[i]; }
+  const std::vector<dft::Complex>& spectrum(std::size_t i) const {
+    return spectra_[i];
+  }
+  const rstar::Point& features(std::size_t i) const { return features_[i]; }
+
+  /// Fetches sequence i's normal form from the record store (counted page
+  /// reads) and returns its spectrum. This is what executors use to touch a
+  /// "full database record" at the cost the paper's cost model charges.
+  Result<std::vector<dft::Complex>> FetchSpectrum(std::size_t i) const;
+
+  /// Pages the record store occupies (the sequential scan reads all of
+  /// them).
+  std::size_t record_pages() const { return record_file_.page_count(); }
+
+  const storage::IoStats& record_io() const { return record_file_.stats(); }
+  void ResetRecordIo() { record_file_.ResetStats(); }
+
+  /// Simulated per-page read latency (see storage::PageFile).
+  void set_io_delay_nanos(std::uint64_t nanos) {
+    record_file_.set_read_delay_nanos(nanos);
+  }
+
+  // --- persistence (used by SimilarityEngine::SaveTo / LoadFrom) ----------
+
+  /// Writes the record pages to `path`.
+  Status SaveRecordsTo(const std::string& path) const {
+    return record_file_.SaveTo(path);
+  }
+
+  storage::RecordId record_id(std::size_t i) const { return record_ids_[i]; }
+  const storage::RecordStore& records() const { return *records_; }
+
+  /// Everything beyond the record pages needed to rebuild one sequence's
+  /// in-memory state.
+  struct SequenceMeta {
+    storage::RecordId record;
+    bool removed = false;
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+
+  /// Rebuilds a dataset from a record page file plus per-sequence metadata:
+  /// spectra come from the records, normal forms from the inverse DFT,
+  /// features from the spectra.
+  static Result<std::unique_ptr<Dataset>> LoadFrom(
+      const std::string& records_path, transform::FeatureLayout layout,
+      std::size_t length, std::vector<SequenceMeta> sequences,
+      storage::PageId store_page, std::uint32_t store_cursor);
+
+ private:
+  Dataset() = default;  // for LoadFrom
+
+  transform::FeatureLayout layout_;
+  std::size_t length_ = 0;
+  std::unique_ptr<dft::FftPlan> plan_;
+  std::vector<ts::NormalForm> normals_;
+  std::vector<std::vector<dft::Complex>> spectra_;
+  std::vector<rstar::Point> features_;
+  std::vector<bool> removed_;
+  std::size_t active_count_ = 0;
+  mutable storage::PageFile record_file_;
+  std::unique_ptr<storage::RecordStore> records_;
+  std::vector<storage::RecordId> record_ids_;
+};
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_DATASET_H_

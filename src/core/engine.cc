@@ -1,0 +1,161 @@
+#include "core/engine.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tsq::core {
+
+namespace {
+constexpr int kMetaVersion = 1;
+}  // namespace
+
+SimilarityEngine::SimilarityEngine(std::vector<ts::Series> series,
+                                   Options options) {
+  dataset_ = std::make_unique<Dataset>(std::move(series), options.layout);
+  index_ = std::make_unique<SequenceIndex>(*dataset_, options.tree);
+}
+
+Result<std::size_t> SimilarityEngine::Insert(const ts::Series& series) {
+  if (series.size() != dataset_->length()) {
+    return Status::InvalidArgument("series length does not match dataset");
+  }
+  const std::size_t id = dataset_->Append(series);
+  TSQ_RETURN_IF_ERROR(index_->InsertEntry(id));
+  return id;
+}
+
+Status SimilarityEngine::Remove(std::size_t id) {
+  if (id >= dataset_->size() || dataset_->removed(id)) {
+    return Status::NotFound("no such live sequence");
+  }
+  TSQ_RETURN_IF_ERROR(index_->RemoveEntry(id));
+  return dataset_->MarkRemoved(id);
+}
+
+Result<RangeQueryResult> SimilarityEngine::RangeQuery(
+    const RangeQuerySpec& spec, Algorithm algorithm,
+    std::vector<GroupRunStats>* group_stats) const {
+  return RunRangeQuery(*dataset_, *index_, spec, algorithm, group_stats);
+}
+
+Result<JoinQueryResult> SimilarityEngine::Join(const JoinQuerySpec& spec,
+                                               Algorithm algorithm) const {
+  return RunJoinQuery(*dataset_, *index_, spec, algorithm);
+}
+
+Result<KnnQueryResult> SimilarityEngine::Knn(const KnnQuerySpec& spec,
+                                             Algorithm algorithm) const {
+  return RunKnnQuery(*dataset_, *index_, spec, algorithm);
+}
+
+void SimilarityEngine::ResetIoStats() {
+  dataset_->ResetRecordIo();
+  index_->ResetIndexIo();
+}
+
+void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
+  dataset_->set_io_delay_nanos(nanos);
+  index_->set_io_delay_nanos(nanos);
+}
+
+void SimilarityEngine::EnableIndexBufferPool(std::size_t pages) {
+  index_->EnableBufferPool(pages);
+}
+
+Status SimilarityEngine::SaveTo(const std::string& prefix) const {
+  TSQ_RETURN_IF_ERROR(dataset_->SaveRecordsTo(prefix + ".records"));
+  TSQ_RETURN_IF_ERROR(index_->SaveTo(prefix + ".index"));
+
+  std::ofstream meta(prefix + ".meta", std::ios::trunc);
+  if (!meta) return Status::IoError("cannot open for writing: " + prefix);
+  meta.precision(17);
+  const transform::FeatureLayout& layout = dataset_->layout();
+  const rstar::RStarTree& tree = index_->tree();
+  meta << "tsqmeta " << kMetaVersion << "\n";
+  meta << "length " << dataset_->length() << "\n";
+  meta << "layout " << layout.include_mean_std << " "
+       << layout.num_coefficients << " " << layout.first_coefficient << " "
+       << layout.use_symmetry << "\n";
+  meta << "tree " << tree.root_page() << " " << tree.height() << " "
+       << tree.size() << " " << tree.capacity() << " " << tree.min_fill()
+       << "\n";
+  meta << "store " << dataset_->records().current_page() << " "
+       << dataset_->records().cursor() << "\n";
+  meta << "sequences " << dataset_->size() << "\n";
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    const storage::RecordId record = dataset_->record_id(i);
+    meta << record.page << " " << record.offset << " "
+         << dataset_->removed(i) << " " << dataset_->normal(i).mean << " "
+         << dataset_->normal(i).stddev << "\n";
+  }
+  meta.flush();
+  if (!meta) return Status::IoError("write failed: " + prefix + ".meta");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
+    const std::string& prefix) {
+  std::ifstream meta(prefix + ".meta");
+  if (!meta) {
+    return Status::IoError("cannot open for reading: " + prefix + ".meta");
+  }
+  const auto bad = [&](const char* what) {
+    return Status::Corruption(std::string("malformed meta file: ") + what);
+  };
+  std::string tag;
+  int version = 0;
+  if (!(meta >> tag >> version) || tag != "tsqmeta" ||
+      version != kMetaVersion) {
+    return bad("header");
+  }
+  std::size_t length = 0;
+  if (!(meta >> tag >> length) || tag != "length") return bad("length");
+  transform::FeatureLayout layout;
+  if (!(meta >> tag >> layout.include_mean_std >> layout.num_coefficients >>
+        layout.first_coefficient >> layout.use_symmetry) ||
+      tag != "layout") {
+    return bad("layout");
+  }
+  storage::PageId root = 0;
+  std::size_t height = 0, size = 0;
+  std::uint32_t capacity = 0, min_fill = 0;
+  if (!(meta >> tag >> root >> height >> size >> capacity >> min_fill) ||
+      tag != "tree") {
+    return bad("tree");
+  }
+  storage::PageId store_page = 0;
+  std::uint32_t store_cursor = 0;
+  if (!(meta >> tag >> store_page >> store_cursor) || tag != "store") {
+    return bad("store");
+  }
+  std::size_t count = 0;
+  if (!(meta >> tag >> count) || tag != "sequences") return bad("sequences");
+  std::vector<Dataset::SequenceMeta> sequences(count);
+  for (Dataset::SequenceMeta& s : sequences) {
+    if (!(meta >> s.record.page >> s.record.offset >> s.removed >> s.mean >>
+          s.stddev)) {
+      return bad("sequence row");
+    }
+  }
+
+  std::unique_ptr<SimilarityEngine> engine(new SimilarityEngine());
+  Result<std::unique_ptr<Dataset>> dataset =
+      Dataset::LoadFrom(prefix + ".records", layout, length,
+                        std::move(sequences), store_page, store_cursor);
+  if (!dataset.ok()) return dataset.status();
+  engine->dataset_ = std::move(*dataset);
+
+  rstar::TreeOptions tree_options;
+  tree_options.capacity_override = capacity;
+  tree_options.min_fill_fraction =
+      static_cast<double>(min_fill) / static_cast<double>(capacity);
+  Result<std::unique_ptr<SequenceIndex>> index = SequenceIndex::LoadFrom(
+      *engine->dataset_, tree_options, prefix + ".index", root, height, size);
+  if (!index.ok()) return index.status();
+  engine->index_ = std::move(*index);
+  return engine;
+}
+
+}  // namespace tsq::core

@@ -1,0 +1,99 @@
+#ifndef TSQ_CORE_ENGINE_H_
+#define TSQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/index.h"
+#include "core/join_query.h"
+#include "core/knn_query.h"
+#include "core/query.h"
+#include "core/range_query.h"
+
+namespace tsq::core {
+
+/// Facade over the whole system: owns the sequence relation, its record
+/// storage and the R*-tree index, and exposes the paper's three query types.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   tsq::core::SimilarityEngine engine(std::move(closing_prices));
+///   tsq::core::RangeQuerySpec spec;
+///   spec.query = ibm_closes;
+///   spec.transforms = tsq::transform::MovingAverageRange(n, 1, 40);
+///   spec.epsilon = tsq::ts::CorrelationToDistanceThreshold(0.96, n);
+///   auto result = engine.RangeQuery(spec, tsq::core::Algorithm::kMtIndex);
+class SimilarityEngine {
+ public:
+  struct Options {
+    transform::FeatureLayout layout;
+    rstar::TreeOptions tree;
+  };
+
+  /// Loads the relation (normalizes, stores records, extracts features) and
+  /// builds the index. All series must share one length >= 2.
+  explicit SimilarityEngine(std::vector<ts::Series> series,
+                            Options options = Options());
+
+  /// Adds one sequence (record + index entry); returns its id. Requires
+  /// series.size() == length().
+  Result<std::size_t> Insert(const ts::Series& series);
+
+  /// Removes sequence `id` from the index and tombstones its record; it no
+  /// longer appears in any query. NotFound for unknown or already-removed
+  /// ids.
+  Status Remove(std::size_t id);
+
+  const Dataset& dataset() const { return *dataset_; }
+  const SequenceIndex& index() const { return *index_; }
+  /// Live sequences (insertions minus removals).
+  std::size_t size() const { return dataset_->active_size(); }
+  std::size_t length() const { return dataset_->length(); }
+
+  /// Query 1 (range query). `group_stats`, when non-null, receives the
+  /// per-rectangle counters for cost-function analysis.
+  Result<RangeQueryResult> RangeQuery(
+      const RangeQuerySpec& spec, Algorithm algorithm = Algorithm::kMtIndex,
+      std::vector<GroupRunStats>* group_stats = nullptr) const;
+
+  /// Query 2 (similarity self-join).
+  Result<JoinQueryResult> Join(const JoinQuerySpec& spec,
+                               Algorithm algorithm = Algorithm::kMtIndex) const;
+
+  /// k-nearest neighbours under multiple transformations.
+  Result<KnnQueryResult> Knn(const KnnQuerySpec& spec,
+                             Algorithm algorithm = Algorithm::kMtIndex) const;
+
+  /// Resets every I/O counter (between benchmark queries).
+  void ResetIoStats();
+
+  /// Makes every page read cost `nanos` nanoseconds of (spinning) latency,
+  /// so wall-clock measurements can reproduce a chosen C_DA : C_cmp cost
+  /// ratio (the paper's hardware had C_cmp = 0.4 * C_DA). 0 disables.
+  void SetSimulatedDiskLatency(std::uint64_t nanos);
+
+  /// Attaches an LRU buffer pool of `pages` pages to the index (0 detaches);
+  /// see SequenceIndex::EnableBufferPool.
+  void EnableIndexBufferPool(std::size_t pages);
+  SequenceIndex& mutable_index() { return *index_; }
+
+  /// Persists the engine to three files: `<prefix>.meta` (layout, tree and
+  /// per-sequence metadata), `<prefix>.records` and `<prefix>.index` (page
+  /// files). LoadFrom reopens them without rebuilding the index — the
+  /// paper's setting of an R*-tree that lives on disk between sessions.
+  Status SaveTo(const std::string& prefix) const;
+  static Result<std::unique_ptr<SimilarityEngine>> LoadFrom(
+      const std::string& prefix);
+
+ private:
+  SimilarityEngine() = default;  // for LoadFrom
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<SequenceIndex> index_;
+};
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_ENGINE_H_

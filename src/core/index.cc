@@ -1,0 +1,74 @@
+#include "core/index.h"
+
+#include "common/check.h"
+
+namespace tsq::core {
+
+SequenceIndex::SequenceIndex(const Dataset& dataset,
+                             rstar::TreeOptions options)
+    : dataset_(&dataset) {
+  tree_ = std::make_unique<rstar::RStarTree>(
+      &index_file_, dataset.layout().dimensions(), options);
+  // STR bulk load: near-full, well-clustered nodes, built in O(n log n).
+  std::vector<rstar::Entry> entries;
+  entries.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    entries.push_back(
+        rstar::Entry{rstar::Rect::FromPoint(dataset.features(i)), i});
+  }
+  const Status status = tree_->BulkLoad(std::move(entries));
+  TSQ_CHECK(status.ok()) << status.ToString();
+  // Build I/O is not part of any query's cost.
+  index_file_.ResetStats();
+}
+
+Result<std::unique_ptr<SequenceIndex>> SequenceIndex::LoadFrom(
+    const Dataset& dataset, rstar::TreeOptions options,
+    const std::string& path, storage::PageId root, std::size_t height,
+    std::size_t size) {
+  std::unique_ptr<SequenceIndex> index(
+      new SequenceIndex(dataset, LoadTag{}));
+  TSQ_RETURN_IF_ERROR(index->index_file_.LoadFrom(path));
+  index->tree_ = std::make_unique<rstar::RStarTree>(
+      &index->index_file_, dataset.layout().dimensions(), options);
+  TSQ_RETURN_IF_ERROR(index->tree_->RestoreForLoad(root, height, size));
+  index->index_file_.ResetStats();
+  return index;
+}
+
+Status SequenceIndex::InsertEntry(std::size_t i) {
+  if (i >= dataset_->size()) return Status::NotFound("no such sequence id");
+  return tree_->Insert(rstar::Rect::FromPoint(dataset_->features(i)), i);
+}
+
+Status SequenceIndex::RemoveEntry(std::size_t i) {
+  if (i >= dataset_->size()) return Status::NotFound("no such sequence id");
+  return tree_->Delete(rstar::Rect::FromPoint(dataset_->features(i)), i);
+}
+
+void SequenceIndex::EnableBufferPool(std::size_t pages) {
+  if (pages == 0) {
+    tree_->SetBufferPool(nullptr);
+    pool_.reset();
+    return;
+  }
+  pool_ = std::make_unique<storage::BufferPool>(&index_file_, pages);
+  tree_->SetBufferPool(pool_.get());
+}
+
+double SequenceIndex::AverageLeafCapacity() const {
+  std::size_t leaves = 0;
+  std::size_t entries = 0;
+  const Status status =
+      tree_->VisitNodes([&](const rstar::RStarTree::NodeView& view) {
+        if (view.is_leaf) {
+          ++leaves;
+          entries += view.entries.size();
+        }
+      });
+  TSQ_CHECK(status.ok()) << status.ToString();
+  if (leaves == 0) return 0.0;
+  return static_cast<double>(entries) / static_cast<double>(leaves);
+}
+
+}  // namespace tsq::core

@@ -1,0 +1,76 @@
+#ifndef TSQ_CORE_INDEX_H_
+#define TSQ_CORE_INDEX_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "rstar/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace tsq::core {
+
+/// The multidimensional index of the paper: an R*-tree over the feature
+/// vectors of a Dataset, persisted in its own paged file so index page reads
+/// are counted separately from record fetches.
+class SequenceIndex {
+ public:
+  /// Builds the index over every sequence of `dataset` (leaf entry id = the
+  /// sequence's position in the dataset). The dataset must outlive the
+  /// index.
+  explicit SequenceIndex(const Dataset& dataset,
+                         rstar::TreeOptions options = rstar::TreeOptions());
+
+  /// Persistence: writes the index pages to `path`.
+  Status SaveTo(const std::string& path) const {
+    return index_file_.SaveTo(path);
+  }
+
+  /// Rebuild-free load: attaches to previously saved index pages.
+  static Result<std::unique_ptr<SequenceIndex>> LoadFrom(
+      const Dataset& dataset, rstar::TreeOptions options,
+      const std::string& path, storage::PageId root, std::size_t height,
+      std::size_t size);
+
+  const rstar::RStarTree& tree() const { return *tree_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// Adds the (already appended) dataset sequence `i` to the index.
+  Status InsertEntry(std::size_t i);
+
+  /// Removes sequence `i`'s entry from the index.
+  Status RemoveEntry(std::size_t i);
+
+  const storage::IoStats& index_io() const { return index_file_.stats(); }
+  void ResetIndexIo() { index_file_.ResetStats(); }
+
+  /// Simulated per-page read latency (see storage::PageFile).
+  void set_io_delay_nanos(std::uint64_t nanos) {
+    index_file_.set_read_delay_nanos(nanos);
+  }
+
+  /// Attaches an LRU buffer pool of `pages` pages in front of the index file
+  /// (0 detaches). With a pool, physical reads = pool misses; the tree's
+  /// SearchStats keep counting logical node accesses.
+  void EnableBufferPool(std::size_t pages);
+  const storage::BufferPool* buffer_pool() const { return pool_.get(); }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+
+  /// Average number of entries per leaf node (CA_leaf in the cost model,
+  /// Eq. 18).
+  double AverageLeafCapacity() const;
+
+ private:
+  struct LoadTag {};
+  SequenceIndex(const Dataset& dataset, LoadTag) : dataset_(&dataset) {}
+
+  const Dataset* dataset_;
+  mutable storage::PageFile index_file_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<rstar::RStarTree> tree_;
+};
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_INDEX_H_

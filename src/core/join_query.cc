@@ -1,0 +1,226 @@
+#include "core/join_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "core/polar_bounds.h"
+#include "rstar/join.h"
+#include "transform/transform_mbr.h"
+#include "ts/distance.h"
+
+namespace tsq::core {
+
+namespace {
+
+Status ValidateSpec(const Dataset& dataset, const JoinQuerySpec& spec) {
+  if (spec.transforms.empty()) {
+    return Status::InvalidArgument("no transformations in join");
+  }
+  for (const transform::SpectralTransform& t : spec.transforms) {
+    if (t.length() != dataset.length()) {
+      return Status::InvalidArgument(
+          "transformation length does not match dataset: " + t.label());
+    }
+  }
+  if (spec.mode == JoinMode::kDistance && spec.epsilon < 0.0) {
+    return Status::InvalidArgument("negative distance threshold");
+  }
+  if (spec.mode == JoinMode::kCorrelation && spec.slack <= 0.0) {
+    return Status::InvalidArgument("non-positive filter slack");
+  }
+  return Status::Ok();
+}
+
+// True when the pair qualifies under `t`; sets `*value` to the correlation
+// or distance accordingly.
+bool EvaluatePair(const JoinQuerySpec& spec,
+                  const transform::SpectralTransform& t,
+                  std::span<const dft::Complex> x,
+                  std::span<const dft::Complex> y, double* value) {
+  if (spec.mode == JoinMode::kDistance) {
+    const double d2 = t.TransformedSquaredDistance(x, y);
+    *value = std::sqrt(d2);
+    return d2 < spec.epsilon * spec.epsilon;
+  }
+  *value = TransformedCorrelation(t, x, y);
+  return *value >= spec.min_correlation;
+}
+
+double FilterEpsilon(const Dataset& dataset, const JoinQuerySpec& spec) {
+  if (spec.mode == JoinMode::kDistance) return spec.epsilon;
+  return spec.slack * ts::CorrelationToDistanceThreshold(spec.min_correlation,
+                                                         dataset.length());
+}
+
+}  // namespace
+
+double TransformedCorrelation(const transform::SpectralTransform& t,
+                              std::span<const dft::Complex> x,
+                              std::span<const dft::Complex> y) {
+  TSQ_CHECK_EQ(x.size(), t.length());
+  TSQ_CHECK_EQ(y.size(), t.length());
+  const std::size_t n = t.length();
+  double dot = 0.0, energy_u = 0.0, energy_v = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    const double gain = std::norm(t.multiplier(f));
+    dot += gain * (x[f] * std::conj(y[f])).real();
+    energy_u += gain * std::norm(x[f]);
+    energy_v += gain * std::norm(y[f]);
+  }
+  if (energy_u <= 0.0 || energy_v <= 0.0) return 0.0;
+  // Both transformed sequences are zero-mean (normal forms have X_0 = 0), so
+  // sigma^2 = energy / (n-1) and rho = (dot/n) / (sigma_u * sigma_v).
+  return (static_cast<double>(n) - 1.0) * dot /
+         (static_cast<double>(n) * std::sqrt(energy_u * energy_v));
+}
+
+std::vector<JoinMatch> BruteForceJoinQuery(const Dataset& dataset,
+                                           const JoinQuerySpec& spec) {
+  std::vector<JoinMatch> matches;
+  for (std::size_t a = 0; a < dataset.size(); ++a) {
+    if (dataset.removed(a)) continue;
+    for (std::size_t b = a + 1; b < dataset.size(); ++b) {
+      if (dataset.removed(b)) continue;
+      for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+        double value = 0.0;
+        if (EvaluatePair(spec, spec.transforms[t], dataset.spectrum(a),
+                         dataset.spectrum(b), &value)) {
+          matches.push_back(JoinMatch{a, b, t, value});
+        }
+      }
+    }
+  }
+  return matches;
+}
+
+Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
+                                     const SequenceIndex& index,
+                                     const JoinQuerySpec& spec,
+                                     Algorithm algorithm) {
+  TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
+  const transform::FeatureLayout& layout = dataset.layout();
+  JoinQueryResult result;
+  QueryStats& stats = result.stats;
+
+  // Spectra fetched from the record store, cached for the whole join (the
+  // paper's post-processing would keep candidate records buffered too).
+  std::unordered_map<std::size_t, std::vector<dft::Complex>> fetched;
+  const auto fetch = [&](std::size_t id)
+      -> Result<const std::vector<dft::Complex>*> {
+    auto it = fetched.find(id);
+    if (it == fetched.end()) {
+      Result<std::vector<dft::Complex>> spectrum = dataset.FetchSpectrum(id);
+      if (!spectrum.ok()) return spectrum.status();
+      it = fetched.emplace(id, std::move(*spectrum)).first;
+    }
+    return &it->second;
+  };
+
+  if (algorithm == Algorithm::kSequentialScan) {
+    for (std::size_t a = 0; a < dataset.size(); ++a) {
+      if (dataset.removed(a)) continue;
+      Result<const std::vector<dft::Complex>*> xa = fetch(a);
+      if (!xa.ok()) return xa.status();
+      for (std::size_t b = a + 1; b < dataset.size(); ++b) {
+        if (dataset.removed(b)) continue;
+        Result<const std::vector<dft::Complex>*> xb = fetch(b);
+        if (!xb.ok()) return xb.status();
+        ++stats.candidates;
+        for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+          ++stats.comparisons;
+          double value = 0.0;
+          if (EvaluatePair(spec, spec.transforms[t], **xa, **xb, &value)) {
+            result.matches.push_back(JoinMatch{a, b, t, value});
+          }
+        }
+      }
+    }
+    stats.record_pages_read = dataset.record_pages();
+    stats.output_size = result.matches.size();
+    return result;
+  }
+
+  transform::Partition partition;
+  if (algorithm == Algorithm::kStIndex) {
+    partition = transform::PartitionSingletons(spec.transforms.size());
+  } else if (spec.partition.empty()) {
+    partition = transform::PartitionAll(spec.transforms.size());
+  } else {
+    partition = spec.partition;
+  }
+
+  std::vector<transform::FeatureTransform> feature_transforms;
+  feature_transforms.reserve(spec.transforms.size());
+  for (const transform::SpectralTransform& t : spec.transforms) {
+    feature_transforms.push_back(t.ToFeatureTransform(layout));
+  }
+
+  const double filter_eps = FilterEpsilon(dataset, spec);
+  const double filter_eps2 = filter_eps * filter_eps;
+
+  for (const std::vector<std::size_t>& group : partition) {
+    std::vector<transform::FeatureTransform> group_fts;
+    group_fts.reserve(group.size());
+    for (const std::size_t t : group) {
+      group_fts.push_back(feature_transforms[t]);
+    }
+    const transform::TransformMbr mbr(group_fts, layout);
+
+    // R-tree self-join with the transformation rectangle applied to both
+    // sides before the proximity test; the rectangle application happens
+    // once per entry (JoinOptions maps), not once per candidate pair.
+    std::vector<std::pair<std::size_t, std::size_t>> candidate_pairs;
+    rstar::SearchStats left_stats, right_stats;
+    const std::uint64_t record_reads_before = dataset.record_io().reads;
+    rstar::JoinOptions join_options;
+    join_options.left_map = [&](const rstar::Rect& r) { return mbr.Apply(r); };
+    join_options.right_map = join_options.left_map;
+    TSQ_RETURN_IF_ERROR(rstar::SpatialJoin(
+        index.tree(), index.tree(),
+        [&](const rstar::Rect& a, const rstar::Rect& b) {
+          return RectPairSquaredDistanceLowerBound(a, b, layout) <=
+                 filter_eps2;
+        },
+        [&](const rstar::Entry& a, const rstar::Entry& b) {
+          if (a.id < b.id) candidate_pairs.emplace_back(a.id, b.id);
+        },
+        &left_stats, &right_stats, join_options));
+    ++stats.traversals;
+    stats.index_nodes_accessed +=
+        left_stats.nodes_accessed + right_stats.nodes_accessed;
+    stats.index_leaves_accessed +=
+        left_stats.leaf_nodes_accessed + right_stats.leaf_nodes_accessed;
+    stats.candidates += candidate_pairs.size();
+
+    for (const auto& [a, b] : candidate_pairs) {
+      Result<const std::vector<dft::Complex>*> xa = fetch(a);
+      if (!xa.ok()) return xa.status();
+      Result<const std::vector<dft::Complex>*> xb = fetch(b);
+      if (!xb.ok()) return xb.status();
+      for (const std::size_t t : group) {
+        ++stats.comparisons;
+        double value = 0.0;
+        if (EvaluatePair(spec, spec.transforms[t], **xa, **xb, &value)) {
+          result.matches.push_back(JoinMatch{a, b, t, value});
+        }
+      }
+    }
+    stats.record_pages_read +=
+        dataset.record_io().reads - record_reads_before;
+  }
+  stats.output_size = result.matches.size();
+  return result;
+}
+
+void SortJoinMatches(std::vector<JoinMatch>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const JoinMatch& x, const JoinMatch& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.b != y.b) return x.b < y.b;
+              return x.transform_index < y.transform_index;
+            });
+}
+
+}  // namespace tsq::core

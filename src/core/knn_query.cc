@@ -1,0 +1,227 @@
+#include "core/knn_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "core/feature.h"
+#include "core/polar_bounds.h"
+#include "transform/transform_mbr.h"
+#include "ts/normal_form.h"
+
+namespace tsq::core {
+
+namespace {
+
+Status ValidateSpec(const Dataset& dataset, const KnnQuerySpec& spec) {
+  if (spec.query.size() != dataset.length()) {
+    return Status::InvalidArgument("query length does not match dataset");
+  }
+  if (spec.transforms.empty()) {
+    return Status::InvalidArgument("no transformations in query");
+  }
+  for (const transform::SpectralTransform& t : spec.transforms) {
+    if (t.length() != dataset.length()) {
+      return Status::InvalidArgument(
+          "transformation length does not match dataset: " + t.label());
+    }
+  }
+  return Status::Ok();
+}
+
+// Exact best transformation for one candidate: (distance^2, transform index).
+std::pair<double, std::size_t> BestTransform(
+    const KnnQuerySpec& spec, std::span<const dft::Complex> candidate,
+    std::span<const dft::Complex> query, QueryStats* stats) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_t = 0;
+  for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+    if (stats != nullptr) ++stats->comparisons;
+    const double d2 =
+        spec.target == TransformTarget::kBoth
+            ? spec.transforms[t].TransformedSquaredDistance(candidate, query)
+            : spec.transforms[t].TransformedToPlainSquaredDistance(candidate,
+                                                                   query);
+    if (d2 < best) {
+      best = d2;
+      best_t = t;
+    }
+  }
+  return {best, best_t};
+}
+
+}  // namespace
+
+std::vector<KnnMatch> BruteForceKnnQuery(const Dataset& dataset,
+                                         const KnnQuerySpec& spec) {
+  const ts::NormalForm query_normal = ts::Normalize(spec.query);
+  std::vector<dft::Complex> query_spectrum =
+      dataset.plan().Forward(query_normal.values);
+  if (spec.query_transform.has_value()) {
+    query_spectrum = spec.query_transform->ApplyToSpectrum(query_spectrum);
+  }
+  std::vector<KnnMatch> all;
+  all.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.removed(i)) continue;
+    const auto [d2, t] =
+        BestTransform(spec, dataset.spectrum(i), query_spectrum, nullptr);
+    all.push_back(KnnMatch{i, t, std::sqrt(d2)});
+  }
+  std::sort(all.begin(), all.end(), [](const KnnMatch& a, const KnnMatch& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.series_id < b.series_id;
+  });
+  if (all.size() > spec.k) all.resize(spec.k);
+  return all;
+}
+
+Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
+                                   const SequenceIndex& index,
+                                   const KnnQuerySpec& spec,
+                                   Algorithm algorithm) {
+  TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
+  const transform::FeatureLayout& layout = dataset.layout();
+  const ts::NormalForm query_normal = ts::Normalize(spec.query);
+  std::vector<dft::Complex> query_spectrum =
+      dataset.plan().Forward(query_normal.values);
+  if (spec.query_transform.has_value()) {
+    query_spectrum = spec.query_transform->ApplyToSpectrum(query_spectrum);
+  }
+
+  KnnQueryResult result;
+  QueryStats& stats = result.stats;
+
+  if (algorithm == Algorithm::kSequentialScan) {
+    std::vector<KnnMatch> all;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.removed(i)) continue;
+      Result<std::vector<dft::Complex>> spectrum = dataset.FetchSpectrum(i);
+      if (!spectrum.ok()) return spectrum.status();
+      const auto [d2, t] =
+          BestTransform(spec, *spectrum, query_spectrum, &stats);
+      all.push_back(KnnMatch{i, t, std::sqrt(d2)});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const KnnMatch& a, const KnnMatch& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.series_id < b.series_id;
+              });
+    if (all.size() > spec.k) all.resize(spec.k);
+    result.matches = std::move(all);
+    stats.record_pages_read = dataset.record_pages();
+    stats.candidates = dataset.active_size();
+    stats.output_size = result.matches.size();
+    return result;
+  }
+
+  // Indexed path (ST-index = singleton rectangles, MT-index = grouped).
+  const rstar::Point query_features =
+      ExtractFeatures(query_normal, query_spectrum, layout);
+
+  transform::Partition partition;
+  if (algorithm == Algorithm::kStIndex) {
+    partition = transform::PartitionSingletons(spec.transforms.size());
+  } else if (spec.partition.empty()) {
+    partition = transform::PartitionAll(spec.transforms.size());
+  } else {
+    partition = spec.partition;
+  }
+
+  // Per group: the transformation MBR and the rect bounding the transformed
+  // query's retained features.
+  struct GroupBound {
+    transform::TransformMbr mbr;
+    rstar::Rect query_rect;
+  };
+  std::vector<GroupBound> groups;
+  for (const std::vector<std::size_t>& group : partition) {
+    std::vector<transform::FeatureTransform> fts;
+    fts.reserve(group.size());
+    for (const std::size_t t : group) {
+      fts.push_back(spec.transforms[t].ToFeatureTransform(layout));
+    }
+    // Query region with zero expansion: the MBR of the transformed query
+    // feature points (kBoth), or the plain query point (kDataOnly).
+    const std::vector<transform::FeatureTransform> identity = {
+        transform::FeatureTransform::Identity(layout.dimensions())};
+    groups.push_back(GroupBound{
+        transform::TransformMbr(fts, layout),
+        BuildQueryRegion(query_features,
+                         spec.target == TransformTarget::kBoth
+                             ? std::span<const transform::FeatureTransform>(fts)
+                             : std::span<const transform::FeatureTransform>(
+                                   identity),
+                         /*epsilon=*/0.0, layout)});
+  }
+
+  const auto lower_bound = [&](const rstar::Rect& rect) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const GroupBound& g : groups) {
+      best = std::min(best, RectPairSquaredDistanceLowerBound(
+                                g.mbr.Apply(rect), g.query_rect, layout));
+    }
+    return best;
+  };
+
+  // Best-first search (Hjaltason-Samet): tree pages and unrefined leaf
+  // entries enter the queue with their lower bound; an entry is refined
+  // (record fetched, exact distance computed) only when it surfaces, so
+  // entries that can never be among the k best are never fetched. When an
+  // exact item surfaces, nothing unexplored can beat it.
+  enum class Kind { kPage, kEntry, kExact };
+  struct Item {
+    double key;  // squared distance (bound or exact)
+    Kind kind;
+    std::uint64_t id;  // page id or series id
+    std::size_t transform_index;
+    bool operator>(const Item& other) const { return key > other.key; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  if (index.tree().size() > 0) {
+    queue.push(Item{0.0, Kind::kPage, index.tree().root_page(), 0});
+  }
+
+  rstar::SearchStats search_stats;
+  while (!queue.empty() && result.matches.size() < spec.k) {
+    const Item item = queue.top();
+    queue.pop();
+    switch (item.kind) {
+      case Kind::kExact:
+        result.matches.push_back(
+            KnnMatch{item.id, item.transform_index, std::sqrt(item.key)});
+        break;
+      case Kind::kEntry: {
+        const std::uint64_t reads_before = dataset.record_io().reads;
+        Result<std::vector<dft::Complex>> spectrum =
+            dataset.FetchSpectrum(item.id);
+        if (!spectrum.ok()) return spectrum.status();
+        stats.record_pages_read += dataset.record_io().reads - reads_before;
+        ++stats.candidates;
+        const auto [d2, t] =
+            BestTransform(spec, *spectrum, query_spectrum, &stats);
+        queue.push(Item{d2, Kind::kExact, item.id, t});
+        break;
+      }
+      case Kind::kPage: {
+        rstar::RStarTree::NodeView view;
+        TSQ_RETURN_IF_ERROR(
+            index.tree().ReadNodeView(item.id, &view, &search_stats));
+        for (const rstar::Entry& entry : view.entries) {
+          queue.push(Item{lower_bound(entry.rect),
+                          view.is_leaf ? Kind::kEntry : Kind::kPage, entry.id,
+                          0});
+        }
+        break;
+      }
+    }
+  }
+  stats.index_nodes_accessed = search_stats.nodes_accessed;
+  stats.index_leaves_accessed = search_stats.leaf_nodes_accessed;
+  stats.traversals = 1;
+  stats.output_size = result.matches.size();
+  return result;
+}
+
+}  // namespace tsq::core

@@ -1,0 +1,109 @@
+#include "core/polar_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "transform/transform_mbr.h"
+
+namespace tsq::core {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+// min over m_u in [ul, uh], m_v in [vl, vh] of
+//   f(m_u, m_v) = m_u^2 + m_v^2 - 2 c m_u m_v,   c = cos(gap) in [-1, 1].
+// f is convex (Hessian [[2, -2c], [-2c, 2]], PSD); its only critical point
+// is (0, 0), so the box minimum is at (0,0) if contained, else on an edge;
+// each edge restriction is a 1-D convex quadratic minimized by clamping its
+// vertex.
+double BoxMin(double ul, double uh, double vl, double vh, double c) {
+  const auto f = [c](double u, double v) {
+    return u * u + v * v - 2.0 * c * u * v;
+  };
+  if (ul <= 0.0 && 0.0 <= uh && vl <= 0.0 && 0.0 <= vh) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  // Edges u = ul and u = uh: vertex at v = c*u.
+  for (const double u : {ul, uh}) {
+    best = std::min(best, f(u, Clamp(c * u, vl, vh)));
+  }
+  // Edges v = vl and v = vh: vertex at u = c*v.
+  for (const double v : {vl, vh}) {
+    best = std::min(best, f(Clamp(c * v, ul, uh), v));
+  }
+  return std::max(0.0, best);
+}
+
+}  // namespace
+
+double PolarBoxMinSquaredDistance(double a_mag_lo, double a_mag_hi,
+                                  double a_ang_lo, double a_ang_hi,
+                                  double b_mag_lo, double b_mag_hi,
+                                  double b_ang_lo, double b_ang_hi) {
+  TSQ_DCHECK(a_mag_lo <= a_mag_hi);
+  TSQ_DCHECK(b_mag_lo <= b_mag_hi);
+  // Magnitudes are non-negative by construction; clamp defensively so the
+  // convexity argument stays valid for slightly negative inputs.
+  a_mag_lo = std::max(0.0, a_mag_lo);
+  b_mag_lo = std::max(0.0, b_mag_lo);
+  a_mag_hi = std::max(a_mag_lo, a_mag_hi);
+  b_mag_hi = std::max(b_mag_lo, b_mag_hi);
+
+  // Smallest circular gap between the two angle intervals.
+  double gap = 0.0;
+  if (!transform::CircularIntervalsIntersect(a_ang_lo, a_ang_hi, b_ang_lo,
+                                             b_ang_hi)) {
+    const double center_a = 0.5 * (a_ang_lo + a_ang_hi);
+    const double center_b = 0.5 * (b_ang_lo + b_ang_hi);
+    const double half_widths =
+        0.5 * ((a_ang_hi - a_ang_lo) + (b_ang_hi - b_ang_lo));
+    const double delta = std::fabs(std::remainder(center_b - center_a, kTwoPi));
+    gap = std::max(0.0, delta - half_widths);
+  }
+  if (gap == 0.0) {
+    // Angles can coincide: distance is governed by the magnitude gap alone.
+    const double mag_gap =
+        std::max({0.0, a_mag_lo - b_mag_hi, b_mag_lo - a_mag_hi});
+    return mag_gap * mag_gap;
+  }
+  return BoxMin(a_mag_lo, a_mag_hi, b_mag_lo, b_mag_hi, std::cos(gap));
+}
+
+double RectPairSquaredDistanceLowerBound(
+    const rstar::Rect& a, const rstar::Rect& b,
+    const transform::FeatureLayout& layout) {
+  TSQ_DCHECK(a.dimensions() == layout.dimensions());
+  TSQ_DCHECK(b.dimensions() == layout.dimensions());
+  double total = 0.0;
+  for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
+    const std::size_t md = layout.magnitude_dimension(i);
+    const std::size_t ad = layout.angle_dimension(i);
+    total += layout.coefficient_weight() *
+             PolarBoxMinSquaredDistance(a.low(md), a.high(md), a.low(ad),
+                                        a.high(ad), b.low(md), b.high(md),
+                                        b.low(ad), b.high(ad));
+  }
+  return total;
+}
+
+double RectPointSquaredDistanceLowerBound(
+    const rstar::Rect& a, const rstar::Point& b,
+    const transform::FeatureLayout& layout) {
+  return RectPairSquaredDistanceLowerBound(a, rstar::Rect::FromPoint(b),
+                                           layout);
+}
+
+double PointPairSquaredDistanceLowerBound(
+    const rstar::Point& a, const rstar::Point& b,
+    const transform::FeatureLayout& layout) {
+  return RectPairSquaredDistanceLowerBound(rstar::Rect::FromPoint(a),
+                                           rstar::Rect::FromPoint(b), layout);
+}
+
+}  // namespace tsq::core

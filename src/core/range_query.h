@@ -1,0 +1,45 @@
+#ifndef TSQ_CORE_RANGE_QUERY_H_
+#define TSQ_CORE_RANGE_QUERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/index.h"
+#include "core/query.h"
+
+namespace tsq::core {
+
+/// Executes Query 1 with the chosen algorithm (Section 4):
+///
+///  * kSequentialScan — reads the whole record store once and evaluates the
+///    distance predicate |T| times per sequence (log |T| under an ordering);
+///  * kStIndex — one index traversal per transformation, each with the
+///    (degenerate, single-point) transformation rectangle applied to every
+///    node rectangle;
+///  * kMtIndex — Algorithm 1: one traversal per transformation *rectangle*,
+///    grouping per `spec.partition` (all transformations in one rectangle
+///    when the partition is empty).
+///
+/// When `group_stats` is non-null it receives one entry per index traversal
+/// (empty for the sequential scan), the inputs of the cost function Ck
+/// (Eq. 20).
+Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
+                                       const SequenceIndex& index,
+                                       const RangeQuerySpec& spec,
+                                       Algorithm algorithm,
+                                       std::vector<GroupRunStats>* group_stats =
+                                           nullptr);
+
+/// Reference evaluation of Query 1 against the in-memory spectra; no I/O, no
+/// filtering. Ground truth for correctness tests (Lemma 1: the indexed
+/// algorithms must return exactly this set).
+std::vector<Match> BruteForceRangeQuery(const Dataset& dataset,
+                                        const RangeQuerySpec& spec);
+
+/// Sorts matches by (series_id, transform_index) for set comparison.
+void SortMatches(std::vector<Match>* matches);
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_RANGE_QUERY_H_

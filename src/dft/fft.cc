@@ -1,0 +1,219 @@
+#include "dft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace tsq::dft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<Complex> ToComplex(std::span<const double> x) {
+  std::vector<Complex> data(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+  return data;
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(IsPowerOfTwo(n)) {
+  TSQ_CHECK_GE(n, std::size_t{1});
+  if (pow2_) return;
+  // Bluestein setup: x_k * chirp_k convolved with conj(chirp) gives the DFT.
+  conv_size_ = NextPowerOfTwo(2 * n_ - 1);
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // exp(-j*pi*k^2/n); reduce k^2 mod 2n first to keep the argument small.
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double angle = -kPi * static_cast<double>(k2) / static_cast<double>(n_);
+    chirp_[k] = std::polar(1.0, angle);
+  }
+  std::vector<Complex> filter(conv_size_, Complex(0.0, 0.0));
+  filter[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n_; ++k) {
+    filter[k] = std::conj(chirp_[k]);
+    filter[conv_size_ - k] = std::conj(chirp_[k]);
+  }
+  Radix2(filter, /*invert=*/false);
+  chirp_filter_fft_ = std::move(filter);
+}
+
+void FftPlan::Radix2(std::vector<Complex>& data, bool invert) {
+  const std::size_t n = data.size();
+  TSQ_DCHECK(IsPowerOfTwo(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (invert ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void FftPlan::TransformRaw(std::vector<Complex>& data, bool invert) const {
+  TSQ_CHECK_EQ(data.size(), n_);
+  if (pow2_) {
+    Radix2(data, invert);
+    return;
+  }
+  // Bluestein: X_f = conj(chirp_f)' ... concretely, with c_k = chirp_k,
+  //   X_f = c_f * sum_k (x_k c_k) * conj(c_{f-k}) -- a circular convolution.
+  // Inversion conjugates the chirps, which equals conjugate-input trick:
+  // IDFT(x) = conj(DFT(conj(x))) (unscaled).
+  if (invert) {
+    for (auto& v : data) v = std::conj(v);
+  }
+  std::vector<Complex> a(conv_size_, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * chirp_[k];
+  Radix2(a, /*invert=*/false);
+  for (std::size_t k = 0; k < conv_size_; ++k) a[k] *= chirp_filter_fft_[k];
+  Radix2(a, /*invert=*/true);
+  const double scale = 1.0 / static_cast<double>(conv_size_);
+  for (std::size_t f = 0; f < n_; ++f) {
+    data[f] = a[f] * scale * chirp_[f];
+  }
+  if (invert) {
+    for (auto& v : data) v = std::conj(v);
+  }
+}
+
+std::vector<Complex> FftPlan::Forward(std::span<const double> x) const {
+  std::vector<Complex> data = ToComplex(x);
+  return Forward(std::span<const Complex>(data));
+}
+
+std::vector<Complex> FftPlan::Forward(std::span<const Complex> x) const {
+  TSQ_CHECK_EQ(x.size(), n_);
+  std::vector<Complex> data(x.begin(), x.end());
+  TransformRaw(data, /*invert=*/false);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
+  for (auto& v : data) v *= scale;
+  return data;
+}
+
+std::vector<Complex> FftPlan::Inverse(std::span<const Complex> coefficients) const {
+  TSQ_CHECK_EQ(coefficients.size(), n_);
+  std::vector<Complex> data(coefficients.begin(), coefficients.end());
+  TransformRaw(data, /*invert=*/true);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
+  for (auto& v : data) v *= scale;
+  return data;
+}
+
+std::vector<double> FftPlan::InverseReal(
+    std::span<const Complex> coefficients) const {
+  const std::vector<Complex> full = Inverse(coefficients);
+  std::vector<double> out(full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) out[i] = full[i].real();
+  return out;
+}
+
+std::vector<Complex> Forward(std::span<const double> x) {
+  return FftPlan(x.size()).Forward(x);
+}
+
+std::vector<Complex> Forward(std::span<const Complex> x) {
+  return FftPlan(x.size()).Forward(x);
+}
+
+std::vector<Complex> Inverse(std::span<const Complex> coefficients) {
+  return FftPlan(coefficients.size()).Inverse(coefficients);
+}
+
+std::vector<double> InverseReal(std::span<const Complex> coefficients) {
+  return FftPlan(coefficients.size()).InverseReal(coefficients);
+}
+
+std::vector<Complex> NaiveForward(std::span<const double> x) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(n, std::size_t{1});
+  std::vector<Complex> out(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::size_t f = 0; f < n; ++f) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(t) * static_cast<double>(f) /
+          static_cast<double>(n);
+      acc += x[t] * std::polar(1.0, angle);
+    }
+    out[f] = acc * scale;
+  }
+  return out;
+}
+
+double Energy(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double Energy(std::span<const Complex> x) {
+  double acc = 0.0;
+  for (const Complex& v : x) acc += std::norm(v);
+  return acc;
+}
+
+std::vector<double> CircularConvolution(std::span<const double> x,
+                                        std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  const std::size_t n = x.size();
+  FftPlan plan(n);
+  std::vector<Complex> fx = plan.Forward(x);
+  const std::vector<Complex> fy = plan.Forward(y);
+  // Unitary convention: conv(x, y) <-> sqrt(n) * (X .* Y).
+  const double scale = std::sqrt(static_cast<double>(n));
+  for (std::size_t f = 0; f < n; ++f) fx[f] *= fy[f] * scale;
+  return plan.InverseReal(fx);
+}
+
+std::vector<double> NaiveCircularConvolution(std::span<const double> x,
+                                             std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (i + n - k % n) % n;
+      acc += x[k] * y[idx];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> KernelTransfer(std::span<const double> kernel) {
+  // H_f = sum_t h_t exp(-j 2 pi t f / n) = sqrt(n) * unitary DFT.
+  std::vector<Complex> transfer = Forward(kernel);
+  const double scale = std::sqrt(static_cast<double>(kernel.size()));
+  for (auto& v : transfer) v *= scale;
+  return transfer;
+}
+
+}  // namespace tsq::dft

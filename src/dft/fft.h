@@ -1,0 +1,107 @@
+#ifndef TSQ_DFT_FFT_H_
+#define TSQ_DFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsq::dft {
+
+using Complex = std::complex<double>;
+
+/// Discrete Fourier Transform engine.
+///
+/// All transforms use the *unitary* convention of the paper (Eq. 1):
+///
+///   X_f = (1/sqrt(n)) * sum_t x_t * exp(-j*2*pi*t*f/n)
+///
+/// so Parseval's relation holds with no extra factors: E(x) = E(X) (Eq. 7),
+/// and the Euclidean distance between two sequences is identical in the time
+/// and frequency domains (Eq. 8).
+///
+/// Power-of-two lengths use an iterative radix-2 Cooley-Tukey FFT; other
+/// lengths use Bluestein's chirp-z algorithm (which internally runs
+/// power-of-two FFTs), so every length is O(n log n).
+///
+/// A plan caches twiddle factors and scratch space for one length; reuse it
+/// when transforming many sequences of the same length.
+class FftPlan {
+ public:
+  /// Creates a plan for length-`n` transforms. Requires n >= 1.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Forward unitary DFT of a real sequence. Requires x.size() == size().
+  std::vector<Complex> Forward(std::span<const double> x) const;
+
+  /// Forward unitary DFT of a complex sequence.
+  std::vector<Complex> Forward(std::span<const Complex> x) const;
+
+  /// Inverse unitary DFT. Requires coefficients.size() == size().
+  std::vector<Complex> Inverse(std::span<const Complex> coefficients) const;
+
+  /// Inverse unitary DFT of the spectrum of a real sequence; returns the real
+  /// parts (imaginary parts are numerical noise for conjugate-symmetric
+  /// input).
+  std::vector<double> InverseReal(std::span<const Complex> coefficients) const;
+
+ private:
+  // Transforms in place; `invert` flips the exponent sign. Unitary scaling is
+  // applied by the public wrappers.
+  void TransformRaw(std::vector<Complex>& data, bool invert) const;
+  // Radix-2 in-place FFT on a power-of-two-sized buffer (unscaled).
+  static void Radix2(std::vector<Complex>& data, bool invert);
+
+  std::size_t n_;
+  bool pow2_;
+  // Bluestein state (only populated when n_ is not a power of two).
+  std::size_t conv_size_ = 0;             // power-of-two >= 2n-1
+  std::vector<Complex> chirp_;            // exp(-j*pi*k^2/n), k in [0, n)
+  std::vector<Complex> chirp_filter_fft_; // FFT of the padded conjugate chirp
+};
+
+/// One-shot forward unitary DFT of a real sequence (any length >= 1).
+std::vector<Complex> Forward(std::span<const double> x);
+
+/// One-shot forward unitary DFT of a complex sequence.
+std::vector<Complex> Forward(std::span<const Complex> x);
+
+/// One-shot inverse unitary DFT.
+std::vector<Complex> Inverse(std::span<const Complex> coefficients);
+
+/// One-shot inverse unitary DFT returning real parts.
+std::vector<double> InverseReal(std::span<const Complex> coefficients);
+
+/// O(n^2) reference DFT used to validate the FFT in tests.
+std::vector<Complex> NaiveForward(std::span<const double> x);
+
+/// Signal energy: sum of squared magnitudes (Eq. 2).
+double Energy(std::span<const double> x);
+double Energy(std::span<const Complex> x);
+
+/// Circular convolution (Eq. 3): out_i = sum_k x_k * y_{(i-k) mod n}.
+/// Requires x.size() == y.size(). Computed via FFT in O(n log n).
+std::vector<double> CircularConvolution(std::span<const double> x,
+                                        std::span<const double> y);
+
+/// O(n^2) reference circular convolution used in tests.
+std::vector<double> NaiveCircularConvolution(std::span<const double> x,
+                                             std::span<const double> y);
+
+/// The *unnormalized* transfer function of a convolution kernel:
+/// H_f = sum_t h_t * exp(-j*2*pi*t*f/n). Under the unitary convention,
+/// circular convolution with kernel h multiplies coefficient f by H_f
+/// (conv(x, h) <-> H .* X, Eq. 5 with the scaling made explicit).
+std::vector<Complex> KernelTransfer(std::span<const double> kernel);
+
+/// True when n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+}  // namespace tsq::dft
+
+#endif  // TSQ_DFT_FFT_H_

@@ -1,0 +1,65 @@
+#include "dft/spectrum.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tsq::dft {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+double WrapAngle(double radians) {
+  double wrapped = std::fmod(radians + kPi, kTwoPi);
+  if (wrapped < 0.0) wrapped += kTwoPi;
+  return wrapped - kPi;
+}
+
+double AngularDistance(double a, double b) {
+  const double diff = std::fabs(WrapAngle(a - b));
+  return diff > kPi ? kTwoPi - diff : diff;
+}
+
+Polar ToPolar(const Complex& value) {
+  return Polar{std::abs(value), std::arg(value)};
+}
+
+Complex FromPolar(const Polar& polar) {
+  return std::polar(polar.magnitude, polar.angle);
+}
+
+std::vector<Polar> SpectrumToPolar(std::span<const Complex> spectrum) {
+  std::vector<Polar> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = ToPolar(spectrum[i]);
+  return out;
+}
+
+std::vector<Complex> SpectrumFromPolar(std::span<const Polar> spectrum) {
+  std::vector<Complex> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    out[i] = FromPolar(spectrum[i]);
+  }
+  return out;
+}
+
+double PolarSquaredDistance(const Polar& x, const Polar& y) {
+  const double cosine = std::cos(x.angle - y.angle);
+  const double d2 = x.magnitude * x.magnitude + y.magnitude * y.magnitude -
+                    2.0 * x.magnitude * y.magnitude * cosine;
+  // Clamp tiny negative values caused by rounding.
+  return d2 < 0.0 ? 0.0 : d2;
+}
+
+double SymmetryDefect(std::span<const Complex> spectrum) {
+  const std::size_t n = spectrum.size();
+  double worst = 0.0;
+  for (std::size_t f = 1; f < n; ++f) {
+    const double defect =
+        std::fabs(std::abs(spectrum[f]) - std::abs(spectrum[n - f]));
+    worst = std::max(worst, defect);
+  }
+  return worst;
+}
+
+}  // namespace tsq::dft

@@ -1,0 +1,52 @@
+#ifndef TSQ_LANG_COMPILER_H_
+#define TSQ_LANG_COMPILER_H_
+
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "lang/parser.h"
+
+namespace tsq::lang {
+
+/// A compiled query: the engine-level spec plus the algorithm to run it
+/// with.
+struct CompiledQuery {
+  std::variant<core::RangeQuerySpec, core::KnnQuerySpec, core::JoinQuerySpec>
+      spec;
+  core::Algorithm algorithm = core::Algorithm::kMtIndex;
+};
+
+/// Expands the factor language into spectral transformations of length `n`.
+///
+/// Built-in factors (args in brackets; ranges `lo..hi[:step]` expand):
+///   mv(w)           moving average          momentum[(step)]
+///   lwma(w)         linear-weighted MA      shift(s)    (circular)
+///   ema(alpha)      exponential MA          pshift(s)   (paper's padded)
+///   scale(a)        constant factor         invert
+///   band(lo, hi)    ideal band-pass         diff2
+/// A THEN-pipeline composes factors (Eq. 10/11); multiple pipelines union.
+Result<std::vector<transform::SpectralTransform>> ExpandPipelines(
+    const std::vector<Pipeline>& pipelines, std::size_t n);
+
+/// Compiles a parsed query against an engine (resolves SERIES ids,
+/// translates correlation thresholds via Eq. 9, expands transformations,
+/// applies options).
+Result<CompiledQuery> Compile(const ParsedQuery& query,
+                              const core::SimilarityEngine& engine);
+
+/// Parse + compile in one step.
+Result<CompiledQuery> CompileQuery(std::string_view text,
+                                   const core::SimilarityEngine& engine);
+
+/// Runs a compiled query and renders a human-readable result summary.
+/// Convenience for REPL/CLI front ends.
+Result<std::string> Execute(const CompiledQuery& query,
+                            const core::SimilarityEngine& engine,
+                            std::size_t max_rows = 20);
+
+}  // namespace tsq::lang
+
+#endif  // TSQ_LANG_COMPILER_H_

@@ -1,0 +1,122 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace tsq::lang {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDotDot:
+      return "'..'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const auto error = [&](const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " at position " << i;
+    return Status::InvalidArgument(msg.str());
+  };
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      ++i;
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == ':') {
+      token.kind = TokenKind::kColon;
+      ++i;
+    } else if (c == '.' && i + 1 < input.size() && input[i + 1] == '.') {
+      token.kind = TokenKind::kDotDot;
+      i += 2;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               (c == '.' && i + 1 < input.size() &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      // Number: digits, optional decimal point (but ".." is a range), and
+      // optional exponent.
+      const std::size_t start = i;
+      if (c == '-') ++i;
+      bool any_digit = false;
+      bool seen_dot = false;
+      while (i < input.size()) {
+        const char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          any_digit = true;
+          ++i;
+        } else if (d == '.' && !seen_dot &&
+                   !(i + 1 < input.size() && input[i + 1] == '.')) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && any_digit &&
+                   i + 1 < input.size() &&
+                   (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                    input[i + 1] == '-' || input[i + 1] == '+')) {
+          i += 2;
+          while (i < input.size() &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+          break;
+        } else {
+          break;
+        }
+      }
+      if (!any_digit) return error("malformed number");
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(input.substr(start, i - start));
+      token.number = std::strtod(token.text.c_str(), nullptr);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(input.substr(start, i - start));
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+    } else {
+      return error(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tsq::lang

@@ -1,0 +1,41 @@
+#ifndef TSQ_LANG_LEXER_H_
+#define TSQ_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsq::lang {
+
+/// Token kinds of the tsq query language.
+enum class TokenKind {
+  kIdentifier,  // keywords and transform names; case-insensitive
+  kNumber,      // 123, 0.96, -2.5
+  kLParen,
+  kRParen,
+  kComma,
+  kDotDot,  // ".."
+  kColon,   // ":" (range step separator)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier text (lower-cased) or number literal
+  double number = 0.0;   // value when kind == kNumber
+  std::size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Splits a query string into tokens. Identifiers are lower-cased (the
+/// language is case-insensitive). Fails with InvalidArgument on characters
+/// outside the language.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Names a token kind for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace tsq::lang
+
+#endif  // TSQ_LANG_LEXER_H_

@@ -1,0 +1,81 @@
+#ifndef TSQ_LANG_PARSER_H_
+#define TSQ_LANG_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsq::lang {
+
+/// Abstract syntax of the tsq query language.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query     := rangeQuery | knnQuery | joinQuery
+///   rangeQuery:= FIND SIMILAR TO ref UNDER pipelines threshold options*
+///   knnQuery  := FIND NUM NEAREST TO ref UNDER pipelines options*
+///   joinQuery := FIND PAIRS UNDER pipelines threshold options*
+///   ref       := SERIES NUM
+///   pipelines := pipeline (',' pipeline)*
+///   pipeline  := factor (THEN factor)*        -- Eq. 11 composition
+///   factor    := IDENT [ '(' arg (',' arg)* ')' ]
+///   arg       := NUM | NUM '..' NUM [ ':' NUM ]   -- range with step
+///   threshold := WITHIN (DISTANCE NUM | CORRELATION NUM)
+///   options   := USING (MT | ST | SCAN)
+///              | APPLY (BOTH | DATA)
+///              | GROUPS NUM | PER_MBR NUM | CLUSTERED
+///              | ORDERED
+///
+/// Examples:
+///   find similar to series 17 under mv(1..40) within correlation 0.96
+///   find 5 nearest to series 3 under momentum then shift(0..10) apply data
+///   find pairs under mv(5..14) within correlation 0.99 using mt
+
+/// One argument of a transform factor: a scalar or an inclusive range.
+struct Arg {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 1.0;
+  bool is_range = false;
+};
+
+/// A transform factor, e.g. mv(1..40) or momentum.
+struct Factor {
+  std::string name;
+  std::vector<Arg> args;
+  std::size_t position = 0;
+};
+
+/// A THEN-pipeline of factors (applied left to right).
+using Pipeline = std::vector<Factor>;
+
+enum class QueryKind { kRange, kKnn, kJoin };
+enum class ThresholdKind { kNone, kDistance, kCorrelation };
+enum class AlgorithmChoice { kDefault, kMt, kSt, kScan };
+enum class ApplyChoice { kDefault, kBoth, kData };
+enum class GroupingChoice { kDefault, kGroups, kPerMbr, kClustered };
+
+/// Parsed query, ready for compilation against an engine.
+struct ParsedQuery {
+  QueryKind kind = QueryKind::kRange;
+  std::size_t series_id = 0;      // range/knn: the query sequence
+  std::size_t k = 0;              // knn
+  std::vector<Pipeline> pipelines;
+  ThresholdKind threshold = ThresholdKind::kNone;
+  double threshold_value = 0.0;
+  AlgorithmChoice algorithm = AlgorithmChoice::kDefault;
+  ApplyChoice apply = ApplyChoice::kDefault;
+  GroupingChoice grouping = GroupingChoice::kDefault;
+  std::size_t grouping_value = 0;
+  bool ordered = false;
+};
+
+/// Parses one query. Errors carry the byte position of the offending token.
+Result<ParsedQuery> Parse(std::string_view input);
+
+}  // namespace tsq::lang
+
+#endif  // TSQ_LANG_PARSER_H_

@@ -1,0 +1,52 @@
+#ifndef TSQ_RSTAR_JOIN_H_
+#define TSQ_RSTAR_JOIN_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "rstar/rstar_tree.h"
+
+namespace tsq::rstar {
+
+/// A rectangle-pair predicate used to prune the synchronized traversal. Must
+/// be *monotone*: whenever it rejects a pair of rectangles, it must also
+/// reject every pair of rectangles contained in them. (Intersection tests and
+/// transformed-intersection tests are monotone.)
+using JoinPredicate = std::function<bool(const Rect&, const Rect&)>;
+
+/// Receives each qualifying pair of leaf entries (one from each tree). The
+/// entry rects passed to the callback are the *original* (unmapped) ones.
+using JoinCallback =
+    std::function<void(const Entry& left, const Entry& right)>;
+
+/// Optional per-side rectangle preprocessing (e.g. applying a transformation
+/// MBR, Section 4.1's join): applied once per entry when its node is first
+/// loaded, so the cost is not paid per candidate pair.
+using RectMap = std::function<Rect(const Rect&)>;
+
+struct JoinOptions {
+  RectMap left_map;   // identity when empty
+  RectMap right_map;  // identity when empty
+};
+
+/// R-tree spatial join by synchronized depth-first traversal (Brinkhoff,
+/// Kriegel, Seeger; SIGMOD 1993 — without the plane-sweep refinement).
+///
+/// Descends both trees in lockstep, pruning any node pair whose (mapped)
+/// bounding rects fail `predicate`, and invokes `callback` on every
+/// qualifying pair of leaf entries. Nodes are read through a join-local
+/// cache (each page is fetched from the file at most once per join, the
+/// behaviour of a buffered R*-tree), and `left_stats`/`right_stats` count
+/// those physical fetches. The trees may be the same object (self-join); the
+/// callback then sees each unordered pair twice (plus identity pairs) —
+/// filter by id in the callback.
+Status SpatialJoin(const RStarTree& left, const RStarTree& right,
+                   const JoinPredicate& predicate,
+                   const JoinCallback& callback,
+                   SearchStats* left_stats = nullptr,
+                   SearchStats* right_stats = nullptr,
+                   const JoinOptions& options = JoinOptions());
+
+}  // namespace tsq::rstar
+
+#endif  // TSQ_RSTAR_JOIN_H_

@@ -1,0 +1,166 @@
+#include "rstar/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tsq::rstar {
+
+Rect::Rect(std::vector<double> low, std::vector<double> high)
+    : low_(std::move(low)), high_(std::move(high)) {
+  TSQ_CHECK_EQ(low_.size(), high_.size());
+  for (std::size_t d = 0; d < low_.size(); ++d) {
+    TSQ_DCHECK(low_[d] <= high_[d])
+        << "invalid rect bounds in dim " << d << ": " << low_[d] << " > "
+        << high_[d];
+  }
+}
+
+Rect Rect::FromPoint(const Point& point) {
+  return Rect(point, point);
+}
+
+Rect Rect::Empty(std::size_t dimensions) {
+  Rect r;
+  r.low_.assign(dimensions, std::numeric_limits<double>::infinity());
+  r.high_.assign(dimensions, -std::numeric_limits<double>::infinity());
+  return r;
+}
+
+bool Rect::empty() const {
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    if (low_[d] > high_[d]) return true;
+  }
+  return dimensions() == 0;
+}
+
+double Rect::Area() const {
+  double area = 1.0;
+  for (std::size_t d = 0; d < dimensions(); ++d) area *= Extent(d);
+  return area;
+}
+
+double Rect::Margin() const {
+  double margin = 0.0;
+  for (std::size_t d = 0; d < dimensions(); ++d) margin += Extent(d);
+  return margin;
+}
+
+double Rect::CenterSquaredDistance(const Rect& other) const {
+  TSQ_DCHECK(dimensions() == other.dimensions());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    const double diff = Center(d) - other.Center(d);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  TSQ_DCHECK(dimensions() == other.dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    if (low_[d] > other.high_[d] || other.low_[d] > high_[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  TSQ_DCHECK(dimensions() == other.dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    if (other.low_[d] < low_[d] || other.high_[d] > high_[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::ContainsPoint(const Point& point) const {
+  TSQ_DCHECK(dimensions() == point.size());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    if (point[d] < low_[d] || point[d] > high_[d]) return false;
+  }
+  return true;
+}
+
+void Rect::Enlarge(const Rect& other) {
+  TSQ_DCHECK(dimensions() == other.dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    low_[d] = std::min(low_[d], other.low_[d]);
+    high_[d] = std::max(high_[d], other.high_[d]);
+  }
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  Rect grown = *this;
+  grown.Enlarge(other);
+  return grown.Area() - Area();
+}
+
+double Rect::OverlapArea(const Rect& other) const {
+  TSQ_DCHECK(dimensions() == other.dimensions());
+  double area = 1.0;
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    const double lo = std::max(low_[d], other.low_[d]);
+    const double hi = std::min(high_[d], other.high_[d]);
+    if (lo > hi) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+double Rect::MinSquaredDistance(const Point& point) const {
+  TSQ_DCHECK(dimensions() == point.size());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    double diff = 0.0;
+    if (point[d] < low_[d]) {
+      diff = low_[d] - point[d];
+    } else if (point[d] > high_[d]) {
+      diff = point[d] - high_[d];
+    }
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double Rect::MinMaxSquaredDistance(const Point& point) const {
+  TSQ_DCHECK(dimensions() == point.size());
+  const std::size_t dims = dimensions();
+  TSQ_DCHECK(dims > 0);
+  // Precompute per-dimension contributions.
+  // rm_k = distance to the nearer face along k; rM_k = to the farther face.
+  std::vector<double> rm2(dims), rM2(dims);
+  double total_rM2 = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double mid = Center(d);
+    const double rm = point[d] <= mid ? low_[d] : high_[d];
+    const double rM = point[d] >= mid ? low_[d] : high_[d];
+    rm2[d] = (point[d] - rm) * (point[d] - rm);
+    rM2[d] = (point[d] - rM) * (point[d] - rM);
+    total_rM2 += rM2[d];
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < dims; ++d) {
+    best = std::min(best, total_rM2 - rM2[d] + rm2[d]);
+  }
+  return best;
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    if (d > 0) os << "x";
+    os << "(" << low_[d] << ".." << high_[d] << ")";
+  }
+  return os.str();
+}
+
+Rect BoundingRect(std::span<const Rect> rects) {
+  TSQ_CHECK(!rects.empty());
+  Rect out = rects.front();
+  for (std::size_t i = 1; i < rects.size(); ++i) out.Enlarge(rects[i]);
+  return out;
+}
+
+}  // namespace tsq::rstar

@@ -1,0 +1,100 @@
+#ifndef TSQ_RSTAR_RECT_H_
+#define TSQ_RSTAR_RECT_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsq::rstar {
+
+/// A point in d-dimensional space.
+using Point = std::vector<double>;
+
+/// An axis-aligned d-dimensional rectangle [low_i, high_i] per dimension.
+///
+/// Used for R*-tree node/entry bounding boxes, for transformation MBRs and
+/// for query regions. Degenerate rectangles (low == high) represent points.
+class Rect {
+ public:
+  Rect() = default;
+
+  /// Constructs from explicit bounds. Requires equal sizes and
+  /// low[i] <= high[i] for all i.
+  Rect(std::vector<double> low, std::vector<double> high);
+
+  /// A degenerate rectangle covering exactly `point`.
+  static Rect FromPoint(const Point& point);
+
+  /// The "empty" rectangle of dimension d (low = +inf, high = -inf), the
+  /// identity for Enlarge.
+  static Rect Empty(std::size_t dimensions);
+
+  std::size_t dimensions() const { return low_.size(); }
+  bool empty() const;
+
+  double low(std::size_t dim) const { return low_[dim]; }
+  double high(std::size_t dim) const { return high_[dim]; }
+  std::span<const double> lows() const { return low_; }
+  std::span<const double> highs() const { return high_; }
+
+  void set_low(std::size_t dim, double v) { low_[dim] = v; }
+  void set_high(std::size_t dim, double v) { high_[dim] = v; }
+
+  /// Side length along `dim` (0 for points, never negative for valid rects).
+  double Extent(std::size_t dim) const { return high_[dim] - low_[dim]; }
+
+  /// Product of extents. 0 for degenerate rectangles.
+  double Area() const;
+
+  /// Sum of extents (the R*-split "margin" objective).
+  double Margin() const;
+
+  /// Center coordinate along `dim`.
+  double Center(std::size_t dim) const { return 0.5 * (low_[dim] + high_[dim]); }
+
+  /// Squared Euclidean distance between the centers of two rects.
+  double CenterSquaredDistance(const Rect& other) const;
+
+  /// Closed-interval intersection test.
+  bool Intersects(const Rect& other) const;
+
+  /// True when `other` lies fully inside this rect.
+  bool Contains(const Rect& other) const;
+  bool ContainsPoint(const Point& point) const;
+
+  /// Grows this rect to cover `other`.
+  void Enlarge(const Rect& other);
+
+  /// Area increase if this rect were enlarged to cover `other`.
+  double Enlargement(const Rect& other) const;
+
+  /// Area of the intersection with `other` (0 when disjoint).
+  double OverlapArea(const Rect& other) const;
+
+  /// MINDIST of Roussopoulos et al.: squared distance from `point` to the
+  /// nearest face of the rect; 0 if the point is inside. Lower-bounds the
+  /// squared distance from `point` to anything inside the rect.
+  double MinSquaredDistance(const Point& point) const;
+
+  /// MINMAXDIST of Roussopoulos et al.: the smallest upper bound on the
+  /// squared distance from `point` to the nearest *object contained in* the
+  /// rect (every face of an R-tree MBR touches at least one object).
+  double MinMaxSquaredDistance(const Point& point) const;
+
+  /// "(lo..hi)x(lo..hi)" rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Rect&) const = default;
+
+ private:
+  std::vector<double> low_;
+  std::vector<double> high_;
+};
+
+/// MBR of a set of rectangles. Requires a non-empty span.
+Rect BoundingRect(std::span<const Rect> rects);
+
+}  // namespace tsq::rstar
+
+#endif  // TSQ_RSTAR_RECT_H_

@@ -1,0 +1,61 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace tsq::storage {
+
+BufferPool::BufferPool(PageFile* file, std::size_t capacity)
+    : file_(file), capacity_(capacity) {
+  TSQ_CHECK(file != nullptr);
+  TSQ_CHECK_GE(capacity, std::size_t{1});
+}
+
+void BufferPool::Touch(Entry& entry, PageId id) {
+  lru_.erase(entry.lru_position);
+  lru_.push_front(id);
+  entry.lru_position = lru_.begin();
+}
+
+void BufferPool::InsertAndMaybeEvict(PageId id, const Page& page) {
+  if (entries_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(id);
+  entries_[id] = Entry{page, lru_.begin()};
+}
+
+Status BufferPool::Read(PageId id, Page* out) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    Touch(it->second, id);
+    *out = it->second.page;
+    return Status::Ok();
+  }
+  ++stats_.misses;
+  TSQ_RETURN_IF_ERROR(file_->Read(id, out));
+  InsertAndMaybeEvict(id, *out);
+  return Status::Ok();
+}
+
+Status BufferPool::Write(PageId id, const Page& page) {
+  TSQ_RETURN_IF_ERROR(file_->Write(id, page));
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.page = page;
+    Touch(it->second, id);
+  } else {
+    InsertAndMaybeEvict(id, page);
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace tsq::storage

@@ -1,0 +1,70 @@
+#ifndef TSQ_STORAGE_BUFFER_POOL_H_
+#define TSQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace tsq::storage {
+
+/// Cache statistics. `misses` equals the number of physical page reads the
+/// pool issued against the backing file.
+struct BufferPoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// A simple LRU buffer pool over a PageFile.
+///
+/// Executors can run either directly against the PageFile (cold reads, the
+/// accounting the paper's experiments use) or through a pool to study how
+/// caching changes the disk-access picture. Pages are read-mostly in this
+/// workload; writes go through the pool and are written back immediately
+/// (write-through), keeping recovery concerns out of scope.
+class BufferPool {
+ public:
+  /// Creates a pool holding at most `capacity` pages. Requires capacity >= 1.
+  BufferPool(PageFile* file, std::size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Reads `id` through the cache.
+  Status Read(PageId id, Page* out);
+
+  /// Write-through: updates both the cache entry and the backing file.
+  Status Write(PageId id, const Page& page);
+
+  /// Drops every cached page (e.g. between benchmark queries to model a cold
+  /// cache).
+  void Clear();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  std::size_t cached_pages() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Page page;
+    std::list<PageId>::iterator lru_position;
+  };
+
+  void Touch(Entry& entry, PageId id);
+  void InsertAndMaybeEvict(PageId id, const Page& page);
+
+  PageFile* file_;
+  std::size_t capacity_;
+  std::unordered_map<PageId, Entry> entries_;
+  std::list<PageId> lru_;  // front = most recently used
+  BufferPoolStats stats_;
+};
+
+}  // namespace tsq::storage
+
+#endif  // TSQ_STORAGE_BUFFER_POOL_H_

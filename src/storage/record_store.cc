@@ -1,0 +1,158 @@
+#include "storage/record_store.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace tsq::storage {
+
+RecordStore::RecordStore(PageFile* file) : file_(file) {
+  TSQ_CHECK(file != nullptr);
+}
+
+Result<RecordId> RecordStore::Append(std::span<const std::uint8_t> payload) {
+  // Start a fresh page when there is no room for even the header plus one
+  // payload byte (or for the header of an empty record).
+  const std::uint32_t min_space =
+      kHeaderSize + (payload.empty() ? 0u : 1u);
+  if (current_page_ == kInvalidPageId || cursor_ + min_space > kPageSize) {
+    current_page_ = file_->Allocate();
+    cursor_ = 0;
+  }
+
+  const RecordId id{current_page_, cursor_};
+  Page page;
+  TSQ_RETURN_IF_ERROR(file_->Read(current_page_, &page));
+
+  const std::uint32_t total = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(page.bytes.data() + cursor_, &total, kHeaderSize);
+  cursor_ += kHeaderSize;
+
+  std::size_t written = 0;
+  while (true) {
+    const std::size_t space = kPageSize - cursor_;
+    const std::size_t chunk = std::min(space, payload.size() - written);
+    std::memcpy(page.bytes.data() + cursor_, payload.data() + written, chunk);
+    written += chunk;
+    cursor_ += static_cast<std::uint32_t>(chunk);
+    TSQ_RETURN_IF_ERROR(file_->Write(current_page_, page));
+    if (written == payload.size()) break;
+    // Continue on a fresh page; freshly allocated pages are consecutive, so
+    // Get can follow the record by incrementing the page id.
+    const PageId next = file_->Allocate();
+    TSQ_CHECK_EQ(next, current_page_ + 1);
+    current_page_ = next;
+    cursor_ = 0;
+    TSQ_RETURN_IF_ERROR(file_->Read(current_page_, &page));
+  }
+  ++record_count_;
+  return id;
+}
+
+Result<std::vector<std::uint8_t>> RecordStore::Get(RecordId id) const {
+  Page page;
+  TSQ_RETURN_IF_ERROR(file_->Read(id.page, &page));
+  if (id.offset + kHeaderSize > kPageSize) {
+    return Status::OutOfRange("record offset beyond page");
+  }
+  std::uint32_t total = 0;
+  std::memcpy(&total, page.bytes.data() + id.offset, kHeaderSize);
+
+  std::vector<std::uint8_t> payload(total);
+  std::size_t read = 0;
+  PageId page_id = id.page;
+  std::size_t cursor = id.offset + kHeaderSize;
+  while (read < total) {
+    if (cursor >= kPageSize) {
+      ++page_id;
+      cursor = 0;
+      TSQ_RETURN_IF_ERROR(file_->Read(page_id, &page));
+    }
+    const std::size_t chunk = std::min(kPageSize - cursor,
+                                       static_cast<std::size_t>(total) - read);
+    std::memcpy(payload.data() + read, page.bytes.data() + cursor, chunk);
+    read += chunk;
+    cursor += chunk;
+  }
+  return payload;
+}
+
+Result<std::vector<std::uint8_t>> RecordStore::GetRange(
+    RecordId id, std::size_t byte_offset, std::size_t length) const {
+  Page page;
+  TSQ_RETURN_IF_ERROR(file_->Read(id.page, &page));
+  if (id.offset + kHeaderSize > kPageSize) {
+    return Status::OutOfRange("record offset beyond page");
+  }
+  std::uint32_t total = 0;
+  std::memcpy(&total, page.bytes.data() + id.offset, kHeaderSize);
+  if (byte_offset + length > total) {
+    return Status::OutOfRange("range exceeds record payload");
+  }
+
+  // Payload layout: the first fragment fills the header page, the rest
+  // continues on consecutive pages from byte 0.
+  const std::size_t first_fragment = kPageSize - (id.offset + kHeaderSize);
+  std::vector<std::uint8_t> out(length);
+  std::size_t produced = 0;
+  std::size_t cursor_offset = byte_offset;
+  PageId page_id;
+  std::size_t cursor;
+  bool page_loaded;
+  if (cursor_offset < first_fragment) {
+    page_id = id.page;
+    cursor = id.offset + kHeaderSize + cursor_offset;
+    page_loaded = true;  // header page already in hand
+  } else {
+    const std::size_t rest = cursor_offset - first_fragment;
+    page_id = id.page + 1 + static_cast<PageId>(rest / kPageSize);
+    cursor = rest % kPageSize;
+    page_loaded = false;
+  }
+  while (produced < length) {
+    if (!page_loaded) {
+      TSQ_RETURN_IF_ERROR(file_->Read(page_id, &page));
+      page_loaded = true;
+    }
+    const std::size_t chunk =
+        std::min(kPageSize - cursor, length - produced);
+    std::memcpy(out.data() + produced, page.bytes.data() + cursor, chunk);
+    produced += chunk;
+    cursor += chunk;
+    if (cursor >= kPageSize) {
+      ++page_id;
+      cursor = 0;
+      page_loaded = false;
+    }
+  }
+  return out;
+}
+
+Result<ts::Series> RecordStore::GetSeriesRange(RecordId id, std::size_t first,
+                                               std::size_t count) const {
+  Result<std::vector<std::uint8_t>> bytes =
+      GetRange(id, first * sizeof(double), count * sizeof(double));
+  if (!bytes.ok()) return bytes.status();
+  ts::Series series(count);
+  std::memcpy(series.data(), bytes->data(), bytes->size());
+  return series;
+}
+
+Result<RecordId> RecordStore::AppendSeries(const ts::Series& series) {
+  std::vector<std::uint8_t> payload(series.size() * sizeof(double));
+  std::memcpy(payload.data(), series.data(), payload.size());
+  return Append(payload);
+}
+
+Result<ts::Series> RecordStore::GetSeries(RecordId id) const {
+  Result<std::vector<std::uint8_t>> payload = Get(id);
+  if (!payload.ok()) return payload.status();
+  if (payload->size() % sizeof(double) != 0) {
+    return Status::Corruption("record size is not a multiple of 8");
+  }
+  ts::Series series(payload->size() / sizeof(double));
+  std::memcpy(series.data(), payload->data(), payload->size());
+  return series;
+}
+
+}  // namespace tsq::storage

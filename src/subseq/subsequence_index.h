@@ -1,0 +1,128 @@
+#ifndef TSQ_SUBSEQ_SUBSEQUENCE_INDEX_H_
+#define TSQ_SUBSEQ_SUBSEQUENCE_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dft/fft.h"
+#include "rstar/rstar_tree.h"
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+#include "transform/feature_layout.h"
+#include "transform/spectral_transform.h"
+#include "ts/series.h"
+
+namespace tsq::subseq {
+
+/// Subsequence similarity search in the style of Faloutsos, Ranganathan &
+/// Manolopoulos (SIGMOD 1994) — the extension of the paper's indexing
+/// technique its Section 2.1 points to — fused with the paper's
+/// multiple-transformation machinery:
+///
+///  * every length-w sliding window of every stored sequence maps to a point
+///    in the same polar DFT feature space the whole-sequence index uses
+///    (windows are normalized first, so matching is shift/scale-invariant
+///    per window, Goldin-Kanellakis style);
+///  * consecutive window points form a *trail*; trails are cut into
+///    sub-trail MBRs by FRM's greedy marginal-cost heuristic, and the MBRs
+///    go into an R*-tree (far fewer entries than one per window);
+///  * a range query draws a safe window around the query's features and
+///    collects intersecting sub-trails; every window offset they cover is
+///    verified exactly against the record store (page reads counted);
+///  * a *set of spectral transformations* can be attached to the query:
+///    exactly as in the paper's Algorithm 1, the transformation MBR is
+///    applied to each sub-trail rectangle during one traversal, and the
+///    post-processing step checks every (offset, transformation) pair.
+struct SubsequenceOptions {
+  /// Sliding-window length (the indexable query length). >= 4.
+  std::size_t window = 64;
+  /// Feature layout of the window points (mean/std dims hold the *window's*
+  /// raw mean/stddev).
+  transform::FeatureLayout layout;
+  /// FRM marginal-cost probe extent: the assumed query half-width added to
+  /// every MBR side when estimating its access cost during trail splitting.
+  double probe_extent = 0.25;
+  /// Hard cap on windows per sub-trail.
+  std::size_t max_subtrail = 64;
+  rstar::TreeOptions tree;
+};
+
+/// One qualifying subsequence occurrence.
+struct SubseqMatch {
+  std::size_t sequence = 0;
+  std::size_t offset = 0;           // window start within the sequence
+  std::size_t transform_index = 0;  // 0 when no transformations were given
+  double distance = 0.0;
+
+  bool operator==(const SubseqMatch&) const = default;
+};
+
+/// Counters in the units of the paper's cost model.
+struct SubseqStats {
+  std::uint64_t index_nodes_accessed = 0;
+  std::uint64_t record_pages_read = 0;
+  std::uint64_t candidate_windows = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t subtrails_hit = 0;
+};
+
+class SubsequenceIndex {
+ public:
+  explicit SubsequenceIndex(SubsequenceOptions options = SubsequenceOptions());
+
+  /// Stores a sequence (length >= window) and indexes all its sliding
+  /// windows; returns the sequence id.
+  Result<std::size_t> AddSequence(const ts::Series& series);
+
+  /// Finds every (sequence, offset[, transformation]) whose normalized
+  /// length-w window satisfies D(t(win), t(q)) < epsilon, where q is the
+  /// normalized query window. With an empty `transforms` span the identity
+  /// is used (plain subsequence matching). `query` must have length
+  /// window().
+  Result<std::vector<SubseqMatch>> RangeSearch(
+      const ts::Series& query, double epsilon,
+      std::span<const transform::SpectralTransform> transforms = {},
+      SubseqStats* stats = nullptr) const;
+
+  /// Reference evaluation scanning every window (ground truth for tests).
+  std::vector<SubseqMatch> BruteForce(
+      const ts::Series& query, double epsilon,
+      std::span<const transform::SpectralTransform> transforms = {}) const;
+
+  std::size_t window() const { return options_.window; }
+  std::size_t sequence_count() const { return sequence_lengths_.size(); }
+  std::size_t window_count() const { return window_count_; }
+  /// Sub-trail MBRs in the tree (the compression FRM buys over one entry
+  /// per window).
+  std::size_t subtrail_count() const { return subtrails_.size(); }
+  const rstar::RStarTree& tree() const { return *tree_; }
+
+ private:
+  struct Subtrail {
+    std::size_t sequence = 0;
+    std::size_t first_offset = 0;
+    std::size_t count = 0;
+  };
+
+  // Feature point of one normalized window.
+  rstar::Point WindowFeatures(std::span<const double> window) const;
+  // FRM cost of an MBR: expected accesses of a probe_extent-sized query.
+  double MbrCost(const rstar::Rect& rect) const;
+
+  SubsequenceOptions options_;
+  std::unique_ptr<dft::FftPlan> plan_;
+  mutable storage::PageFile record_file_;
+  std::unique_ptr<storage::RecordStore> records_;
+  std::vector<storage::RecordId> record_ids_;
+  std::vector<std::size_t> sequence_lengths_;
+  std::vector<Subtrail> subtrails_;
+  mutable storage::PageFile index_file_;
+  std::unique_ptr<rstar::RStarTree> tree_;
+  std::size_t window_count_ = 0;
+};
+
+}  // namespace tsq::subseq
+
+#endif  // TSQ_SUBSEQ_SUBSEQUENCE_INDEX_H_

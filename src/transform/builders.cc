@@ -1,0 +1,212 @@
+#include "transform/builders.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/check.h"
+#include "dft/fft.h"
+
+namespace tsq::transform {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::string Label(const char* prefix, double value) {
+  std::ostringstream os;
+  os << prefix << value;
+  return os.str();
+}
+
+}  // namespace
+
+SpectralTransform MovingAverageTransform(std::size_t n, std::size_t w) {
+  TSQ_CHECK_GE(w, std::size_t{1});
+  TSQ_CHECK_LE(w, n);
+  // Trailing circular window: kernel h_j = 1/w for j in [0, w).
+  std::vector<double> kernel(n, 0.0);
+  for (std::size_t j = 0; j < w; ++j) kernel[j] = 1.0 / static_cast<double>(w);
+  return SpectralTransform(Label("mv", static_cast<double>(w)),
+                           dft::KernelTransfer(kernel));
+}
+
+SpectralTransform MomentumTransform(std::size_t n, std::size_t step) {
+  TSQ_CHECK_GE(step, std::size_t{1});
+  TSQ_CHECK_LT(step, n);
+  // y_i = x_i - x_{i-step}: kernel h_0 = 1, h_step = -1.
+  std::vector<double> kernel(n, 0.0);
+  kernel[0] = 1.0;
+  kernel[step] = -1.0;
+  return SpectralTransform(Label("momentum", static_cast<double>(step)),
+                           dft::KernelTransfer(kernel));
+}
+
+SpectralTransform ShiftTransform(std::size_t n, std::size_t s) {
+  std::vector<dft::Complex> multipliers(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    const double angle = -kTwoPi * static_cast<double>(f) *
+                         static_cast<double>(s) / static_cast<double>(n);
+    multipliers[f] = std::polar(1.0, angle);
+  }
+  return SpectralTransform(Label("shift", static_cast<double>(s)),
+                           std::move(multipliers));
+}
+
+SpectralTransform PaddedShiftTransform(std::size_t n, std::size_t s) {
+  std::vector<dft::Complex> multipliers(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    const double angle = -kTwoPi * static_cast<double>(f) *
+                         static_cast<double>(s) /
+                         static_cast<double>(n + s);
+    multipliers[f] = std::polar(1.0, angle);
+  }
+  return SpectralTransform(Label("pshift", static_cast<double>(s)),
+                           std::move(multipliers));
+}
+
+SpectralTransform ScaleTransform(std::size_t n, double factor) {
+  return SpectralTransform(
+      Label("scale", factor),
+      std::vector<dft::Complex>(n, dft::Complex(factor, 0.0)));
+}
+
+SpectralTransform InvertTransform(std::size_t n) {
+  return SpectralTransform(
+      "invert", std::vector<dft::Complex>(n, dft::Complex(-1.0, 0.0)));
+}
+
+SpectralTransform Inverted(const SpectralTransform& t) {
+  std::vector<dft::Complex> multipliers(t.multipliers().begin(),
+                                        t.multipliers().end());
+  for (auto& m : multipliers) m = -m;
+  return SpectralTransform("inv-" + t.label(), std::move(multipliers));
+}
+
+SpectralTransform WeightedMovingAverageTransform(
+    std::size_t n, std::span<const double> weights) {
+  TSQ_CHECK(!weights.empty());
+  TSQ_CHECK_LE(weights.size(), n);
+  double total = 0.0;
+  for (double w : weights) {
+    TSQ_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TSQ_CHECK(total > 0.0) << "weights must have positive sum";
+  std::vector<double> kernel(n, 0.0);
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    kernel[k] = weights[k] / total;
+  }
+  return SpectralTransform(Label("wma", static_cast<double>(weights.size())),
+                           dft::KernelTransfer(kernel));
+}
+
+SpectralTransform LinearWeightedMovingAverageTransform(std::size_t n,
+                                                       std::size_t w) {
+  TSQ_CHECK_GE(w, std::size_t{1});
+  TSQ_CHECK_LE(w, n);
+  std::vector<double> weights(w);
+  for (std::size_t k = 0; k < w; ++k) {
+    weights[k] = static_cast<double>(w - k);
+  }
+  SpectralTransform t = WeightedMovingAverageTransform(n, weights);
+  return SpectralTransform(Label("lwma", static_cast<double>(w)),
+                           std::vector<dft::Complex>(t.multipliers().begin(),
+                                                     t.multipliers().end()));
+}
+
+SpectralTransform ExponentialMovingAverageTransform(std::size_t n,
+                                                    double alpha,
+                                                    std::size_t depth) {
+  TSQ_CHECK(alpha > 0.0 && alpha <= 1.0);
+  if (depth == 0) {
+    // Depth where the next weight alpha*(1-alpha)^depth drops below 1e-6.
+    double weight = alpha;
+    while (depth < n && weight >= 1e-6) {
+      weight *= (1.0 - alpha);
+      ++depth;
+    }
+    depth = std::max<std::size_t>(depth, 1);
+  }
+  TSQ_CHECK_LE(depth, n);
+  std::vector<double> weights(depth);
+  double weight = alpha;
+  for (std::size_t k = 0; k < depth; ++k) {
+    weights[k] = weight;
+    weight *= (1.0 - alpha);
+  }
+  SpectralTransform t = WeightedMovingAverageTransform(n, weights);
+  return SpectralTransform(Label("ema", alpha),
+                           std::vector<dft::Complex>(t.multipliers().begin(),
+                                                     t.multipliers().end()));
+}
+
+SpectralTransform BandPassTransform(std::size_t n, std::size_t low,
+                                    std::size_t high) {
+  TSQ_CHECK_LE(low, high);
+  std::vector<dft::Complex> multipliers(n, dft::Complex(0.0, 0.0));
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::size_t band = f == 0 ? 0 : std::min(f, n - f);
+    if (band >= low && band <= high) multipliers[f] = dft::Complex(1.0, 0.0);
+  }
+  std::ostringstream label;
+  label << "band" << low << ".." << high;
+  return SpectralTransform(label.str(), std::move(multipliers));
+}
+
+SpectralTransform SecondDifferenceTransform(std::size_t n) {
+  TSQ_CHECK_GE(n, std::size_t{3});
+  std::vector<double> kernel(n, 0.0);
+  kernel[0] = 1.0;
+  kernel[1] = -2.0;
+  kernel[2] = 1.0;
+  return SpectralTransform("diff2", dft::KernelTransfer(kernel));
+}
+
+std::vector<SpectralTransform> MovingAverageRange(std::size_t n,
+                                                  std::size_t first,
+                                                  std::size_t last) {
+  TSQ_CHECK_LE(first, last);
+  std::vector<SpectralTransform> out;
+  out.reserve(last - first + 1);
+  for (std::size_t w = first; w <= last; ++w) {
+    out.push_back(MovingAverageTransform(n, w));
+  }
+  return out;
+}
+
+std::vector<SpectralTransform> ShiftRange(std::size_t n, std::size_t first,
+                                          std::size_t last) {
+  TSQ_CHECK_LE(first, last);
+  std::vector<SpectralTransform> out;
+  out.reserve(last - first + 1);
+  for (std::size_t s = first; s <= last; ++s) {
+    out.push_back(ShiftTransform(n, s));
+  }
+  return out;
+}
+
+std::vector<SpectralTransform> ScaleRange(std::size_t n, double first,
+                                          double last, double step) {
+  TSQ_CHECK(step > 0.0);
+  std::vector<SpectralTransform> out;
+  for (double a = first; a <= last + 1e-12; a += step) {
+    out.push_back(ScaleTransform(n, a));
+  }
+  return out;
+}
+
+std::vector<SpectralTransform> ComposeSpectralSets(
+    const std::vector<SpectralTransform>& first,
+    const std::vector<SpectralTransform>& second) {
+  std::vector<SpectralTransform> out;
+  out.reserve(first.size() * second.size());
+  for (const SpectralTransform& t1 : first) {
+    for (const SpectralTransform& t2 : second) {
+      out.push_back(t2.Compose(t1));
+    }
+  }
+  return out;
+}
+
+}  // namespace tsq::transform

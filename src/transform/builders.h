@@ -1,0 +1,92 @@
+#ifndef TSQ_TRANSFORM_BUILDERS_H_
+#define TSQ_TRANSFORM_BUILDERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "transform/spectral_transform.h"
+
+namespace tsq::transform {
+
+/// The w-day (circular, trailing-window) moving average of sequences of
+/// length n as a spectral transformation. Exact counterpart of
+/// ts::CircularMovingAverage. Requires 1 <= w <= n.
+SpectralTransform MovingAverageTransform(std::size_t n, std::size_t w);
+
+/// Momentum (Section 3.1.1): y_i = x_i - x_{(i-step) mod n}. Exact
+/// counterpart of ts::CircularMomentum. Requires 1 <= step < n.
+SpectralTransform MomentumTransform(std::size_t n, std::size_t step = 1);
+
+/// Circular right shift by s days: y_i = x_{(i-s) mod n}; multiplier
+/// exp(-j*2*pi*f*s/n). Exact counterpart of ts::CircularShift.
+SpectralTransform ShiftTransform(std::size_t n, std::size_t s);
+
+/// The paper's zero-padded approximate shift (Section 3.1.2): multiplier
+/// exp(-j*2*pi*f*s/(n+s)). Approximates ts::PaddedShift for long sequences.
+SpectralTransform PaddedShiftTransform(std::size_t n, std::size_t s);
+
+/// Scaling by a constant factor: y = factor * x.
+SpectralTransform ScaleTransform(std::size_t n, double factor);
+
+/// Inversion (multiply by -1), used in Section 5.2 to create a second
+/// transformation cluster.
+SpectralTransform InvertTransform(std::size_t n);
+
+/// Inverted version of an arbitrary transformation: multiplies every
+/// coefficient by -1 (Section 5.2).
+SpectralTransform Inverted(const SpectralTransform& t);
+
+/// A weighted (circular, trailing) moving average with arbitrary
+/// non-negative weights, most-recent first: y_i = sum_k w_k x_{(i-k) mod n}
+/// / sum(w). Generalizes MovingAverageTransform (uniform weights) and covers
+/// the linearly-weighted MAs of chart analysis. Requires a non-empty weight
+/// vector with positive sum, |weights| <= n.
+SpectralTransform WeightedMovingAverageTransform(
+    std::size_t n, std::span<const double> weights);
+
+/// Linearly-weighted w-day moving average (weights w, w-1, ..., 1).
+SpectralTransform LinearWeightedMovingAverageTransform(std::size_t n,
+                                                       std::size_t w);
+
+/// Truncated exponential moving average: weights alpha*(1-alpha)^k for
+/// k = 0..depth-1, renormalized. `alpha` in (0, 1]; depth defaults to the
+/// point where the tail weight drops below 1e-6 (capped at n).
+SpectralTransform ExponentialMovingAverageTransform(std::size_t n,
+                                                    double alpha,
+                                                    std::size_t depth = 0);
+
+/// Ideal band-pass filter: keeps DFT coefficients with min(f, n-f) in
+/// [low, high] (inclusive), zeroes the rest. low = 0 keeps the DC term.
+/// De-trending ("remove everything slower than f0") is BandPassTransform(n,
+/// f0, n/2); smoothing is BandPassTransform(n, 0, f1).
+SpectralTransform BandPassTransform(std::size_t n, std::size_t low,
+                                    std::size_t high);
+
+/// Second difference (discrete curvature): y_i = x_i - 2 x_{i-1} + x_{i-2}
+/// (circular) — the momentum of the momentum.
+SpectralTransform SecondDifferenceTransform(std::size_t n);
+
+/// The paper's standard transformation sets ------------------------------
+
+/// Moving averages for w = first..last inclusive (e.g. 5..34 in Fig. 6).
+std::vector<SpectralTransform> MovingAverageRange(std::size_t n,
+                                                  std::size_t first,
+                                                  std::size_t last);
+
+/// Shifts for s = first..last inclusive (e.g. 0..10 in Section 3.3).
+std::vector<SpectralTransform> ShiftRange(std::size_t n, std::size_t first,
+                                          std::size_t last);
+
+/// Scale factors (e.g. 2..100 in Section 4.4; ordered under "<").
+std::vector<SpectralTransform> ScaleRange(std::size_t n, double first,
+                                          double last, double step = 1.0);
+
+/// Pairwise composition of two sets (Eq. 11) at the spectral level:
+/// every t1 in `first` followed by every t2 in `second`.
+std::vector<SpectralTransform> ComposeSpectralSets(
+    const std::vector<SpectralTransform>& first,
+    const std::vector<SpectralTransform>& second);
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_BUILDERS_H_

@@ -1,0 +1,136 @@
+#include "transform/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tsq::transform {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TSQ_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+struct Edge {
+  double distance;
+  std::size_t a, b;
+  bool operator<(const Edge& other) const {
+    return distance < other.distance;
+  }
+};
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::vector<Edge> AllEdgesSorted(std::span<const std::vector<double>> points) {
+  std::vector<Edge> edges;
+  edges.reserve(points.size() * (points.size() - 1) / 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      edges.push_back(
+          Edge{std::sqrt(SquaredDistance(points[i], points[j])), i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<std::size_t> LabelsFrom(UnionFind& uf, std::size_t n) {
+  std::vector<std::size_t> labels(n);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.Find(i);
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      labels[i] = roots.size();
+      roots.push_back(root);
+    } else {
+      labels[i] = static_cast<std::size_t>(it - roots.begin());
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<std::size_t> AgglomerativeClusters(
+    std::span<const std::vector<double>> points, std::size_t k) {
+  const std::size_t n = points.size();
+  TSQ_CHECK_GE(n, std::size_t{1});
+  TSQ_CHECK_GE(k, std::size_t{1});
+  TSQ_CHECK_LE(k, n);
+  UnionFind uf(n);
+  std::size_t clusters = n;
+  // Kruskal-style single-link merging until k clusters remain.
+  for (const Edge& edge : AllEdgesSorted(points)) {
+    if (clusters == k) break;
+    if (uf.Union(edge.a, edge.b)) --clusters;
+  }
+  return LabelsFrom(uf, n);
+}
+
+std::vector<std::size_t> DetectClusters(
+    std::span<const std::vector<double>> points, double gap_ratio) {
+  const std::size_t n = points.size();
+  TSQ_CHECK_GE(n, std::size_t{1});
+  if (n == 1) return {0};
+  const std::vector<Edge> edges = AllEdgesSorted(points);
+
+  // Record the sequence of merge distances (single-link dendrogram heights).
+  std::vector<double> merge_distances;
+  {
+    UnionFind uf(n);
+    for (const Edge& edge : edges) {
+      if (uf.Union(edge.a, edge.b)) merge_distances.push_back(edge.distance);
+    }
+  }
+  // Find the first merge whose distance jumps by more than gap_ratio over
+  // the previous one; everything from there on is an inter-cluster link.
+  double cutoff = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < merge_distances.size(); ++i) {
+    if (merge_distances[i - 1] > 0.0 &&
+        merge_distances[i] > gap_ratio * merge_distances[i - 1]) {
+      cutoff = merge_distances[i];
+      break;
+    }
+  }
+  UnionFind uf(n);
+  for (const Edge& edge : edges) {
+    if (edge.distance >= cutoff) break;
+    uf.Union(edge.a, edge.b);
+  }
+  return LabelsFrom(uf, n);
+}
+
+}  // namespace tsq::transform

@@ -1,0 +1,31 @@
+#ifndef TSQ_TRANSFORM_CLUSTER_H_
+#define TSQ_TRANSFORM_CLUSTER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsq::transform {
+
+/// Single-link agglomerative clustering of points in R^d.
+///
+/// The paper (Sections 4.3, 5.2) recommends detecting clusters among the
+/// transformation points so that no MBR spans the gap between two clusters —
+/// it cites CURE, but for the small transformation sets in play (tens of
+/// points) single-link agglomeration is exact and sufficient: two
+/// well-separated clusters are split before any intra-cluster link breaks.
+///
+/// Returns a label in [0, k) per input point.
+std::vector<std::size_t> AgglomerativeClusters(
+    std::span<const std::vector<double>> points, std::size_t k);
+
+/// Chooses the number of clusters automatically: merges greedily and cuts at
+/// the largest relative jump in merge distance (a jump of more than
+/// `gap_ratio` over the previous merge). Returns per-point labels;
+/// the number of clusters is 1 + max(labels).
+std::vector<std::size_t> DetectClusters(
+    std::span<const std::vector<double>> points, double gap_ratio = 3.0);
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_CLUSTER_H_

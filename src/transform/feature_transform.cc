@@ -1,0 +1,75 @@
+#include "transform/feature_transform.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tsq::transform {
+
+FeatureTransform::FeatureTransform(std::vector<double> scale,
+                                   std::vector<double> offset)
+    : scale_(std::move(scale)), offset_(std::move(offset)) {
+  TSQ_CHECK_EQ(scale_.size(), offset_.size());
+}
+
+FeatureTransform FeatureTransform::Identity(std::size_t dimensions) {
+  return FeatureTransform(std::vector<double>(dimensions, 1.0),
+                          std::vector<double>(dimensions, 0.0));
+}
+
+rstar::Point FeatureTransform::Apply(const rstar::Point& x) const {
+  TSQ_CHECK_EQ(x.size(), dimensions());
+  rstar::Point out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    out[d] = scale_[d] * x[d] + offset_[d];
+  }
+  return out;
+}
+
+rstar::Rect FeatureTransform::Apply(const rstar::Rect& rect) const {
+  TSQ_CHECK_EQ(rect.dimensions(), dimensions());
+  std::vector<double> low(dimensions()), high(dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    const double a = scale_[d] * rect.low(d) + offset_[d];
+    const double b = scale_[d] * rect.high(d) + offset_[d];
+    low[d] = std::min(a, b);
+    high[d] = std::max(a, b);
+  }
+  return rstar::Rect(std::move(low), std::move(high));
+}
+
+FeatureTransform FeatureTransform::Compose(
+    const FeatureTransform& inner) const {
+  TSQ_CHECK_EQ(dimensions(), inner.dimensions());
+  std::vector<double> scale(dimensions()), offset(dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    scale[d] = scale_[d] * inner.scale_[d];
+    offset[d] = scale_[d] * inner.offset_[d] + offset_[d];
+  }
+  return FeatureTransform(std::move(scale), std::move(offset));
+}
+
+std::vector<double> FeatureTransform::AsPoint() const {
+  std::vector<double> point;
+  point.reserve(2 * dimensions());
+  for (std::size_t d = 0; d < dimensions(); ++d) {
+    point.push_back(scale_[d]);
+    point.push_back(offset_[d]);
+  }
+  return point;
+}
+
+std::vector<FeatureTransform> ComposeSets(
+    const std::vector<FeatureTransform>& first,
+    const std::vector<FeatureTransform>& second) {
+  std::vector<FeatureTransform> out;
+  out.reserve(first.size() * second.size());
+  for (const FeatureTransform& t1 : first) {
+    for (const FeatureTransform& t2 : second) {
+      out.push_back(t2.Compose(t1));
+    }
+  }
+  return out;
+}
+
+}  // namespace tsq::transform

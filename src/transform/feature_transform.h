@@ -1,0 +1,60 @@
+#ifndef TSQ_TRANSFORM_FEATURE_TRANSFORM_H_
+#define TSQ_TRANSFORM_FEATURE_TRANSFORM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rstar/rect.h"
+
+namespace tsq::transform {
+
+/// The paper's transformation object t = (a, b): a pair of real vectors
+/// acting on a feature vector x as a .* x + b (Section 3.1).
+///
+/// Feature transforms live in index feature space (one (a_i, b_i) pair per
+/// index dimension) and are what transformation MBRs are built from.
+class FeatureTransform {
+ public:
+  /// Requires scale.size() == offset.size().
+  FeatureTransform(std::vector<double> scale, std::vector<double> offset);
+
+  /// The identity over `dimensions` dims (a = 1, b = 0).
+  static FeatureTransform Identity(std::size_t dimensions);
+
+  std::size_t dimensions() const { return scale_.size(); }
+  double scale(std::size_t d) const { return scale_[d]; }
+  double offset(std::size_t d) const { return offset_[d]; }
+
+  /// a .* x + b.
+  rstar::Point Apply(const rstar::Point& x) const;
+
+  /// Image of an axis-aligned rect under this (single) transformation:
+  /// per dimension [min(a*lo, a*hi) + b, max(a*lo, a*hi) + b].
+  rstar::Rect Apply(const rstar::Rect& rect) const;
+
+  /// Composition t3 = this(inner(x)) per Eq. 10:
+  ///   a3 = a_this .* a_inner,  b3 = a_this .* b_inner + b_this.
+  FeatureTransform Compose(const FeatureTransform& inner) const;
+
+  /// The transformation as a point in 2d-dimensional space (a and b vectors
+  /// concatenated, interleaved per dimension) — the representation the
+  /// paper's MBRs bound. Used by clustering/partitioning.
+  std::vector<double> AsPoint() const;
+
+  bool operator==(const FeatureTransform&) const = default;
+
+ private:
+  std::vector<double> scale_;
+  std::vector<double> offset_;
+};
+
+/// Composition of two transformation *sets* per Eq. 11:
+/// T3 = { t2 o t1 : t1 in first, t2 in second } — i.e. every element of
+/// `first` followed by every element of `second`.
+std::vector<FeatureTransform> ComposeSets(
+    const std::vector<FeatureTransform>& first,
+    const std::vector<FeatureTransform>& second);
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_FEATURE_TRANSFORM_H_

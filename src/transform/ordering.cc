@@ -1,0 +1,98 @@
+#include "transform/ordering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "dft/fft.h"
+#include "ts/distance.h"
+
+namespace tsq::transform {
+
+bool IsScaleFamily(std::span<const SpectralTransform> transforms,
+                   double tolerance) {
+  for (const SpectralTransform& t : transforms) {
+    const dft::Complex first = t.multiplier(0);
+    if (std::fabs(first.imag()) > tolerance) return false;
+    for (std::size_t f = 1; f < t.length(); ++f) {
+      if (std::abs(t.multiplier(f) - first) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> DominanceChain(
+    std::span<const SpectralTransform> transforms, double tolerance) {
+  const std::size_t count = transforms.size();
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (count <= 1) return order;
+
+  // Sort by total gain, then verify coefficient-wise dominance along the
+  // chain; dominance is transitive, so adjacent checks suffice.
+  std::vector<double> gain(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t f = 0; f < transforms[i].length(); ++f) {
+      gain[i] += std::norm(transforms[i].multiplier(f));
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&gain](std::size_t a, std::size_t b) { return gain[a] < gain[b]; });
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    const SpectralTransform& lo = transforms[order[i]];
+    const SpectralTransform& hi = transforms[order[i + 1]];
+    TSQ_CHECK_EQ(lo.length(), hi.length());
+    for (std::size_t f = 0; f < lo.length(); ++f) {
+      if (std::abs(lo.multiplier(f)) > std::abs(hi.multiplier(f)) + tolerance) {
+        return {};
+      }
+    }
+  }
+  return order;
+}
+
+std::size_t MonotonePrefixLength(
+    std::size_t count, const std::function<bool(std::size_t)>& pred) {
+  // Invariant: everything before `lo` is true, everything from `hi` on is
+  // false.
+  std::size_t lo = 0, hi = count;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool EmpiricallyOrdered(std::span<const SpectralTransform> transforms,
+                        std::span<const ts::Series> samples,
+                        double tolerance) {
+  // Precompute transformed versions of every sample under every transform.
+  std::vector<std::vector<ts::Series>> transformed(transforms.size());
+  for (std::size_t t = 0; t < transforms.size(); ++t) {
+    transformed[t].reserve(samples.size());
+    for (const ts::Series& s : samples) {
+      transformed[t].push_back(transforms[t].ApplyToSeries(s));
+    }
+  }
+  for (std::size_t i = 0; i < transforms.size(); ++i) {
+    for (std::size_t j = i + 1; j < transforms.size(); ++j) {
+      for (std::size_t a = 0; a < samples.size(); ++a) {
+        for (std::size_t b = a + 1; b < samples.size(); ++b) {
+          const double d_i =
+              ts::EuclideanDistance(transformed[i][a], transformed[i][b]);
+          const double d_j =
+              ts::EuclideanDistance(transformed[j][a], transformed[j][b]);
+          if (d_i > d_j + tolerance) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tsq::transform

@@ -1,0 +1,49 @@
+#ifndef TSQ_TRANSFORM_ORDERING_H_
+#define TSQ_TRANSFORM_ORDERING_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "transform/spectral_transform.h"
+#include "ts/series.h"
+
+namespace tsq::transform {
+
+/// Section 4.4: an ordering t_l <= t_k of a transformation set holds when
+/// D(t_l(x), t_l(y)) <= D(t_k(x), t_k(y)) for all sequences x, y. When it
+/// holds, post-processing can binary-search for the boundary transformation
+/// instead of checking all |T| of them.
+
+/// True when every transformation is a constant real multiplier (a scale
+/// factor), the family Lemma 2 proves to be ordered by |factor|.
+bool IsScaleFamily(std::span<const SpectralTransform> transforms,
+                   double tolerance = 1e-12);
+
+/// For a family of spectral transforms, per-transform "gain" under which the
+/// family is ordered *if* multipliers are uniformly dominated: transform l
+/// precedes k when |M_l(f)| <= |M_k(f)| for every coefficient f. Returns the
+/// permutation sorting the set into such a chain, or an empty vector when no
+/// chain exists (e.g. moving averages: Lemma 3/4 show they admit no
+/// ordering).
+std::vector<std::size_t> DominanceChain(
+    std::span<const SpectralTransform> transforms, double tolerance = 1e-12);
+
+/// Counts the length of the true prefix of a monotone predicate over
+/// [0, count): pred is true on a (possibly empty) prefix and false on the
+/// rest; finds the boundary in O(log count) evaluations.
+std::size_t MonotonePrefixLength(std::size_t count,
+                                 const std::function<bool(std::size_t)>& pred);
+
+/// Empirically falsifies an ordering claim: returns true when, for every
+/// pair (i, j) with i < j in `transforms` and every pair of sample
+/// sequences, D(t_i(x), t_i(y)) <= D(t_j(x), t_j(y)). Used by the
+/// Lemma 2/3/4 tests.
+bool EmpiricallyOrdered(std::span<const SpectralTransform> transforms,
+                        std::span<const ts::Series> samples,
+                        double tolerance = 1e-9);
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_ORDERING_H_

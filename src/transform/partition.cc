@@ -1,0 +1,119 @@
+#include "transform/partition.h"
+
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "transform/cluster.h"
+
+namespace tsq::transform {
+
+Partition PartitionAll(std::size_t count) {
+  TSQ_CHECK_GE(count, std::size_t{1});
+  Partition partition(1);
+  partition[0].resize(count);
+  std::iota(partition[0].begin(), partition[0].end(), std::size_t{0});
+  return partition;
+}
+
+Partition PartitionSingletons(std::size_t count) {
+  TSQ_CHECK_GE(count, std::size_t{1});
+  Partition partition(count);
+  for (std::size_t i = 0; i < count; ++i) partition[i] = {i};
+  return partition;
+}
+
+Partition PartitionBySize(std::size_t count, std::size_t per_group) {
+  TSQ_CHECK_GE(count, std::size_t{1});
+  TSQ_CHECK_GE(per_group, std::size_t{1});
+  Partition partition;
+  for (std::size_t start = 0; start < count; start += per_group) {
+    std::vector<std::size_t> group;
+    for (std::size_t i = start; i < std::min(count, start + per_group); ++i) {
+      group.push_back(i);
+    }
+    partition.push_back(std::move(group));
+  }
+  return partition;
+}
+
+Partition PartitionIntoGroups(std::size_t count, std::size_t num_groups) {
+  TSQ_CHECK_GE(num_groups, std::size_t{1});
+  TSQ_CHECK_LE(num_groups, count);
+  Partition partition;
+  partition.reserve(num_groups);
+  std::size_t start = 0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    // Distribute the remainder one element at a time across leading groups.
+    const std::size_t remaining = count - start;
+    const std::size_t groups_left = num_groups - g;
+    const std::size_t size = (remaining + groups_left - 1) / groups_left;
+    std::vector<std::size_t> group;
+    for (std::size_t i = start; i < start + size; ++i) group.push_back(i);
+    start += size;
+    partition.push_back(std::move(group));
+  }
+  TSQ_CHECK_EQ(start, count);
+  return partition;
+}
+
+Partition PartitionByClusters(std::span<const FeatureTransform> transforms,
+                              std::size_t per_group, double gap_ratio) {
+  TSQ_CHECK(!transforms.empty());
+  TSQ_CHECK_GE(per_group, std::size_t{1});
+  std::vector<std::vector<double>> points;
+  points.reserve(transforms.size());
+  for (const FeatureTransform& t : transforms) points.push_back(t.AsPoint());
+  const std::vector<std::size_t> labels = DetectClusters(points, gap_ratio);
+  const std::size_t num_clusters =
+      1 + *std::max_element(labels.begin(), labels.end());
+
+  Partition partition;
+  for (std::size_t cluster = 0; cluster < num_clusters; ++cluster) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < transforms.size(); ++i) {
+      if (labels[i] == cluster) members.push_back(i);
+    }
+    for (std::size_t start = 0; start < members.size(); start += per_group) {
+      std::vector<std::size_t> group;
+      for (std::size_t i = start;
+           i < std::min(members.size(), start + per_group); ++i) {
+        group.push_back(members[i]);
+      }
+      partition.push_back(std::move(group));
+    }
+  }
+  return partition;
+}
+
+Partition PartitionCostBased(std::size_t count, const GroupCostFn& cost) {
+  TSQ_CHECK_GE(count, std::size_t{1});
+  // best[i] = minimal cost of partitioning the first i transformations;
+  // cut[i] = start index of the last group in that optimum.
+  std::vector<double> best(count + 1,
+                           std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> cut(count + 1, 0);
+  best[0] = 0.0;
+  for (std::size_t end = 1; end <= count; ++end) {
+    for (std::size_t start = 0; start < end; ++start) {
+      const double candidate = best[start] + cost(start, end - 1);
+      if (candidate < best[end]) {
+        best[end] = candidate;
+        cut[end] = start;
+      }
+    }
+  }
+  // Reconstruct groups from the cut positions.
+  Partition reversed;
+  std::size_t end = count;
+  while (end > 0) {
+    const std::size_t start = cut[end];
+    std::vector<std::size_t> group;
+    for (std::size_t i = start; i < end; ++i) group.push_back(i);
+    reversed.push_back(std::move(group));
+    end = start;
+  }
+  return Partition(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace tsq::transform

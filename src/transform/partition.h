@@ -1,0 +1,55 @@
+#ifndef TSQ_TRANSFORM_PARTITION_H_
+#define TSQ_TRANSFORM_PARTITION_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "transform/feature_layout.h"
+#include "transform/feature_transform.h"
+
+namespace tsq::transform {
+
+/// A partition of a transformation set into groups; each group gets its own
+/// transformation MBR and its own index traversal (Section 4.3). Groups hold
+/// indices into the original transformation vector.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// All transformations in one MBR (the plain MT-index configuration).
+Partition PartitionAll(std::size_t count);
+
+/// One transformation per MBR — degenerates MT-index to ST-index.
+Partition PartitionSingletons(std::size_t count);
+
+/// Contiguous groups of (at most) `per_group` subsequent transformations —
+/// the x-axis of the paper's Figures 8 and 9 ("# of transformations per
+/// MBR"). Requires per_group >= 1.
+Partition PartitionBySize(std::size_t count, std::size_t per_group);
+
+/// `num_groups` contiguous groups of near-equal size ("we equally
+/// partitioned subsequent transformations", Section 5.2).
+/// Requires 1 <= num_groups <= count.
+Partition PartitionIntoGroups(std::size_t count, std::size_t num_groups);
+
+/// Cluster-aware partitioning (the fix for Fig. 9's bumps): detects clusters
+/// among the transformation points with single-link gap detection, then
+/// splits each cluster into groups of at most `per_group` members so that no
+/// MBR ever spans an inter-cluster gap.
+Partition PartitionByClusters(std::span<const FeatureTransform> transforms,
+                              std::size_t per_group, double gap_ratio = 3.0);
+
+/// Estimated execution cost of running one index traversal for a contiguous
+/// group [first, last] of the transformation set (Eq. 19's per-rectangle
+/// term). Supplied by the query engine's cost model.
+using GroupCostFn =
+    std::function<double(std::size_t first, std::size_t last)>;
+
+/// Optimal contiguous partitioning by dynamic programming: minimizes the sum
+/// of group costs over all ways to cut the (ordered) transformation sequence
+/// into contiguous groups. O(count^2) evaluations of `cost`.
+Partition PartitionCostBased(std::size_t count, const GroupCostFn& cost);
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_PARTITION_H_

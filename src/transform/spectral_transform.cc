@@ -1,0 +1,99 @@
+#include "transform/spectral_transform.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "dft/spectrum.h"
+
+namespace tsq::transform {
+
+SpectralTransform::SpectralTransform(std::string label,
+                                     std::vector<dft::Complex> multipliers)
+    : label_(std::move(label)), multipliers_(std::move(multipliers)) {
+  TSQ_CHECK_GE(multipliers_.size(), std::size_t{1});
+}
+
+SpectralTransform SpectralTransform::Identity(std::size_t n) {
+  return SpectralTransform("identity",
+                           std::vector<dft::Complex>(n, {1.0, 0.0}));
+}
+
+bool SpectralTransform::PreservesRealSequences(double tolerance) const {
+  const std::size_t n = multipliers_.size();
+  if (std::fabs(multipliers_[0].imag()) > tolerance) return false;
+  for (std::size_t f = 1; f < n; ++f) {
+    const dft::Complex expected = std::conj(multipliers_[f]);
+    if (std::abs(multipliers_[n - f] - expected) > tolerance) return false;
+  }
+  return true;
+}
+
+std::vector<dft::Complex> SpectralTransform::ApplyToSpectrum(
+    std::span<const dft::Complex> spectrum) const {
+  TSQ_CHECK_EQ(spectrum.size(), multipliers_.size());
+  std::vector<dft::Complex> out(spectrum.size());
+  for (std::size_t f = 0; f < spectrum.size(); ++f) {
+    out[f] = spectrum[f] * multipliers_[f];
+  }
+  return out;
+}
+
+ts::Series SpectralTransform::ApplyToSeries(std::span<const double> x) const {
+  TSQ_CHECK_EQ(x.size(), multipliers_.size());
+  dft::FftPlan plan(x.size());
+  const std::vector<dft::Complex> spectrum = plan.Forward(x);
+  return plan.InverseReal(ApplyToSpectrum(spectrum));
+}
+
+double SpectralTransform::TransformedSquaredDistance(
+    std::span<const dft::Complex> x, std::span<const dft::Complex> y) const {
+  TSQ_CHECK_EQ(x.size(), multipliers_.size());
+  TSQ_CHECK_EQ(y.size(), multipliers_.size());
+  double acc = 0.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    acc += std::norm(multipliers_[f]) * std::norm(x[f] - y[f]);
+  }
+  return acc;
+}
+
+double SpectralTransform::TransformedToPlainSquaredDistance(
+    std::span<const dft::Complex> x, std::span<const dft::Complex> q) const {
+  TSQ_CHECK_EQ(x.size(), multipliers_.size());
+  TSQ_CHECK_EQ(q.size(), multipliers_.size());
+  double acc = 0.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    acc += std::norm(multipliers_[f] * x[f] - q[f]);
+  }
+  return acc;
+}
+
+SpectralTransform SpectralTransform::Compose(
+    const SpectralTransform& inner) const {
+  TSQ_CHECK_EQ(length(), inner.length());
+  std::vector<dft::Complex> multipliers(length());
+  for (std::size_t f = 0; f < length(); ++f) {
+    multipliers[f] = multipliers_[f] * inner.multipliers_[f];
+  }
+  return SpectralTransform(label_ + "(" + inner.label_ + ")",
+                           std::move(multipliers));
+}
+
+FeatureTransform SpectralTransform::ToFeatureTransform(
+    const FeatureLayout& layout) const {
+  const std::size_t dims = layout.dimensions();
+  std::vector<double> scale(dims, 1.0);
+  std::vector<double> offset(dims, 0.0);
+  for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
+    const std::size_t f = layout.coefficient(i);
+    TSQ_CHECK_LT(f, multipliers_.size());
+    const dft::Polar polar = dft::ToPolar(multipliers_[f]);
+    scale[layout.magnitude_dimension(i)] = polar.magnitude;
+    offset[layout.magnitude_dimension(i)] = 0.0;
+    scale[layout.angle_dimension(i)] = 1.0;
+    offset[layout.angle_dimension(i)] = polar.angle;
+  }
+  return FeatureTransform(std::move(scale), std::move(offset));
+}
+
+}  // namespace tsq::transform

@@ -1,0 +1,87 @@
+#ifndef TSQ_TRANSFORM_SPECTRAL_TRANSFORM_H_
+#define TSQ_TRANSFORM_SPECTRAL_TRANSFORM_H_
+
+#include <complex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dft/fft.h"
+#include "transform/feature_layout.h"
+#include "transform/feature_transform.h"
+#include "ts/series.h"
+
+namespace tsq::transform {
+
+/// A linear transformation of time sequences expressed as a per-DFT-
+/// coefficient complex multiplier.
+///
+/// Every transformation the paper uses — m-day moving average, momentum,
+/// time shift, scaling, inversion — is a circular convolution with a real
+/// kernel (or a scalar multiple), hence acts on the spectrum as
+/// X'_f = M_f * X_f (Eq. 5). In the paper's polar real-vector encoding
+/// t = (a, b) this is a_mag = |M_f|, b_mag = 0 on magnitudes and
+/// a_ang = 1, b_ang = arg(M_f) on angles (Section 3.1.1).
+///
+/// The class carries the full-length multiplier vector, so it can transform
+/// complete sequences (the exact post-processing step of Algorithm 1) and
+/// can be projected onto any FeatureLayout for the index-level machinery.
+class SpectralTransform {
+ public:
+  /// `multipliers[f]` scales DFT coefficient f. `label` is used in query
+  /// results and diagnostics.
+  SpectralTransform(std::string label, std::vector<dft::Complex> multipliers);
+
+  /// The identity transformation of length n.
+  static SpectralTransform Identity(std::size_t n);
+
+  const std::string& label() const { return label_; }
+  std::size_t length() const { return multipliers_.size(); }
+  std::span<const dft::Complex> multipliers() const { return multipliers_; }
+  dft::Complex multiplier(std::size_t f) const { return multipliers_[f]; }
+
+  /// True when the multipliers satisfy M_{n-f} == conj(M_f), i.e. the
+  /// transformation maps real sequences to real sequences. Required for the
+  /// symmetry-property distance doubling to stay a valid lower bound.
+  bool PreservesRealSequences(double tolerance = 1e-9) const;
+
+  /// Applies the transformation to a spectrum: element-wise multiply.
+  std::vector<dft::Complex> ApplyToSpectrum(
+      std::span<const dft::Complex> spectrum) const;
+
+  /// Applies the transformation to a time-domain sequence via FFT.
+  ts::Series ApplyToSeries(std::span<const double> x) const;
+
+  /// Squared Euclidean distance between the transformed versions of two
+  /// spectra, computed directly in the frequency domain (Parseval):
+  ///   D^2(t(x), t(y)) = sum_f |M_f|^2 * |X_f - Y_f|^2.
+  double TransformedSquaredDistance(std::span<const dft::Complex> x,
+                                    std::span<const dft::Complex> y) const;
+
+  /// Squared Euclidean distance between the transformed data sequence and a
+  /// plain (untransformed) query:
+  ///   D^2(t(x), q) = sum_f |M_f X_f - Q_f|^2.
+  /// This is the SIGMOD'97-style semantics ("find sequences whose
+  /// transformed version is similar to the query"), under which unitary
+  /// transformations like time shifts are meaningful — applying a shift to
+  /// both sides would cancel out.
+  double TransformedToPlainSquaredDistance(std::span<const dft::Complex> x,
+                                           std::span<const dft::Complex> q) const;
+
+  /// Composition (this after inner): multiplier product. Exact counterpart
+  /// of Eq. 10 for multiplicative transformations. Requires equal lengths.
+  SpectralTransform Compose(const SpectralTransform& inner) const;
+
+  /// Projects the transformation onto index feature space (Section 3.1):
+  /// per retained coefficient, magnitude dims get (|M_f|, 0) and angle dims
+  /// get (1, arg(M_f)); mean/stddev dims are identity.
+  FeatureTransform ToFeatureTransform(const FeatureLayout& layout) const;
+
+ private:
+  std::string label_;
+  std::vector<dft::Complex> multipliers_;
+};
+
+}  // namespace tsq::transform
+
+#endif  // TSQ_TRANSFORM_SPECTRAL_TRANSFORM_H_

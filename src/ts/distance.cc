@@ -1,0 +1,60 @@
+#include "ts/distance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "ts/series.h"
+
+namespace tsq::ts {
+
+double SquaredEuclideanDistance(std::span<const double> x,
+                                std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double EuclideanDistance(std::span<const double> x, std::span<const double> y) {
+  return std::sqrt(SquaredEuclideanDistance(x, y));
+}
+
+double CityBlockDistance(std::span<const double> x, std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::fabs(x[i] - y[i]);
+  return acc;
+}
+
+double CrossCorrelation(std::span<const double> x, std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  TSQ_CHECK_GE(x.size(), std::size_t{2});
+  const SeriesStats sx = ComputeStats(x);
+  const SeriesStats sy = ComputeStats(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double dot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
+  const double mean_xy = dot / static_cast<double>(x.size());
+  return (mean_xy - sx.mean * sy.mean) / (sx.stddev * sy.stddev);
+}
+
+double CorrelationToSquaredDistance(double rho, std::size_t n) {
+  const double d2 = 2.0 * (static_cast<double>(n) - 1.0 -
+                           static_cast<double>(n) * rho);
+  return d2 < 0.0 ? 0.0 : d2;
+}
+
+double CorrelationToDistanceThreshold(double min_correlation, std::size_t n) {
+  return std::sqrt(CorrelationToSquaredDistance(min_correlation, n));
+}
+
+double SquaredDistanceToCorrelation(double squared_distance, std::size_t n) {
+  TSQ_CHECK_GE(n, std::size_t{1});
+  return (static_cast<double>(n) - 1.0 - squared_distance / 2.0) /
+         static_cast<double>(n);
+}
+
+}  // namespace tsq::ts

@@ -1,0 +1,46 @@
+#ifndef TSQ_TS_DISTANCE_H_
+#define TSQ_TS_DISTANCE_H_
+
+#include <span>
+
+namespace tsq::ts {
+
+/// Squared Euclidean distance sum((x_i - y_i)^2). Requires equal sizes.
+double SquaredEuclideanDistance(std::span<const double> x,
+                                std::span<const double> y);
+
+/// Euclidean distance. Requires equal sizes.
+double EuclideanDistance(std::span<const double> x, std::span<const double> y);
+
+/// City-block (L1) distance. Requires equal sizes.
+double CityBlockDistance(std::span<const double> x, std::span<const double> y);
+
+/// Pearson cross-correlation as the paper's footnote 5 defines it:
+///   rho(X, Y) = (mean(X.*Y) - mean(X)*mean(Y)) / (std(X) * std(Y))
+/// with sample (n-1) standard deviations but a 1/n expectation, the mixed
+/// convention under which Eq. 9 is an exact identity. Note the consequence:
+/// |rho| <= (n-1)/n, i.e. a perfectly correlated pair scores (n-1)/n, not 1
+/// (for n = 128 the ceiling is ~0.9922, which is why the paper's rho >= 0.99
+/// join threshold is a near-duplicate test). Returns 0 when either series is
+/// constant (zero variance). Requires equal sizes >= 2.
+double CrossCorrelation(std::span<const double> x, std::span<const double> y);
+
+/// Eq. 9 forward direction: the squared Euclidean distance between two
+/// *normal-form* sequences of length n implied by correlation `rho`:
+///   D^2 = 2 * (n - 1 - n * rho)
+/// Clamped at 0 (rho close to 1 can make the expression slightly negative).
+double CorrelationToSquaredDistance(double rho, std::size_t n);
+
+/// Eq. 9 as a threshold translator: the Euclidean distance threshold
+/// equivalent to "correlation >= min_correlation" for normal-form sequences
+/// of length n. (Used by every experiment in Section 5: rho = 0.96.)
+double CorrelationToDistanceThreshold(double min_correlation, std::size_t n);
+
+/// Eq. 9 reverse direction: the correlation implied by a squared Euclidean
+/// distance between two normal-form sequences of length n:
+///   rho = (n - 1 - D^2/2) / n
+double SquaredDistanceToCorrelation(double squared_distance, std::size_t n);
+
+}  // namespace tsq::ts
+
+#endif  // TSQ_TS_DISTANCE_H_

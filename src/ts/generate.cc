@@ -1,0 +1,104 @@
+#include "ts/generate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tsq::ts {
+
+Series GenerateRandomWalk(std::size_t length, double step, Rng& rng) {
+  TSQ_CHECK_GE(length, std::size_t{1});
+  Series x(length);
+  double value = 0.0;
+  for (std::size_t t = 0; t < length; ++t) {
+    value += rng.Uniform(-step, step);
+    x[t] = value;
+  }
+  return x;
+}
+
+std::vector<Series> GenerateRandomWalks(const RandomWalkConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Series> out;
+  out.reserve(config.num_series);
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    out.push_back(GenerateRandomWalk(config.length, config.step, rng));
+  }
+  return out;
+}
+
+std::vector<Series> GenerateSeasonal(const SeasonalConfig& config) {
+  TSQ_CHECK_GE(config.num_series, std::size_t{1});
+  TSQ_CHECK_GE(config.length, std::size_t{2});
+  TSQ_CHECK(!config.harmonics.empty());
+  Rng rng(config.seed);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  std::vector<Series> out;
+  out.reserve(config.num_series);
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    Series x(config.length, 0.0);
+    for (const std::size_t harmonic : config.harmonics) {
+      TSQ_CHECK_LT(harmonic, config.length / 2 + 1);
+      const double amplitude =
+          rng.Uniform(config.amplitude_min, config.amplitude_max);
+      const double phase = rng.Uniform(0.0, two_pi);
+      for (std::size_t t = 0; t < config.length; ++t) {
+        x[t] += amplitude *
+                std::cos(two_pi * static_cast<double>(harmonic * t) /
+                             static_cast<double>(config.length) +
+                         phase);
+      }
+    }
+    for (double& v : x) v += config.noise * rng.NextGaussian();
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+std::vector<Series> GenerateStockMarket(const StockMarketConfig& config) {
+  TSQ_CHECK_GE(config.num_series, std::size_t{1});
+  TSQ_CHECK_GE(config.length, std::size_t{2});
+  TSQ_CHECK_GE(config.num_sectors, std::size_t{1});
+  Rng rng(config.seed);
+
+  // Shared factor return paths.
+  std::vector<double> market(config.length);
+  for (double& r : market) r = config.market_vol * rng.NextGaussian();
+  std::vector<std::vector<double>> sectors(config.num_sectors,
+                                           std::vector<double>(config.length));
+  for (auto& sector : sectors) {
+    for (double& r : sector) r = config.sector_vol * rng.NextGaussian();
+  }
+
+  // Sector-level factor loadings; stocks jitter around them, so intra-sector
+  // pairs with small idiosyncratic volatility are near-duplicates (the
+  // rho >= 0.99 join tail) while cross-sector pairs are merely correlated.
+  std::vector<double> sector_beta(config.num_sectors);
+  std::vector<double> sector_gamma(config.num_sectors);
+  for (std::size_t s = 0; s < config.num_sectors; ++s) {
+    sector_beta[s] = rng.Uniform(0.7, 1.3);
+    sector_gamma[s] = rng.Uniform(0.7, 1.3);
+  }
+
+  std::vector<Series> out;
+  out.reserve(config.num_series);
+  for (std::size_t i = 0; i < config.num_series; ++i) {
+    const std::size_t sector = i % config.num_sectors;
+    const double beta = sector_beta[sector] * rng.Uniform(0.97, 1.03);
+    const double gamma = sector_gamma[sector] * rng.Uniform(0.97, 1.03);
+    const double idio_vol =
+        rng.Uniform(config.idio_vol_min, config.idio_vol_max);
+    Series price(config.length);
+    double log_price = std::log(config.start_price);
+    for (std::size_t t = 0; t < config.length; ++t) {
+      const double ret = beta * market[t] + gamma * sectors[sector][t] +
+                         idio_vol * rng.NextGaussian();
+      log_price += ret;
+      price[t] = std::exp(log_price);
+    }
+    out.push_back(std::move(price));
+  }
+  return out;
+}
+
+}  // namespace tsq::ts

@@ -1,0 +1,74 @@
+#ifndef TSQ_TS_GENERATE_H_
+#define TSQ_TS_GENERATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/series.h"
+
+namespace tsq::ts {
+
+/// The paper's synthetic workload (Section 5): random walks
+///   x_t = x_{t-1} + z_t,  z_t ~ Uniform[-step, step]
+/// with step = 500 as in the paper.
+struct RandomWalkConfig {
+  std::size_t num_series = 1000;
+  std::size_t length = 128;
+  double step = 500.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates `config.num_series` independent random walks.
+std::vector<Series> GenerateRandomWalks(const RandomWalkConfig& config);
+
+/// Synthetic replacement for the paper's stock data set (1068 stocks, 128
+/// daily closes, from the long-dead ftp.ai.mit.edu archive).
+///
+/// Prices follow correlated geometric random walks driven by a factor model:
+///   r_t(i) = beta_i * market_t + gamma_i * sector_{s(i),t} + idio_vol_i * e_t
+///   price_t(i) = price_{t-1}(i) * exp(r_t(i))
+/// Stocks in the same sector share the sector factor, producing the heavy
+/// tail of highly-correlated pairs the paper's join experiment (Fig. 7)
+/// depends on; per-stock idiosyncratic volatility is drawn from
+/// [idio_vol_min, idio_vol_max] so some pairs are near-duplicates (join
+/// output non-empty at rho >= 0.99) while most are not.
+struct StockMarketConfig {
+  std::size_t num_series = 1068;  // as in the paper
+  std::size_t length = 128;       // as in the paper
+  std::size_t num_sectors = 30;
+  double market_vol = 0.008;
+  double sector_vol = 0.012;
+  double idio_vol_min = 0.0005;
+  double idio_vol_max = 0.02;
+  double start_price = 100.0;
+  std::uint64_t seed = 1999;
+};
+
+/// Generates `config.num_series` daily closing-price series.
+std::vector<Series> GenerateStockMarket(const StockMarketConfig& config);
+
+/// One series from the paper's random-walk recipe (helper for tests).
+Series GenerateRandomWalk(std::size_t length, double step, Rng& rng);
+
+/// Seasonal workload: each series is a sum of a few shared harmonics with
+/// per-series amplitudes/phases plus noise — energy concentrated at known
+/// DFT coefficients, the classic case for Fourier-based indexing and for
+/// band-pass transformations.
+struct SeasonalConfig {
+  std::size_t num_series = 500;
+  std::size_t length = 128;
+  /// DFT bands carrying the signal (cycles per series length).
+  std::vector<std::size_t> harmonics = {1, 2, 7};
+  double amplitude_min = 0.5;
+  double amplitude_max = 2.0;
+  double noise = 0.2;
+  std::uint64_t seed = 7;
+};
+
+std::vector<Series> GenerateSeasonal(const SeasonalConfig& config);
+
+}  // namespace tsq::ts
+
+#endif  // TSQ_TS_GENERATE_H_

@@ -1,0 +1,59 @@
+#include "ts/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tsq::ts {
+
+Status WriteCsv(const std::string& path, const std::vector<Series>& data) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (const Series& row : data) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<Series>> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<Series> data;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Series row;
+    std::stringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      char* end = nullptr;
+      errno = 0;
+      const double value = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || errno == ERANGE) {
+        std::ostringstream msg;
+        msg << path << ":" << line_number << ": not a number: '" << field
+            << "'";
+        return Status::Corruption(msg.str());
+      }
+      row.push_back(value);
+    }
+    data.push_back(std::move(row));
+  }
+  return data;
+}
+
+}  // namespace tsq::ts

@@ -1,0 +1,25 @@
+#include "ts/normal_form.h"
+
+#include "common/check.h"
+
+namespace tsq::ts {
+
+NormalForm Normalize(std::span<const double> x) {
+  TSQ_CHECK_GE(x.size(), std::size_t{1});
+  const SeriesStats stats = ComputeStats(x);
+  NormalForm out;
+  out.mean = stats.mean;
+  out.stddev = stats.stddev;
+  if (stats.stddev == 0.0) {
+    out.values.assign(x.size(), 0.0);
+    return out;
+  }
+  out.values = AffineMap(x, 1.0 / stats.stddev, -stats.mean / stats.stddev);
+  return out;
+}
+
+Series Denormalize(const NormalForm& normal) {
+  return AffineMap(normal.values, normal.stddev, normal.mean);
+}
+
+}  // namespace tsq::ts

@@ -1,0 +1,35 @@
+#ifndef TSQ_TS_NORMAL_FORM_H_
+#define TSQ_TS_NORMAL_FORM_H_
+
+#include <span>
+
+#include "ts/series.h"
+
+namespace tsq::ts {
+
+/// A series in normal form together with the statistics that were removed.
+///
+/// The normal form of x (Section 3.2) is the transformation
+/// (1/sigma, -mu/sigma) applied element-wise, i.e. (x - mu) / sigma with the
+/// *sample* standard deviation. It minimizes Euclidean distance w.r.t.
+/// scalar shift, and ties the Euclidean distance to cross-correlation via
+/// Eq. 9. The original mean and standard deviation are retained so the raw
+/// series can be reconstructed and, as in the paper's index layout, stored as
+/// extra index dimensions.
+struct NormalForm {
+  Series values;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes the normal form. A constant series (stddev == 0) maps to the
+/// all-zero series with its stddev recorded as 0; Denormalize restores it.
+/// Requires x.size() >= 1.
+NormalForm Normalize(std::span<const double> x);
+
+/// Reconstructs the original series: x = normal * stddev + mean.
+Series Denormalize(const NormalForm& normal);
+
+}  // namespace tsq::ts
+
+#endif  // TSQ_TS_NORMAL_FORM_H_

@@ -1,0 +1,86 @@
+#include "ts/ops.h"
+
+#include "common/check.h"
+
+namespace tsq::ts {
+
+Series CircularMovingAverage(std::span<const double> x, std::size_t w) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(w, std::size_t{1});
+  TSQ_CHECK_LE(w, n);
+  Series out(n, 0.0);
+  // Sliding-window sum over the circular trailing window.
+  double window = 0.0;
+  for (std::size_t k = 0; k < w; ++k) {
+    window += x[(n - k) % n];  // x_0, x_{n-1}, ..., x_{n-w+1}
+  }
+  const double inv_w = 1.0 / static_cast<double>(w);
+  out[0] = window * inv_w;
+  for (std::size_t i = 1; i < n; ++i) {
+    window += x[i] - x[(i + n - w) % n];
+    out[i] = window * inv_w;
+  }
+  return out;
+}
+
+Series MovingAverage(std::span<const double> x, std::size_t w) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(w, std::size_t{1});
+  TSQ_CHECK_LE(w, n);
+  Series out(n - w + 1, 0.0);
+  double window = 0.0;
+  for (std::size_t k = 0; k < w; ++k) window += x[k];
+  const double inv_w = 1.0 / static_cast<double>(w);
+  out[0] = window * inv_w;
+  for (std::size_t i = 1; i + w <= n; ++i) {
+    window += x[i + w - 1] - x[i - 1];
+    out[i] = window * inv_w;
+  }
+  return out;
+}
+
+Series CircularMomentum(std::span<const double> x) {
+  return CircularMomentum(x, 1);
+}
+
+Series CircularMomentum(std::span<const double> x, std::size_t step) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(step, std::size_t{1});
+  TSQ_CHECK_LT(step, n);
+  Series out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = x[i] - x[(i + n - step) % n];
+  }
+  return out;
+}
+
+Series Momentum(std::span<const double> x) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(n, std::size_t{2});
+  Series out(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) out[i] = x[i + 1] - x[i];
+  return out;
+}
+
+Series CircularShift(std::span<const double> x, std::size_t s) {
+  const std::size_t n = x.size();
+  TSQ_CHECK_GE(n, std::size_t{1});
+  Series out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + n - s % n) % n];
+  return out;
+}
+
+Series PaddedShift(std::span<const double> x, std::size_t s) {
+  const std::size_t n = x.size();
+  Series out(n, 0.0);
+  for (std::size_t i = s; i < n; ++i) out[i] = x[i - s];
+  return out;
+}
+
+Series Scale(std::span<const double> x, double factor) {
+  return AffineMap(x, factor, 0.0);
+}
+
+Series Invert(std::span<const double> x) { return Scale(x, -1.0); }
+
+}  // namespace tsq::ts

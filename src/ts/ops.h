@@ -1,0 +1,56 @@
+#ifndef TSQ_TS_OPS_H_
+#define TSQ_TS_OPS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "ts/series.h"
+
+namespace tsq::ts {
+
+/// w-day moving average over a circular (wrap-around) window:
+///   y_i = (1/w) * sum_{k=0}^{w-1} x_{(i-k) mod n}
+/// (a *trailing* window, the convention used in stock chart analysis and the
+/// one that reproduces the paper's Appendix examples). Output has length n.
+/// Requires 1 <= w <= n.
+///
+/// Circular moving average is exactly a circular convolution, so it has an
+/// exact per-coefficient action in the frequency domain
+/// (transform::MovingAverageTransform).
+Series CircularMovingAverage(std::span<const double> x, std::size_t w);
+
+/// w-day moving average over full (non-wrapping) windows:
+///   y_i = (1/w) * sum_{k=0}^{w-1} x_{i+k},  i in [0, n-w]
+/// Output has length n - w + 1. Requires 1 <= w <= n.
+Series MovingAverage(std::span<const double> x, std::size_t w);
+
+/// Circular momentum (the paper's Section 3.1.1 kernel [1, -1, 0, ...]):
+///   y_i = x_i - x_{(i-1) mod n}
+/// Output has length n.
+Series CircularMomentum(std::span<const double> x);
+
+/// n-step circular momentum: y_i = x_i - x_{(i-step) mod n}.
+/// Requires 1 <= step < n.
+Series CircularMomentum(std::span<const double> x, std::size_t step);
+
+/// Non-circular momentum: y_i = x_{i+1} - x_i, output length n - 1.
+/// Requires n >= 2.
+Series Momentum(std::span<const double> x);
+
+/// Circular right-shift by `s` positions: y_i = x_{(i-s) mod n}.
+Series CircularShift(std::span<const double> x, std::size_t s);
+
+/// The paper's Section 3.1.2 shift: pad `s` zeros at the front, drop the
+/// overflow, keeping length n: y_i = 0 for i < s, else x_{i-s}.
+Series PaddedShift(std::span<const double> x, std::size_t s);
+
+/// Scales every value by `factor`.
+Series Scale(std::span<const double> x, double factor);
+
+/// Inverts a series (multiplies by -1); the transformation the paper adds in
+/// Section 5.2 to create a second transformation cluster.
+Series Invert(std::span<const double> x);
+
+}  // namespace tsq::ts
+
+#endif  // TSQ_TS_OPS_H_

@@ -1,0 +1,50 @@
+#include "ts/series.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tsq::ts {
+
+SeriesStats ComputeStats(std::span<const double> x) {
+  TSQ_CHECK_GE(x.size(), std::size_t{1});
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  const double mean = sum / static_cast<double>(x.size());
+  if (x.size() == 1) return SeriesStats{mean, 0.0};
+  double ss = 0.0;
+  for (double v : x) {
+    const double d = v - mean;
+    ss += d * d;
+  }
+  const double var = ss / static_cast<double>(x.size() - 1);
+  return SeriesStats{mean, std::sqrt(var)};
+}
+
+Series AffineMap(std::span<const double> x, double a, double b) {
+  Series out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] + b;
+  return out;
+}
+
+Series Subtract(std::span<const double> x, std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  Series out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::string Preview(std::span<const double> x, std::size_t max_values) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < x.size() && i < max_values; ++i) {
+    if (i > 0) os << ", ";
+    os << x[i];
+  }
+  if (x.size() > max_values) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tsq::ts

@@ -1,0 +1,41 @@
+#ifndef TSQ_TS_SERIES_H_
+#define TSQ_TS_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsq::ts {
+
+/// A time series is a finite sequence of real values, one per time point.
+/// Plain std::vector keeps the numeric kernels composable with the STL.
+using Series = std::vector<double>;
+
+/// Summary statistics of a series.
+///
+/// `stddev` is the *sample* standard deviation (n-1 denominator). The paper's
+/// Eq. 9 -- D^2(X,Y) = 2(n - 1 - n*rho(X,Y)) for normal-form sequences --
+/// holds exactly only under this convention (a normal form then satisfies
+/// sum(x_t^2) = n-1), so the whole library standardizes on it.
+struct SeriesStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes mean and sample standard deviation. Requires x.size() >= 1;
+/// stddev is 0 for length-1 or constant series.
+SeriesStats ComputeStats(std::span<const double> x);
+
+/// Element-wise a*x + b.
+Series AffineMap(std::span<const double> x, double a, double b);
+
+/// Element-wise difference x - y. Requires equal sizes.
+Series Subtract(std::span<const double> x, std::span<const double> y);
+
+/// Renders a short, human-readable preview ("[1, 2, 3, ...]") for logging.
+std::string Preview(std::span<const double> x, std::size_t max_values = 8);
+
+}  // namespace tsq::ts
+
+#endif  // TSQ_TS_SERIES_H_

@@ -1,0 +1,47 @@
+#include "common/check.h"
+
+#include "gtest/gtest.h"
+
+namespace tsq {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  TSQ_CHECK(true);
+  TSQ_CHECK_EQ(1, 1);
+  TSQ_CHECK_NE(1, 2);
+  TSQ_CHECK_LT(1, 2);
+  TSQ_CHECK_LE(2, 2);
+  TSQ_CHECK_GT(3, 2);
+  TSQ_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(TSQ_CHECK(false) << "boom", "CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingComparisonShowsValues) {
+  EXPECT_DEATH(TSQ_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH(TSQ_CHECK(1 > 2) << "custom context 42", "custom context 42");
+}
+
+TEST(CheckTest, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  const auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  TSQ_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH(TSQ_DCHECK(false), "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace tsq

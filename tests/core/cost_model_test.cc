@@ -1,0 +1,133 @@
+#include "core/cost_model.h"
+
+#include "core/range_query.h"
+#include "test_util.h"
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+
+namespace tsq::core {
+namespace {
+
+TEST(CostEq20Test, HandComputedValue) {
+  // Ck = C_DA * sum DA_all + CA_leaf * C_cmp * sum (DA_leaf * NT).
+  const std::vector<GroupRunStats> groups = {
+      GroupRunStats{100, 20, 8, 50},
+      GroupRunStats{60, 10, 8, 30},
+  };
+  const CostConstants constants{1.0, 0.4};
+  const double expected = 1.0 * (100 + 60) + 30.0 * 0.4 * (20 * 8 + 10 * 8);
+  EXPECT_NEAR(CostEq20(groups, 30.0, constants), expected, 1e-9);
+}
+
+TEST(CostEq20Test, EmptyGroupsCostNothing) {
+  EXPECT_EQ(CostEq20({}, 39.0), 0.0);
+}
+
+TEST(CostEq20Test, PaperConstantsAreDefault) {
+  const CostConstants constants;
+  EXPECT_EQ(constants.c_da, 1.0);
+  EXPECT_EQ(constants.c_cmp, 0.4);
+}
+
+class CostEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<Dataset>(testutil::Stocks(300, 128, 21),
+                                         transform::FeatureLayout{});
+    index_ = std::make_unique<SequenceIndex>(*dataset_);
+    estimator_ = std::make_unique<TreeCostEstimator>(*index_);
+  }
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<SequenceIndex> index_;
+  std::unique_ptr<TreeCostEstimator> estimator_;
+};
+
+TEST_F(CostEstimatorTest, LeafCapacityMatchesIndex) {
+  EXPECT_NEAR(estimator_->leaf_capacity(), index_->AverageLeafCapacity(),
+              1e-9);
+  EXPECT_GT(estimator_->leaf_capacity(), 1.0);
+}
+
+TEST_F(CostEstimatorTest, EstimateIsPositiveAndBounded) {
+  const auto& layout = dataset_->layout();
+  std::vector<transform::FeatureTransform> group;
+  for (const auto& t : transform::MovingAverageRange(128, 5, 20)) {
+    group.push_back(t.ToFeatureTransform(layout));
+  }
+  const auto estimate = estimator_->EstimateTraversal(group, 0.5, layout);
+  EXPECT_GT(estimate.da_all, 0.0);
+  EXPECT_GE(estimate.da_all, estimate.da_leaf);
+  // Never more than the whole tree.
+  std::size_t total_nodes = 0;
+  ASSERT_TRUE(index_->tree()
+                  .VisitNodes([&](const rstar::RStarTree::NodeView&) {
+                    ++total_nodes;
+                  })
+                  .ok());
+  EXPECT_LE(estimate.da_all, static_cast<double>(total_nodes) + 1e-9);
+}
+
+TEST_F(CostEstimatorTest, WiderMbrCostsMore) {
+  // A wider transformation rectangle must not be estimated cheaper.
+  const auto& layout = dataset_->layout();
+  std::vector<transform::FeatureTransform> narrow, wide;
+  for (const auto& t : transform::MovingAverageRange(128, 10, 12)) {
+    narrow.push_back(t.ToFeatureTransform(layout));
+  }
+  for (const auto& t : transform::MovingAverageRange(128, 1, 40)) {
+    wide.push_back(t.ToFeatureTransform(layout));
+  }
+  const auto narrow_est = estimator_->EstimateTraversal(narrow, 0.5, layout);
+  const auto wide_est = estimator_->EstimateTraversal(wide, 0.5, layout);
+  EXPECT_GE(wide_est.da_all, narrow_est.da_all);
+}
+
+TEST_F(CostEstimatorTest, LargerEpsilonCostsMore) {
+  const auto& layout = dataset_->layout();
+  std::vector<transform::FeatureTransform> group = {
+      transform::MovingAverageTransform(128, 10).ToFeatureTransform(layout)};
+  const auto small = estimator_->EstimateTraversal(group, 0.1, layout);
+  const auto large = estimator_->EstimateTraversal(group, 2.0, layout);
+  EXPECT_GE(large.da_all, small.da_all);
+}
+
+TEST_F(CostEstimatorTest, GroupCostGrowsWithGroupSize) {
+  // Eq. 19: the comparison term is linear in NT(r).
+  const auto& layout = dataset_->layout();
+  std::vector<transform::FeatureTransform> group = {
+      transform::MovingAverageTransform(128, 10).ToFeatureTransform(layout),
+      transform::MovingAverageTransform(128, 11).ToFeatureTransform(layout)};
+  const double two = EstimateGroupCost(*estimator_, group, 0.5, layout);
+  group.push_back(
+      transform::MovingAverageTransform(128, 12).ToFeatureTransform(layout));
+  const double three = EstimateGroupCost(*estimator_, group, 0.5, layout);
+  EXPECT_GT(three, two);
+}
+
+TEST_F(CostEstimatorTest, MeasuredCostTracksRuntimeOrdering) {
+  // The Fig. 8 claim, in miniature: the Eq. 20 cost evaluated on *measured*
+  // group counters ranks "all singletons" (ST-like) worse than moderate
+  // grouping for a 16-transform MA workload.
+  RangeQuerySpec spec;
+  spec.query = ts::Denormalize(dataset_->normal(0));
+  spec.transforms = transform::MovingAverageRange(128, 10, 25);
+  spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
+
+  const double leaf_capacity = index_->AverageLeafCapacity();
+  auto cost_for = [&](std::size_t per_group) {
+    spec.partition =
+        transform::PartitionBySize(spec.transforms.size(), per_group);
+    std::vector<GroupRunStats> groups;
+    auto result =
+        RunRangeQuery(*dataset_, *index_, spec, Algorithm::kMtIndex, &groups);
+    EXPECT_TRUE(result.ok());
+    return CostEq20(groups, leaf_capacity);
+  };
+  const double singletons = cost_for(1);
+  const double grouped = cost_for(8);
+  EXPECT_LT(grouped, singletons);
+}
+
+}  // namespace
+}  // namespace tsq::core

@@ -1,0 +1,89 @@
+#include "core/dataset.h"
+
+#include "test_util.h"
+#include "gtest/gtest.h"
+#include "ts/distance.h"
+
+namespace tsq::core {
+namespace {
+
+TEST(DatasetTest, BuildsAllDerivedArtifacts) {
+  const auto series = testutil::RandomWalks(20, 128, 1);
+  Dataset dataset(series, transform::FeatureLayout{});
+  EXPECT_EQ(dataset.size(), 20u);
+  EXPECT_EQ(dataset.length(), 128u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.normal(i).values.size(), 128u);
+    EXPECT_EQ(dataset.spectrum(i).size(), 128u);
+    EXPECT_EQ(dataset.features(i).size(), 6u);
+    // Normal forms are zero mean / unit stddev.
+    const ts::SeriesStats stats = ts::ComputeStats(dataset.normal(i).values);
+    EXPECT_NEAR(stats.mean, 0.0, 1e-9);
+    EXPECT_NEAR(stats.stddev, 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetTest, FeaturesMatchSpectra) {
+  const auto series = testutil::RandomWalks(5, 64, 2);
+  transform::FeatureLayout layout;
+  Dataset dataset(series, layout);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& spectrum = dataset.spectrum(i);
+    const auto& features = dataset.features(i);
+    EXPECT_NEAR(features[layout.magnitude_dimension(0)],
+                std::abs(spectrum[1]), 1e-12);
+    EXPECT_NEAR(features[layout.angle_dimension(1)], std::arg(spectrum[2]),
+                1e-12);
+  }
+}
+
+TEST(DatasetTest, FetchSpectrumMatchesInMemorySpectrum) {
+  const auto series = testutil::RandomWalks(10, 128, 3);
+  Dataset dataset(series, transform::FeatureLayout{});
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto fetched = dataset.FetchSpectrum(i);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_EQ(fetched->size(), dataset.spectrum(i).size());
+    for (std::size_t f = 0; f < fetched->size(); ++f) {
+      EXPECT_LT(std::abs((*fetched)[f] - dataset.spectrum(i)[f]), 1e-9);
+    }
+  }
+}
+
+TEST(DatasetTest, FetchCountsPageReads) {
+  const auto series = testutil::RandomWalks(10, 128, 4);
+  Dataset dataset(series, transform::FeatureLayout{});
+  EXPECT_EQ(dataset.record_io().reads, 0u);  // load I/O was reset
+  ASSERT_TRUE(dataset.FetchSpectrum(0).ok());
+  EXPECT_GE(dataset.record_io().reads, 1u);
+  dataset.ResetRecordIo();
+  EXPECT_EQ(dataset.record_io().reads, 0u);
+}
+
+TEST(DatasetTest, RecordPagesScaleWithData) {
+  // A record is the complex spectrum: 256 doubles = 2 KiB, so ~2 records per
+  // 4 KiB page (packed).
+  const auto series = testutil::RandomWalks(100, 128, 5);
+  Dataset dataset(series, transform::FeatureLayout{});
+  EXPECT_GE(dataset.record_pages(), 50u);
+  EXPECT_LE(dataset.record_pages(), 70u);
+}
+
+TEST(DatasetTest, ConstantSeriesHandled) {
+  std::vector<ts::Series> series = {ts::Series(32, 5.0),
+                                    testutil::RandomWalks(1, 32, 6)[0]};
+  Dataset dataset(series, transform::FeatureLayout{});
+  // Constant series: normal form all zeros, features finite.
+  for (double v : dataset.features(0)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(dataset.normal(0).stddev, 0.0);
+}
+
+TEST(DatasetDeathTest, MismatchedLengthsRejected) {
+  std::vector<ts::Series> series = {ts::Series(32, 1.0), ts::Series(64, 1.0)};
+  EXPECT_DEATH(Dataset(series, transform::FeatureLayout{}), "equal length");
+}
+
+}  // namespace
+}  // namespace tsq::core

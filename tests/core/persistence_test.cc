@@ -1,0 +1,126 @@
+#include <fstream>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/range_query.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+
+namespace tsq::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* suffix : {".meta", ".records", ".index"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+  std::string prefix_ = ::testing::TempDir() + "/tsq_persist";
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
+  SimilarityEngine original(testutil::Stocks(120, 128, 60));
+  RangeQuerySpec spec;
+  spec.query = ts::Denormalize(original.dataset().normal(7));
+  spec.transforms = transform::MovingAverageRange(128, 5, 20);
+  spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
+  const auto before = original.RangeQuery(spec, Algorithm::kMtIndex);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), original.size());
+  EXPECT_EQ((*loaded)->length(), original.length());
+  EXPECT_TRUE((*loaded)->index().tree().CheckInvariants().ok());
+
+  // Identical answers and identical index traversal counters.
+  for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
+                              Algorithm::kMtIndex}) {
+    const auto a = original.RangeQuery(spec, algorithm);
+    const auto b = (*loaded)->RangeQuery(spec, algorithm);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::vector<Match> ma = a->matches, mb = b->matches;
+    SortMatches(&ma);
+    SortMatches(&mb);
+    ASSERT_EQ(ma.size(), mb.size()) << AlgorithmName(algorithm);
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].series_id, mb[i].series_id);
+      EXPECT_NEAR(ma[i].distance, mb[i].distance, 1e-9);
+    }
+    EXPECT_EQ(a->stats.index_nodes_accessed, b->stats.index_nodes_accessed);
+  }
+}
+
+TEST_F(PersistenceTest, LoadedEngineSupportsUpdatesAndQueries) {
+  SimilarityEngine original(testutil::RandomWalks(40, 64, 61));
+  ASSERT_TRUE(original.Remove(3).ok());  // persist a tombstone too
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+
+  auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), 39u);
+  EXPECT_TRUE((*loaded)->dataset().removed(3));
+
+  // Insert into the reopened engine and find the new sequence.
+  ts::Series fresh = ts::Denormalize((*loaded)->dataset().normal(0));
+  const auto id = (*loaded)->Insert(fresh);
+  ASSERT_TRUE(id.ok());
+  RangeQuerySpec spec;
+  spec.query = fresh;
+  spec.transforms = {transform::SpectralTransform::Identity(64)};
+  spec.epsilon = 0.1;
+  const auto result = (*loaded)->RangeQuery(spec, Algorithm::kMtIndex);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const Match& m : result->matches) {
+    if (m.series_id == *id) found = true;
+    EXPECT_NE(m.series_id, 3u);  // tombstone stays dead
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE((*loaded)->index().tree().CheckInvariants().ok());
+
+  // Save the mutated engine and reload once more.
+  ASSERT_TRUE((*loaded)->SaveTo(prefix_).ok());
+  const auto again = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->size(), 40u);
+}
+
+TEST_F(PersistenceTest, CustomLayoutSurvivesRoundTrip) {
+  SimilarityEngine::Options options;
+  options.layout.num_coefficients = 3;
+  options.layout.include_mean_std = false;
+  options.layout.use_symmetry = false;
+  SimilarityEngine original(testutil::Stocks(50, 64, 62), options);
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok());
+  const auto& layout = (*loaded)->dataset().layout();
+  EXPECT_EQ(layout.num_coefficients, 3u);
+  EXPECT_FALSE(layout.include_mean_std);
+  EXPECT_FALSE(layout.use_symmetry);
+  EXPECT_EQ((*loaded)->index().tree().dimensions(), 6u);
+}
+
+TEST_F(PersistenceTest, MissingAndCorruptFilesRejected) {
+  EXPECT_EQ(SimilarityEngine::LoadFrom("/nonexistent/prefix").status().code(),
+            StatusCode::kIoError);
+
+  SimilarityEngine original(testutil::RandomWalks(10, 64, 63));
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  // Truncate the meta file.
+  {
+    std::ofstream out(prefix_ + ".meta", std::ios::trunc);
+    out << "tsqmeta 1\nlength 64\n";
+  }
+  EXPECT_EQ(SimilarityEngine::LoadFrom(prefix_).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tsq::core

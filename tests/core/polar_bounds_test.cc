@@ -1,0 +1,121 @@
+#include "core/polar_bounds.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::core {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(PolarBoxMinTest, OverlappingBoxesGiveZero) {
+  EXPECT_EQ(PolarBoxMinSquaredDistance(1.0, 2.0, 0.0, 1.0,  //
+                                       1.5, 3.0, 0.5, 1.5),
+            0.0);
+}
+
+TEST(PolarBoxMinTest, PureMagnitudeGap) {
+  EXPECT_NEAR(PolarBoxMinSquaredDistance(1.0, 2.0, 0.0, 0.0,  //
+                                         3.0, 4.0, 0.0, 0.0),
+              1.0, 1e-12);
+}
+
+TEST(PolarBoxMinTest, PureAngleGapChordDistance) {
+  // Points (magnitude fixed at 1), angle gap of pi/2: chord^2 = 2.
+  EXPECT_NEAR(PolarBoxMinSquaredDistance(1.0, 1.0, 0.0, 0.0,  //
+                                         1.0, 1.0, kPi / 2, kPi / 2),
+              2.0, 1e-9);
+}
+
+TEST(PolarBoxMinTest, OppositeAnglesCanReachZeroViaOrigin) {
+  EXPECT_NEAR(PolarBoxMinSquaredDistance(0.0, 1.0, 0.0, 0.0,  //
+                                         0.0, 1.0, kPi, kPi),
+              0.0, 1e-12);
+}
+
+TEST(PolarBoxMinTest, WrapAroundAngleIntervals) {
+  // [3, 3.3] and [-3.3, -3] overlap modulo 2*pi -> zero distance.
+  EXPECT_NEAR(PolarBoxMinSquaredDistance(1.0, 1.0, 3.0, 3.3,  //
+                                         1.0, 1.0, -3.3, -3.0),
+              0.0, 1e-12);
+}
+
+TEST(PolarBoxMinTest, LowerBoundsSampledPoints) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double a_mlo = rng.Uniform(0.0, 3.0);
+    const double a_mhi = a_mlo + rng.Uniform(0.0, 2.0);
+    const double a_alo = rng.Uniform(-4.0, 4.0);
+    const double a_ahi = a_alo + rng.Uniform(0.0, 2.0);
+    const double b_mlo = rng.Uniform(0.0, 3.0);
+    const double b_mhi = b_mlo + rng.Uniform(0.0, 2.0);
+    const double b_alo = rng.Uniform(-4.0, 4.0);
+    const double b_ahi = b_alo + rng.Uniform(0.0, 2.0);
+    const double bound = PolarBoxMinSquaredDistance(
+        a_mlo, a_mhi, a_alo, a_ahi, b_mlo, b_mhi, b_alo, b_ahi);
+    for (int sample = 0; sample < 20; ++sample) {
+      const std::complex<double> u =
+          std::polar(rng.Uniform(a_mlo, a_mhi), rng.Uniform(a_alo, a_ahi));
+      const std::complex<double> v =
+          std::polar(rng.Uniform(b_mlo, b_mhi), rng.Uniform(b_alo, b_ahi));
+      EXPECT_LE(bound, std::norm(u - v) + 1e-9)
+          << "A mag[" << a_mlo << "," << a_mhi << "] ang[" << a_alo << ","
+          << a_ahi << "] B mag[" << b_mlo << "," << b_mhi << "] ang[" << b_alo
+          << "," << b_ahi << "]";
+    }
+  }
+}
+
+TEST(PolarBoxMinTest, TightForPointBoxes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double ma = rng.Uniform(0.0, 5.0);
+    const double mb = rng.Uniform(0.0, 5.0);
+    const double aa = rng.Uniform(-kPi, kPi);
+    const double ab = rng.Uniform(-kPi, kPi);
+    const double bound =
+        PolarBoxMinSquaredDistance(ma, ma, aa, aa, mb, mb, ab, ab);
+    const double exact = std::norm(std::polar(ma, aa) - std::polar(mb, ab));
+    EXPECT_NEAR(bound, exact, 1e-9);
+  }
+}
+
+TEST(RectBoundsTest, LayoutWeightingAndDimensions) {
+  transform::FeatureLayout layout;  // mean/std + 2 coefficients, symmetry on
+  std::vector<double> lo_a = {0.0, 0.0, 1.0, 0.0, 1.0, 0.0};
+  std::vector<double> hi_a = lo_a;
+  std::vector<double> lo_b = lo_a, hi_b = hi_a;
+  lo_b[2] = hi_b[2] = 2.0;
+  const rstar::Rect a(lo_a, hi_a), b(lo_b, hi_b);
+  EXPECT_NEAR(RectPairSquaredDistanceLowerBound(a, b, layout), 2.0, 1e-12);
+  transform::FeatureLayout no_sym = layout;
+  no_sym.use_symmetry = false;
+  EXPECT_NEAR(RectPairSquaredDistanceLowerBound(a, b, no_sym), 1.0, 1e-12);
+}
+
+TEST(RectBoundsTest, MeanStdDimensionsDoNotContribute) {
+  transform::FeatureLayout layout;
+  std::vector<double> lo_a = {100.0, 5.0, 1.0, 0.0, 1.0, 0.0};
+  std::vector<double> lo_b = {-100.0, 50.0, 1.0, 0.0, 1.0, 0.0};
+  const rstar::Rect a(lo_a, lo_a), b(lo_b, lo_b);
+  EXPECT_EQ(RectPairSquaredDistanceLowerBound(a, b, layout), 0.0);
+}
+
+TEST(RectBoundsTest, PointHelpersConsistent) {
+  transform::FeatureLayout layout;
+  layout.include_mean_std = false;
+  const rstar::Point a = {1.0, 0.5, 2.0, -1.0};
+  const rstar::Point b = {1.5, 0.7, 2.0, -1.0};
+  const double via_points = PointPairSquaredDistanceLowerBound(a, b, layout);
+  const double via_rect = RectPointSquaredDistanceLowerBound(
+      rstar::Rect::FromPoint(a), b, layout);
+  EXPECT_NEAR(via_points, via_rect, 1e-12);
+  EXPECT_GT(via_points, 0.0);
+}
+
+}  // namespace
+}  // namespace tsq::core

@@ -1,0 +1,37 @@
+#ifndef TSQ_TESTS_CORE_TEST_UTIL_H_
+#define TSQ_TESTS_CORE_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/generate.h"
+#include "ts/series.h"
+
+namespace tsq::core::testutil {
+
+/// Small synthetic random-walk workload (the paper's recipe, shrunk for unit
+/// tests).
+inline std::vector<ts::Series> RandomWalks(std::size_t count,
+                                           std::size_t length,
+                                           std::uint64_t seed) {
+  ts::RandomWalkConfig config;
+  config.num_series = count;
+  config.length = length;
+  config.seed = seed;
+  return ts::GenerateRandomWalks(config);
+}
+
+/// Small correlated stock-market workload.
+inline std::vector<ts::Series> Stocks(std::size_t count, std::size_t length,
+                                      std::uint64_t seed) {
+  ts::StockMarketConfig config;
+  config.num_series = count;
+  config.length = length;
+  config.num_sectors = std::max<std::size_t>(2, count / 8);
+  config.seed = seed;
+  return ts::GenerateStockMarket(config);
+}
+
+}  // namespace tsq::core::testutil
+
+#endif  // TSQ_TESTS_CORE_TEST_UTIL_H_

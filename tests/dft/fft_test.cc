@@ -1,0 +1,284 @@
+#include "dft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::dft {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<double> RandomSignal(std::size_t n, Rng& rng) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Uniform(-10.0, 10.0);
+  return x;
+}
+
+double MaxAbsDiff(std::span<const Complex> a, std::span<const Complex> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(PowerOfTwoTest, Detection) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(128));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(127));
+}
+
+TEST(PowerOfTwoTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(129), 256u);
+}
+
+TEST(FftTest, LengthOneIsIdentity) {
+  const std::vector<double> x = {3.5};
+  const auto spectrum = Forward(x);
+  ASSERT_EQ(spectrum.size(), 1u);
+  EXPECT_NEAR(spectrum[0].real(), 3.5, kTol);
+  EXPECT_NEAR(spectrum[0].imag(), 0.0, kTol);
+}
+
+TEST(FftTest, KnownSpectrumOfConstant) {
+  // Constant c of length n has all energy in X_0 = sqrt(n) * c.
+  const std::size_t n = 16;
+  const std::vector<double> x(n, 2.0);
+  const auto spectrum = Forward(x);
+  EXPECT_NEAR(spectrum[0].real(), 2.0 * std::sqrt(16.0), kTol);
+  for (std::size_t f = 1; f < n; ++f) {
+    EXPECT_NEAR(std::abs(spectrum[f]), 0.0, kTol) << "f=" << f;
+  }
+}
+
+TEST(FftTest, KnownSpectrumOfCosine) {
+  // cos(2 pi t / n) concentrates at f = 1 and f = n-1.
+  const std::size_t n = 32;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::cos(2.0 * std::numbers::pi * static_cast<double>(t) /
+                    static_cast<double>(n));
+  }
+  const auto spectrum = Forward(x);
+  EXPECT_NEAR(std::abs(spectrum[1]), std::sqrt(32.0) / 2.0, 1e-8);
+  EXPECT_NEAR(std::abs(spectrum[n - 1]), std::sqrt(32.0) / 2.0, 1e-8);
+  for (std::size_t f = 2; f < n - 1; ++f) {
+    EXPECT_NEAR(std::abs(spectrum[f]), 0.0, 1e-8);
+  }
+}
+
+// --- property sweeps over many lengths (pow2 and not) ---------------------
+
+class FftPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPropertyTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7919);
+  const auto x = RandomSignal(n, rng);
+  EXPECT_LT(MaxAbsDiff(Forward(std::span<const double>(x)), NaiveForward(x)),
+            1e-7);
+}
+
+TEST_P(FftPropertyTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 104729);
+  const auto x = RandomSignal(n, rng);
+  const auto back = InverseReal(Forward(std::span<const double>(x)));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST_P(FftPropertyTest, ParsevalHolds) {
+  // Eq. 7: E(x) == E(X) under the unitary convention.
+  const std::size_t n = GetParam();
+  Rng rng(n * 31337);
+  const auto x = RandomSignal(n, rng);
+  const auto spectrum = Forward(std::span<const double>(x));
+  EXPECT_NEAR(Energy(std::span<const double>(x)),
+              Energy(std::span<const Complex>(spectrum)),
+              1e-7 * (1.0 + Energy(std::span<const double>(x))));
+}
+
+TEST_P(FftPropertyTest, DistancePreserved) {
+  // Eq. 8: D(x, y) == D(X, Y).
+  const std::size_t n = GetParam();
+  Rng rng(n * 13);
+  const auto x = RandomSignal(n, rng);
+  const auto y = RandomSignal(n, rng);
+  double d2_time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    d2_time += (x[i] - y[i]) * (x[i] - y[i]);
+  }
+  const auto fx = Forward(std::span<const double>(x));
+  const auto fy = Forward(std::span<const double>(y));
+  double d2_freq = 0.0;
+  for (std::size_t f = 0; f < n; ++f) d2_freq += std::norm(fx[f] - fy[f]);
+  EXPECT_NEAR(d2_time, d2_freq, 1e-6 * (1.0 + d2_time));
+}
+
+TEST_P(FftPropertyTest, Linearity) {
+  // Eq. 4: DFT(a x + b y) == a X + b Y.
+  const std::size_t n = GetParam();
+  Rng rng(n * 271828);
+  const auto x = RandomSignal(n, rng);
+  const auto y = RandomSignal(n, rng);
+  const double a = rng.Uniform(-3.0, 3.0);
+  const double b = rng.Uniform(-3.0, 3.0);
+  std::vector<double> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = a * x[i] + b * y[i];
+  const auto f_combo = Forward(std::span<const double>(combo));
+  const auto fx = Forward(std::span<const double>(x));
+  const auto fy = Forward(std::span<const double>(y));
+  for (std::size_t f = 0; f < n; ++f) {
+    EXPECT_LT(std::abs(f_combo[f] - (a * fx[f] + b * fy[f])), 1e-7);
+  }
+}
+
+TEST_P(FftPropertyTest, SymmetryOfRealSignals) {
+  // Eq. 6: |X_{n-f}| == |X_f| and X_{n-f} == conj(X_f) for real input.
+  const std::size_t n = GetParam();
+  Rng rng(n * 999331);
+  const auto x = RandomSignal(n, rng);
+  const auto spectrum = Forward(std::span<const double>(x));
+  for (std::size_t f = 1; f < n; ++f) {
+    EXPECT_NEAR(std::abs(spectrum[f]), std::abs(spectrum[n - f]), 1e-8);
+    EXPECT_LT(std::abs(spectrum[n - f] - std::conj(spectrum[f])), 1e-8);
+  }
+}
+
+TEST_P(FftPropertyTest, ConvolutionTheorem) {
+  // Eq. 5 (with unitary scaling): conv(x, y) <-> sqrt(n) X .* Y.
+  const std::size_t n = GetParam();
+  Rng rng(n * 42);
+  const auto x = RandomSignal(n, rng);
+  const auto y = RandomSignal(n, rng);
+  const auto fast = CircularConvolution(x, y);
+  const auto naive = NaiveCircularConvolution(x, y);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-6 * (1.0 + std::fabs(naive[i])));
+  }
+}
+
+TEST_P(FftPropertyTest, KernelTransferMatchesConvolution) {
+  // Transforming via KernelTransfer multipliers equals time-domain circular
+  // convolution.
+  const std::size_t n = GetParam();
+  Rng rng(n * 5);
+  const auto x = RandomSignal(n, rng);
+  std::vector<double> kernel(n, 0.0);
+  kernel[0] = 0.5;
+  kernel[1 % n] = 0.25;
+  kernel[(n - 1) % n] = -0.25;
+  const auto transfer = KernelTransfer(kernel);
+  FftPlan plan(n);
+  auto spectrum = plan.Forward(std::span<const double>(x));
+  for (std::size_t f = 0; f < n; ++f) spectrum[f] *= transfer[f];
+  const auto via_freq = plan.InverseReal(spectrum);
+  const auto via_time = CircularConvolution(x, kernel);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(via_freq[i], via_time[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 27, 31,
+                                           32, 64, 100, 128, 129, 255, 256,
+                                           360, 512, 1000));
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  // delta at t=0: X_f = 1/sqrt(n) for every f.
+  const std::size_t n = 20;
+  std::vector<double> x(n, 0.0);
+  x[0] = 1.0;
+  const auto spectrum = Forward(std::span<const double>(x));
+  for (std::size_t f = 0; f < n; ++f) {
+    EXPECT_NEAR(spectrum[f].real(), 1.0 / std::sqrt(20.0), 1e-10);
+    EXPECT_NEAR(spectrum[f].imag(), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, LargePrimeLengthBluestein) {
+  // 1009 is prime: pure Bluestein path, checked against the naive DFT.
+  const std::size_t n = 1009;
+  Rng rng(1009);
+  const auto x = RandomSignal(n, rng);
+  const auto fast = Forward(std::span<const double>(x));
+  const auto slow = NaiveForward(x);
+  EXPECT_LT(MaxAbsDiff(fast, slow), 1e-6);
+  // Round trip too.
+  const auto back = InverseReal(fast);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-7);
+  }
+}
+
+TEST(FftTest, TimeShiftTheorem) {
+  // x shifted circularly by s has spectrum X_f * exp(-j 2 pi f s / n).
+  const std::size_t n = 48;
+  Rng rng(48);
+  const auto x = RandomSignal(n, rng);
+  std::vector<double> shifted(n);
+  const std::size_t s = 7;
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = x[(i + n - s) % n];
+  const auto fx = Forward(std::span<const double>(x));
+  const auto fs = Forward(std::span<const double>(shifted));
+  for (std::size_t f = 0; f < n; ++f) {
+    const Complex expected =
+        fx[f] * std::polar(1.0, -2.0 * std::numbers::pi *
+                                    static_cast<double>(f * s) /
+                                    static_cast<double>(n));
+    EXPECT_LT(std::abs(fs[f] - expected), 1e-8);
+  }
+}
+
+TEST(FftPlanTest, ReusablePlanMatchesOneShot) {
+  const std::size_t n = 96;
+  FftPlan plan(n);
+  Rng rng(777);
+  for (int round = 0; round < 5; ++round) {
+    const auto x = RandomSignal(n, rng);
+    const auto a = plan.Forward(std::span<const double>(x));
+    const auto b = Forward(std::span<const double>(x));
+    EXPECT_LT(MaxAbsDiff(a, b), kTol);
+  }
+}
+
+TEST(FftPlanTest, ComplexForwardMatchesRealForward) {
+  const std::size_t n = 64;
+  Rng rng(31);
+  const auto x = RandomSignal(n, rng);
+  std::vector<Complex> cx(n);
+  for (std::size_t i = 0; i < n; ++i) cx[i] = Complex(x[i], 0.0);
+  EXPECT_LT(MaxAbsDiff(Forward(std::span<const double>(x)),
+                       Forward(std::span<const Complex>(cx))),
+            kTol);
+}
+
+TEST(FftPlanTest, InverseOfComplexSpectrum) {
+  // Complex (non-symmetric) spectra round-trip through Inverse.
+  const std::size_t n = 24;
+  Rng rng(8);
+  std::vector<Complex> spectrum(n);
+  for (auto& v : spectrum) {
+    v = Complex(rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0));
+  }
+  const auto time = Inverse(spectrum);
+  const auto back = Forward(std::span<const Complex>(time));
+  EXPECT_LT(MaxAbsDiff(back, spectrum), 1e-8);
+}
+
+}  // namespace
+}  // namespace tsq::dft

@@ -1,0 +1,106 @@
+#include "dft/spectrum.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::dft {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(WrapAngleTest, IdentityInsideRange) {
+  EXPECT_NEAR(WrapAngle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(WrapAngle(1.5), 1.5, 1e-12);
+  EXPECT_NEAR(WrapAngle(-1.5), -1.5, 1e-12);
+}
+
+TEST(WrapAngleTest, WrapsMultiplesOfTwoPi) {
+  EXPECT_NEAR(WrapAngle(2.0 * kPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(WrapAngle(-2.0 * kPi - 0.5), -0.5, 1e-12);
+  EXPECT_NEAR(WrapAngle(6.0 * kPi + 1.0), 1.0, 1e-12);
+}
+
+TEST(WrapAngleTest, ResultAlwaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double wrapped = WrapAngle(rng.Uniform(-100.0, 100.0));
+    EXPECT_GE(wrapped, -kPi);
+    EXPECT_LE(wrapped, kPi);
+  }
+}
+
+TEST(AngularDistanceTest, BasicCases) {
+  EXPECT_NEAR(AngularDistance(0.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(AngularDistance(0.0, kPi), kPi, 1e-12);
+  // Wrap-around: -3 and +3 radians are 2*pi - 6 apart.
+  EXPECT_NEAR(AngularDistance(-3.0, 3.0), 2.0 * kPi - 6.0, 1e-12);
+}
+
+TEST(AngularDistanceTest, SymmetricAndBounded) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(-kPi, kPi);
+    const double b = rng.Uniform(-kPi, kPi);
+    EXPECT_NEAR(AngularDistance(a, b), AngularDistance(b, a), 1e-12);
+    EXPECT_LE(AngularDistance(a, b), kPi + 1e-12);
+    EXPECT_GE(AngularDistance(a, b), 0.0);
+  }
+}
+
+TEST(PolarTest, RoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Complex z(rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0));
+    const Complex back = FromPolar(ToPolar(z));
+    EXPECT_LT(std::abs(z - back), 1e-10);
+  }
+}
+
+TEST(PolarTest, SpectrumRoundTrip) {
+  Rng rng(4);
+  std::vector<Complex> spectrum(16);
+  for (auto& v : spectrum) {
+    v = Complex(rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0));
+  }
+  const auto polar = SpectrumToPolar(spectrum);
+  const auto back = SpectrumFromPolar(polar);
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    EXPECT_LT(std::abs(spectrum[i] - back[i]), 1e-10);
+  }
+}
+
+TEST(PolarSquaredDistanceTest, MatchesComplexDistance) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Complex a(rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0));
+    const Complex b(rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0));
+    EXPECT_NEAR(PolarSquaredDistance(ToPolar(a), ToPolar(b)),
+                std::norm(a - b), 1e-9);
+  }
+}
+
+TEST(PolarSquaredDistanceTest, NeverNegative) {
+  // Identical points with rounding noise must clamp at zero.
+  const Polar p{1.0, 0.5};
+  EXPECT_GE(PolarSquaredDistance(p, p), 0.0);
+  EXPECT_NEAR(PolarSquaredDistance(p, p), 0.0, 1e-12);
+}
+
+TEST(SymmetryDefectTest, ZeroForRealSpectra) {
+  // Conjugate-symmetric spectrum (what a real signal produces).
+  std::vector<Complex> spectrum = {
+      {1.0, 0.0}, {0.5, 0.25}, {0.1, -0.3}, {0.1, 0.3}, {0.5, -0.25}};
+  EXPECT_NEAR(SymmetryDefect(spectrum), 0.0, 1e-12);
+}
+
+TEST(SymmetryDefectTest, PositiveForAsymmetricSpectra) {
+  std::vector<Complex> spectrum = {
+      {1.0, 0.0}, {2.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.5, 0.0}};
+  EXPECT_GT(SymmetryDefect(spectrum), 1.0);
+}
+
+}  // namespace
+}  // namespace tsq::dft

@@ -1,0 +1,87 @@
+#include "lang/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace tsq::lang {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  const auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  const auto tokens = Tokenize("FIND Similar tO");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "find");
+  EXPECT_EQ((*tokens)[1].text, "similar");
+  EXPECT_EQ((*tokens)[2].text, "to");
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndDecimal) {
+  const auto tokens = Tokenize("0.96 -2.5 42 1e3");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 0.96);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, -2.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 42.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 1000.0);
+}
+
+TEST(LexerTest, RangeDotsDoNotEatDecimals) {
+  // "1..40" must tokenize as number, '..', number — not "1." then ".40".
+  const auto tokens = Tokenize("mv(1..40)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kLParen, TokenKind::kNumber,
+                TokenKind::kDotDot, TokenKind::kNumber, TokenKind::kRParen,
+                TokenKind::kEnd}));
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 1.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 40.0);
+}
+
+TEST(LexerTest, RangeWithDecimalBoundsAndStep) {
+  const auto tokens = Tokenize("ema(0.1..0.9:0.2)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kLParen, TokenKind::kNumber,
+                TokenKind::kDotDot, TokenKind::kNumber, TokenKind::kColon,
+                TokenKind::kNumber, TokenKind::kRParen, TokenKind::kEnd}));
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.1);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 0.9);
+  EXPECT_DOUBLE_EQ((*tokens)[6].number, 0.2);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = Tokenize("find  pairs");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 6u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  const auto tokens = Tokenize("find @ pairs");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(tokens.status().message().find("position 5"), std::string::npos);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  const auto tokens = Tokenize("per_mbr 8");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "per_mbr");
+}
+
+}  // namespace
+}  // namespace tsq::lang

@@ -1,0 +1,114 @@
+// Negative tests for RStarTree::CheckInvariants: the checker must actually
+// *detect* structural damage, not just pass on healthy trees. Damage is
+// injected by rewriting node pages directly through the page file.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "rstar/rstar_tree.h"
+#include "storage/page_file.h"
+
+namespace tsq::rstar {
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;
+
+// Builds a healthy 2-d tree of `count` points with small capacity.
+struct Fixture {
+  storage::PageFile file;
+  std::unique_ptr<RStarTree> tree;
+
+  explicit Fixture(std::size_t count) {
+    TreeOptions options;
+    options.capacity_override = 6;
+    tree = std::make_unique<RStarTree>(&file, 2, options);
+    Rng rng(99);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Status status = tree->Insert(
+          Rect::FromPoint({rng.Uniform(-50.0, 50.0),
+                           rng.Uniform(-50.0, 50.0)}),
+          i);
+      TSQ_CHECK(status.ok()) << status.ToString();
+    }
+    TSQ_CHECK(tree->CheckInvariants().ok());
+  }
+};
+
+// Rewrites one double inside the serialized entry `slot` of page `page_id`.
+// Entry layout: [u64 id][2 lows][2 highs], after the 8-byte node header.
+void PatchEntryBound(storage::PageFile* file, storage::PageId page_id,
+                     std::size_t slot, std::size_t double_index,
+                     double value) {
+  storage::Page page;
+  ASSERT_TRUE(file->Read(page_id, &page).ok());
+  const std::size_t entry_size = 8 + 4 * sizeof(double);
+  const std::size_t offset =
+      kHeaderSize + slot * entry_size + 8 + double_index * sizeof(double);
+  std::memcpy(page.bytes.data() + offset, &value, sizeof value);
+  ASSERT_TRUE(file->Write(page_id, page).ok());
+}
+
+TEST(InvariantDetectionTest, DetectsLooseParentRect) {
+  Fixture fx(100);
+  // Inflate the root's first child rect: parent no longer the *tight* MBR.
+  PatchEntryBound(&fx.file, fx.tree->root_page(), 0, 3, 1e6);  // high[1]
+  const Status status = fx.tree->CheckInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("tight"), std::string::npos);
+}
+
+TEST(InvariantDetectionTest, DetectsShrunkenParentRect) {
+  Fixture fx(100);
+  // Shrink the root's first child rect: child entries poke out.
+  PatchEntryBound(&fx.file, fx.tree->root_page(), 0, 2, -1e6);  // high[0]
+  EXPECT_FALSE(fx.tree->CheckInvariants().ok());
+}
+
+TEST(InvariantDetectionTest, DetectsCountCorruption) {
+  Fixture fx(100);
+  storage::Page page;
+  ASSERT_TRUE(fx.file.Read(fx.tree->root_page(), &page).ok());
+  std::uint32_t bogus_count = 200;  // > capacity + 1
+  std::memcpy(page.bytes.data() + 4, &bogus_count, 4);
+  ASSERT_TRUE(fx.file.Write(fx.tree->root_page(), page).ok());
+  EXPECT_FALSE(fx.tree->CheckInvariants().ok());
+}
+
+TEST(InvariantDetectionTest, DetectsBadMagic) {
+  Fixture fx(50);
+  storage::Page page;
+  ASSERT_TRUE(fx.file.Read(fx.tree->root_page(), &page).ok());
+  page.bytes[0] = 0x00;
+  page.bytes[1] = 0x00;
+  ASSERT_TRUE(fx.file.Write(fx.tree->root_page(), page).ok());
+  const Status status = fx.tree->CheckInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(InvariantDetectionTest, RestoreForLoadRejectsWrongHeight) {
+  Fixture fx(100);
+  storage::PageFile copy;
+  ASSERT_TRUE(fx.file.SaveTo(::testing::TempDir() + "/tsq_inv.bin").ok());
+  ASSERT_TRUE(copy.LoadFrom(::testing::TempDir() + "/tsq_inv.bin").ok());
+  TreeOptions options;
+  options.capacity_override = 6;
+  RStarTree restored(&copy, 2, options);
+  EXPECT_EQ(restored
+                .RestoreForLoad(fx.tree->root_page(),
+                                fx.tree->height() + 1, fx.tree->size())
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_TRUE(restored
+                  .RestoreForLoad(fx.tree->root_page(), fx.tree->height(),
+                                  fx.tree->size())
+                  .ok());
+  EXPECT_TRUE(restored.CheckInvariants().ok());
+  std::remove((::testing::TempDir() + "/tsq_inv.bin").c_str());
+}
+
+}  // namespace
+}  // namespace tsq::rstar

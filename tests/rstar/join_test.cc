@@ -1,0 +1,258 @@
+#include "rstar/join.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/page_file.h"
+
+namespace tsq::rstar {
+namespace {
+
+using Pair = std::pair<std::uint64_t, std::uint64_t>;
+
+Point RandomPoint(Rng& rng, double lo, double hi) {
+  return {rng.Uniform(lo, hi), rng.Uniform(lo, hi)};
+}
+
+TEST(SpatialJoinTest, EmptyInputsYieldNothing) {
+  storage::PageFile fa, fb;
+  RStarTree a(&fa, 2), b(&fb, 2);
+  int calls = 0;
+  ASSERT_TRUE(SpatialJoin(
+                  a, b, [](const Rect&, const Rect&) { return true; },
+                  [&calls](const Entry&, const Entry&) { ++calls; })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+  ASSERT_TRUE(a.Insert(Rect::FromPoint({0.0, 0.0}), 1).ok());
+  ASSERT_TRUE(SpatialJoin(
+                  a, b, [](const Rect&, const Rect&) { return true; },
+                  [&calls](const Entry&, const Entry&) { ++calls; })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SpatialJoinTest, MatchesBruteForceOnDistancePredicate) {
+  storage::PageFile fa, fb;
+  TreeOptions options;
+  options.capacity_override = 8;
+  RStarTree a(&fa, 2, options), b(&fb, 2, options);
+  Rng rng(1);
+  std::vector<Point> pa, pb;
+  for (std::size_t i = 0; i < 150; ++i) {
+    pa.push_back(RandomPoint(rng, -50.0, 50.0));
+    ASSERT_TRUE(a.Insert(Rect::FromPoint(pa.back()), i).ok());
+  }
+  for (std::size_t i = 0; i < 120; ++i) {
+    pb.push_back(RandomPoint(rng, -50.0, 50.0));
+    ASSERT_TRUE(b.Insert(Rect::FromPoint(pb.back()), i).ok());
+  }
+  const double radius2 = 25.0;
+  const auto predicate = [&](const Rect& ra, const Rect& rb) {
+    // Monotone proximity test between rects.
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < 2; ++d) {
+      const double gap =
+          std::max({0.0, ra.low(d) - rb.high(d), rb.low(d) - ra.high(d)});
+      d2 += gap * gap;
+    }
+    return d2 <= radius2;
+  };
+  std::set<Pair> joined;
+  ASSERT_TRUE(SpatialJoin(a, b, predicate,
+                          [&](const Entry& ea, const Entry& eb) {
+                            joined.insert({ea.id, eb.id});
+                          })
+                  .ok());
+  std::set<Pair> expected;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pb.size(); ++j) {
+      const double dx = pa[i][0] - pb[j][0];
+      const double dy = pa[i][1] - pb[j][1];
+      if (dx * dx + dy * dy <= radius2) expected.insert({i, j});
+    }
+  }
+  EXPECT_EQ(joined, expected);
+}
+
+TEST(SpatialJoinTest, SelfJoinFindsClusters) {
+  storage::PageFile file;
+  TreeOptions options;
+  options.capacity_override = 6;
+  RStarTree tree(&file, 2, options);
+  Rng rng(2);
+  std::vector<Point> points;
+  // Two tight clusters of 10 points each, far apart.
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      points.push_back(
+          {c * 1000.0 + rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)});
+      ASSERT_TRUE(
+          tree.Insert(Rect::FromPoint(points.back()), points.size() - 1).ok());
+    }
+  }
+  const auto predicate = [](const Rect& ra, const Rect& rb) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < 2; ++d) {
+      const double gap =
+          std::max({0.0, ra.low(d) - rb.high(d), rb.low(d) - ra.high(d)});
+      d2 += gap * gap;
+    }
+    return d2 <= 16.0;
+  };
+  std::set<Pair> joined;
+  ASSERT_TRUE(SpatialJoin(tree, tree, predicate,
+                          [&](const Entry& ea, const Entry& eb) {
+                            if (ea.id < eb.id) joined.insert({ea.id, eb.id});
+                          })
+                  .ok());
+  // Only intra-cluster pairs: 2 * C(10,2) = 90.
+  EXPECT_EQ(joined.size(), 90u);
+}
+
+TEST(SpatialJoinTest, DifferentHeightsHandled) {
+  storage::PageFile fa, fb;
+  TreeOptions options;
+  options.capacity_override = 4;
+  RStarTree big(&fa, 1, options), small(&fb, 1, options);
+  Rng rng(3);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 200; ++i) {
+    xs.push_back(rng.Uniform(0.0, 100.0));
+    ASSERT_TRUE(big.Insert(Rect::FromPoint({xs.back()}), i).ok());
+  }
+  ASSERT_TRUE(small.Insert(Rect::FromPoint({50.0}), 0).ok());
+  ASSERT_TRUE(small.Insert(Rect::FromPoint({10.0}), 1).ok());
+  EXPECT_GT(big.height(), small.height());
+
+  const auto predicate = [](const Rect& ra, const Rect& rb) {
+    const double gap =
+        std::max({0.0, ra.low(0) - rb.high(0), rb.low(0) - ra.high(0)});
+    return gap <= 1.0;
+  };
+  std::set<Pair> joined;
+  ASSERT_TRUE(SpatialJoin(big, small, predicate,
+                          [&](const Entry& ea, const Entry& eb) {
+                            joined.insert({ea.id, eb.id});
+                          })
+                  .ok());
+  std::set<Pair> expected;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::fabs(xs[i] - 50.0) <= 1.0) expected.insert({i, 0});
+    if (std::fabs(xs[i] - 10.0) <= 1.0) expected.insert({i, 1});
+  }
+  EXPECT_EQ(joined, expected);
+  // And the mirrored call works too.
+  std::set<Pair> mirrored;
+  ASSERT_TRUE(SpatialJoin(small, big, predicate,
+                          [&](const Entry& ea, const Entry& eb) {
+                            mirrored.insert({eb.id, ea.id});
+                          })
+                  .ok());
+  EXPECT_EQ(mirrored, expected);
+}
+
+TEST(SpatialJoinTest, RectMapsAppliedPerEntry) {
+  // JoinOptions maps shift each side's rects; with a +100 offset on the left
+  // side, the disjoint datasets below become joinable.
+  storage::PageFile fa, fb;
+  TreeOptions options;
+  options.capacity_override = 6;
+  RStarTree a(&fa, 1, options), b(&fb, 1, options);
+  Rng rng(5);
+  std::vector<double> xa, xb;
+  for (std::size_t i = 0; i < 100; ++i) {
+    xa.push_back(rng.Uniform(0.0, 50.0));
+    xb.push_back(rng.Uniform(100.0, 150.0));
+    ASSERT_TRUE(a.Insert(Rect::FromPoint({xa.back()}), i).ok());
+    ASSERT_TRUE(b.Insert(Rect::FromPoint({xb.back()}), i).ok());
+  }
+  const auto predicate = [](const Rect& ra, const Rect& rb) {
+    const double gap =
+        std::max({0.0, ra.low(0) - rb.high(0), rb.low(0) - ra.high(0)});
+    return gap <= 0.5;
+  };
+  // Without maps: nothing joins.
+  int plain_calls = 0;
+  ASSERT_TRUE(SpatialJoin(a, b, predicate,
+                          [&](const Entry&, const Entry&) { ++plain_calls; })
+                  .ok());
+  EXPECT_EQ(plain_calls, 0);
+  // With the left side lifted by +100, pairs within 0.5 appear.
+  JoinOptions join_options;
+  join_options.left_map = [](const Rect& r) {
+    return Rect({r.low(0) + 100.0}, {r.high(0) + 100.0});
+  };
+  std::set<Pair> joined;
+  ASSERT_TRUE(SpatialJoin(a, b, predicate,
+                          [&](const Entry& ea, const Entry& eb) {
+                            joined.insert({ea.id, eb.id});
+                          },
+                          nullptr, nullptr, join_options)
+                  .ok());
+  std::set<Pair> expected;
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    for (std::size_t j = 0; j < xb.size(); ++j) {
+      if (std::fabs(xa[i] + 100.0 - xb[j]) <= 0.5) expected.insert({i, j});
+    }
+  }
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(joined, expected);
+}
+
+TEST(SpatialJoinTest, NodeCacheBoundsPhysicalReads) {
+  // Each page is fetched at most once per join, however many node pairs it
+  // participates in.
+  storage::PageFile fa;
+  TreeOptions options;
+  options.capacity_override = 4;
+  RStarTree tree(&fa, 2, options);
+  Rng rng(6);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(Rect::FromPoint({rng.Uniform(0.0, 10.0),
+                                             rng.Uniform(0.0, 10.0)}),
+                            i)
+                    .ok());
+  }
+  SearchStats left, right;
+  int calls = 0;
+  ASSERT_TRUE(SpatialJoin(tree, tree,
+                          [](const Rect&, const Rect&) { return true; },
+                          [&](const Entry&, const Entry&) { ++calls; }, &left,
+                          &right)
+                  .ok());
+  EXPECT_EQ(calls, 200 * 200);
+  EXPECT_LE(left.nodes_accessed, fa.page_count());
+  EXPECT_LE(right.nodes_accessed, fa.page_count());
+}
+
+TEST(SpatialJoinTest, CountsAccessesPerSide) {
+  storage::PageFile fa, fb;
+  TreeOptions options;
+  options.capacity_override = 8;
+  RStarTree a(&fa, 2, options), b(&fb, 2, options);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(a.Insert(Rect::FromPoint(RandomPoint(rng, 0.0, 10.0)), i).ok());
+    ASSERT_TRUE(
+        b.Insert(Rect::FromPoint(RandomPoint(rng, 1000.0, 1010.0)), i).ok());
+  }
+  // Disjoint data: the root pair fails the predicate immediately.
+  SearchStats left, right;
+  int calls = 0;
+  ASSERT_TRUE(SpatialJoin(
+                  a, b,
+                  [](const Rect& ra, const Rect& rb) {
+                    return ra.Intersects(rb);
+                  },
+                  [&calls](const Entry&, const Entry&) { ++calls; }, &left,
+                  &right)
+                  .ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(left.nodes_accessed, 1u);
+  EXPECT_EQ(right.nodes_accessed, 1u);
+}
+
+}  // namespace
+}  // namespace tsq::rstar

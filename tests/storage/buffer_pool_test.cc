@@ -1,0 +1,99 @@
+#include "storage/buffer_pool.h"
+
+#include "gtest/gtest.h"
+
+namespace tsq::storage {
+namespace {
+
+Page MakePage(std::uint8_t fill) {
+  Page page;
+  page.bytes.fill(fill);
+  return page;
+}
+
+TEST(BufferPoolTest, FirstReadMissesSecondHits) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  ASSERT_TRUE(file.Write(id, MakePage(7)).ok());
+  file.ResetStats();
+
+  BufferPool pool(&file, 4);
+  Page page;
+  ASSERT_TRUE(pool.Read(id, &page).ok());
+  EXPECT_EQ(page.bytes[0], 7);
+  ASSERT_TRUE(pool.Read(id, &page).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(file.stats().reads, 1u);  // only the miss touched the file
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  PageFile file;
+  for (int i = 0; i < 3; ++i) {
+    const PageId id = file.Allocate();
+    ASSERT_TRUE(file.Write(id, MakePage(static_cast<std::uint8_t>(i))).ok());
+  }
+  BufferPool pool(&file, 2);
+  Page page;
+  ASSERT_TRUE(pool.Read(0, &page).ok());
+  ASSERT_TRUE(pool.Read(1, &page).ok());
+  ASSERT_TRUE(pool.Read(0, &page).ok());  // 0 becomes MRU
+  ASSERT_TRUE(pool.Read(2, &page).ok());  // evicts 1
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // 0 still cached (hit), 1 evicted (miss).
+  ASSERT_TRUE(pool.Read(0, &page).ok());
+  EXPECT_EQ(pool.stats().hits, 2u);
+  ASSERT_TRUE(pool.Read(1, &page).ok());
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST(BufferPoolTest, WriteThroughUpdatesFileAndCache) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  BufferPool pool(&file, 2);
+  ASSERT_TRUE(pool.Write(id, MakePage(9)).ok());
+  // The backing file has the data even before any pool read.
+  Page direct;
+  ASSERT_TRUE(file.Read(id, &direct).ok());
+  EXPECT_EQ(direct.bytes[0], 9);
+  // And the pool serves it from cache.
+  file.ResetStats();
+  Page cached;
+  ASSERT_TRUE(pool.Read(id, &cached).ok());
+  EXPECT_EQ(cached.bytes[0], 9);
+  EXPECT_EQ(file.stats().reads, 0u);
+}
+
+TEST(BufferPoolTest, ClearDropsCache) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  BufferPool pool(&file, 2);
+  Page page;
+  ASSERT_TRUE(pool.Read(id, &page).ok());
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  ASSERT_TRUE(pool.Read(id, &page).ok());
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, PropagatesReadErrors) {
+  PageFile file;
+  BufferPool pool(&file, 2);
+  Page page;
+  EXPECT_EQ(pool.Read(3, &page).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferPoolTest, CapacityRespected) {
+  PageFile file;
+  for (int i = 0; i < 10; ++i) file.Allocate();
+  BufferPool pool(&file, 3);
+  Page page;
+  for (PageId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(pool.Read(id, &page).ok());
+    EXPECT_LE(pool.cached_pages(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace tsq::storage

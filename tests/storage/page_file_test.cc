@@ -1,0 +1,175 @@
+#include "storage/page_file.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace tsq::storage {
+namespace {
+
+TEST(PageFileTest, AllocateReturnsSequentialIds) {
+  PageFile file;
+  EXPECT_EQ(file.Allocate(), 0u);
+  EXPECT_EQ(file.Allocate(), 1u);
+  EXPECT_EQ(file.Allocate(), 2u);
+  EXPECT_EQ(file.page_count(), 3u);
+}
+
+TEST(PageFileTest, WriteThenReadRoundTrip) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    page.bytes[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(file.Write(id, page).ok());
+  Page read;
+  ASSERT_TRUE(file.Read(id, &read).ok());
+  EXPECT_EQ(read.bytes, page.bytes);
+}
+
+TEST(PageFileTest, FreshPageIsZeroed) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page read;
+  ASSERT_TRUE(file.Read(id, &read).ok());
+  for (std::uint8_t b : read.bytes) EXPECT_EQ(b, 0);
+}
+
+TEST(PageFileTest, ReadBeyondEndFails) {
+  PageFile file;
+  file.Allocate();
+  Page page;
+  EXPECT_EQ(file.Read(5, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(file.Write(5, page).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PageFileTest, CountsReadsAndWrites) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  ASSERT_TRUE(file.Read(id, &page).ok());
+  ASSERT_TRUE(file.Read(id, &page).ok());
+  EXPECT_EQ(file.stats().allocations, 1u);
+  EXPECT_EQ(file.stats().writes, 1u);
+  EXPECT_EQ(file.stats().reads, 2u);
+  file.ResetStats();
+  EXPECT_EQ(file.stats().reads, 0u);
+  EXPECT_EQ(file.stats().writes, 0u);
+}
+
+TEST(PageFileTest, SimulatedReadDelaySlowsReads) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  // With a 200us delay, 50 reads must take at least 10ms.
+  file.set_read_delay_nanos(200000);
+  EXPECT_EQ(file.read_delay_nanos(), 200000u);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(file.Read(id, &page).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration<double>(elapsed).count(), 0.010);
+  // Disabling restores fast reads (no strict timing assertion needed).
+  file.set_read_delay_nanos(0);
+  ASSERT_TRUE(file.Read(id, &page).ok());
+}
+
+TEST(PageFileTest, DetectsCorruption) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  page.bytes[100] = 42;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  ASSERT_TRUE(file.CorruptForTesting(id, 100).ok());
+  Page read;
+  EXPECT_EQ(file.Read(id, &read).code(), StatusCode::kCorruption);
+}
+
+TEST(PageFileTest, RewriteAfterCorruptionHeals) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  ASSERT_TRUE(file.CorruptForTesting(id, 0).ok());
+  // A fresh write recomputes the checksum.
+  ASSERT_TRUE(file.Write(id, page).ok());
+  Page read;
+  EXPECT_TRUE(file.Read(id, &read).ok());
+}
+
+class PageFilePersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/tsq_pages.bin";
+};
+
+TEST_F(PageFilePersistenceTest, SaveLoadRoundTrip) {
+  PageFile file;
+  for (int i = 0; i < 5; ++i) {
+    const PageId id = file.Allocate();
+    Page page;
+    for (std::size_t b = 0; b < kPageSize; ++b) {
+      page.bytes[b] = static_cast<std::uint8_t>(i * 31 + b);
+    }
+    ASSERT_TRUE(file.Write(id, page).ok());
+  }
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+
+  PageFile loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path_).ok());
+  ASSERT_EQ(loaded.page_count(), 5u);
+  for (PageId id = 0; id < 5; ++id) {
+    Page original, copy;
+    ASSERT_TRUE(file.Read(id, &original).ok());
+    ASSERT_TRUE(loaded.Read(id, &copy).ok());
+    EXPECT_EQ(original.bytes, copy.bytes);
+  }
+  // Counters start fresh after a load (minus the reads above).
+  loaded.ResetStats();
+  EXPECT_EQ(loaded.stats().reads, 0u);
+}
+
+TEST_F(PageFilePersistenceTest, EmptyFileRoundTrip) {
+  PageFile file;
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+  PageFile loaded;
+  ASSERT_TRUE(loaded.LoadFrom(path_).ok());
+  EXPECT_EQ(loaded.page_count(), 0u);
+}
+
+TEST_F(PageFilePersistenceTest, RejectsGarbageAndTruncation) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a page file";
+  }
+  PageFile loaded;
+  EXPECT_EQ(loaded.LoadFrom(path_).code(), StatusCode::kCorruption);
+
+  // Valid header claiming more pages than the file holds.
+  PageFile file;
+  file.Allocate();
+  file.Allocate();
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+  std::error_code ec;
+  std::filesystem::resize_file(path_, 16 + kPageSize, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_EQ(loaded.LoadFrom(path_).code(), StatusCode::kCorruption);
+
+  EXPECT_EQ(loaded.LoadFrom("/nonexistent/nope.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(PageFileTest, CorruptForTestingValidatesArguments) {
+  PageFile file;
+  EXPECT_EQ(file.CorruptForTesting(0, 0).code(), StatusCode::kOutOfRange);
+  const PageId id = file.Allocate();
+  EXPECT_EQ(file.CorruptForTesting(id, kPageSize).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace tsq::storage

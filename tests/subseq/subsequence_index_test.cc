@@ -1,0 +1,265 @@
+#include "subseq/subsequence_index.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+#include "ts/generate.h"
+#include "ts/normal_form.h"
+#include "ts/ops.h"
+
+namespace tsq::subseq {
+namespace {
+
+ts::Series RandomWalk(std::size_t n, Rng& rng) {
+  ts::Series x(n);
+  double v = 0.0;
+  for (double& value : x) {
+    v += rng.Uniform(-1.0, 1.0);
+    value = v;
+  }
+  return x;
+}
+
+void ExpectSameMatches(std::vector<SubseqMatch> a,
+                       std::vector<SubseqMatch> b) {
+  const auto order = [](const SubseqMatch& x, const SubseqMatch& y) {
+    if (x.sequence != y.sequence) return x.sequence < y.sequence;
+    if (x.offset != y.offset) return x.offset < y.offset;
+    return x.transform_index < y.transform_index;
+  };
+  std::sort(a.begin(), a.end(), order);
+  std::sort(b.begin(), b.end(), order);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence, b[i].sequence) << i;
+    EXPECT_EQ(a[i].offset, b[i].offset) << i;
+    EXPECT_EQ(a[i].transform_index, b[i].transform_index) << i;
+    EXPECT_NEAR(a[i].distance, b[i].distance, 1e-6) << i;
+  }
+}
+
+TEST(SubsequenceIndexTest, RejectsBadInputs) {
+  SubsequenceOptions options;
+  options.window = 16;
+  SubsequenceIndex index(options);
+  EXPECT_EQ(index.AddSequence(ts::Series(10, 1.0)).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(index.AddSequence(ts::Series{RandomWalk(
+      64, *std::make_unique<Rng>(1))}).ok());
+  EXPECT_EQ(index.RangeSearch(ts::Series(8, 0.0), 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.RangeSearch(ts::Series(16, 0.0), -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubsequenceIndexTest, FindsPlantedOccurrences) {
+  Rng rng(2);
+  SubsequenceOptions options;
+  options.window = 32;
+  SubsequenceIndex index(options);
+
+  // A distinctive pattern planted at known offsets in two sequences.
+  const ts::Series pattern = RandomWalk(32, rng);
+  ts::Series host_a = RandomWalk(300, rng);
+  ts::Series host_b = RandomWalk(200, rng);
+  for (std::size_t i = 0; i < 32; ++i) {
+    host_a[100 + i] = 5.0 * pattern[i] + 2.0;  // scaled + shifted copy
+    host_b[50 + i] = pattern[i];
+  }
+  ASSERT_TRUE(index.AddSequence(host_a).ok());
+  ASSERT_TRUE(index.AddSequence(host_b).ok());
+  EXPECT_EQ(index.sequence_count(), 2u);
+  EXPECT_EQ(index.window_count(), (300 - 31) + (200 - 31));
+  // Sub-trails compress the windows.
+  EXPECT_LT(index.subtrail_count(), index.window_count());
+
+  const auto result = index.RangeSearch(pattern, 0.5);
+  ASSERT_TRUE(result.ok());
+  bool found_a = false, found_b = false;
+  for (const SubseqMatch& m : result.value()) {
+    if (m.sequence == 0 && m.offset == 100) found_a = true;
+    if (m.sequence == 1 && m.offset == 50) found_b = true;
+  }
+  // Normalized matching is scale/shift invariant: both copies found.
+  EXPECT_TRUE(found_a);
+  EXPECT_TRUE(found_b);
+}
+
+class SubseqEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubseqEquivalenceTest, IndexMatchesBruteForce) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  SubsequenceOptions options;
+  options.window = 32;
+  options.max_subtrail = 16 + seed;
+  SubsequenceIndex index(options);
+  for (int s = 0; s < 6; ++s) {
+    ASSERT_TRUE(
+        index.AddSequence(RandomWalk(100 + 40 * s, rng)).ok());
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const ts::Series query = RandomWalk(32, rng);
+    const double epsilon = rng.Uniform(1.0, 6.0);
+    const auto indexed = index.RangeSearch(query, epsilon);
+    ASSERT_TRUE(indexed.ok());
+    ExpectSameMatches(indexed.value(), index.BruteForce(query, epsilon));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubseqEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(SubsequenceIndexTest, TransformedSearchMatchesBruteForce) {
+  Rng rng(7);
+  SubsequenceOptions options;
+  options.window = 32;
+  SubsequenceIndex index(options);
+  for (int s = 0; s < 5; ++s) {
+    ASSERT_TRUE(index.AddSequence(RandomWalk(150, rng)).ok());
+  }
+  const auto transforms = transform::MovingAverageRange(32, 1, 8);
+  for (int trial = 0; trial < 3; ++trial) {
+    const ts::Series query = RandomWalk(32, rng);
+    const double epsilon = rng.Uniform(1.5, 4.0);
+    const auto indexed = index.RangeSearch(query, epsilon, transforms);
+    ASSERT_TRUE(indexed.ok());
+    ExpectSameMatches(indexed.value(),
+                      index.BruteForce(query, epsilon, transforms));
+  }
+}
+
+TEST(SubsequenceIndexTest, SmoothedPatternFoundViaTransformations) {
+  // A noisy copy of the pattern only matches after smoothing — the paper's
+  // machinery (MA transformation set) applied at the subsequence level.
+  Rng rng(8);
+  SubsequenceOptions options;
+  options.window = 32;
+  SubsequenceIndex index(options);
+  const ts::Series pattern = RandomWalk(32, rng);
+  ts::Series host = RandomWalk(256, rng);
+  for (std::size_t i = 0; i < 32; ++i) {
+    host[80 + i] = pattern[i] + 0.35 * rng.NextGaussian();
+  }
+  ASSERT_TRUE(index.AddSequence(host).ok());
+
+  const double epsilon = 1.4;
+  const auto plain = index.RangeSearch(pattern, epsilon);
+  ASSERT_TRUE(plain.ok());
+  bool plain_found = false;
+  for (const SubseqMatch& m : plain.value()) {
+    if (m.offset == 80) plain_found = true;
+  }
+
+  const auto mas = transform::MovingAverageRange(32, 1, 8);
+  const auto smoothed = index.RangeSearch(pattern, epsilon, mas);
+  ASSERT_TRUE(smoothed.ok());
+  bool smoothed_found = false;
+  std::size_t found_window = 0;
+  for (const SubseqMatch& m : smoothed.value()) {
+    if (m.offset == 80 && m.transform_index > 0) {
+      smoothed_found = true;
+      found_window = m.transform_index + 1;
+    }
+  }
+  EXPECT_TRUE(smoothed_found) << "no smoothing window rescued the match";
+  EXPECT_FALSE(plain_found && smoothed_found && found_window == 0);
+}
+
+TEST(SubsequenceIndexTest, StatsAccounting) {
+  Rng rng(9);
+  SubsequenceOptions options;
+  options.window = 32;
+  SubsequenceIndex index(options);
+  for (int s = 0; s < 8; ++s) {
+    ASSERT_TRUE(index.AddSequence(RandomWalk(200, rng)).ok());
+  }
+  const ts::Series query = RandomWalk(32, rng);
+  SubseqStats stats;
+  const auto result = index.RangeSearch(query, 2.0, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(stats.index_nodes_accessed, 1u);
+  EXPECT_GE(stats.comparisons, stats.candidate_windows);
+  // Filtering: candidates far below the total window population.
+  EXPECT_LT(stats.candidate_windows, index.window_count());
+  EXPECT_GE(stats.candidate_windows, result.value().size());
+}
+
+TEST(SubsequenceIndexTest, SequenceExactlyOneWindow) {
+  Rng rng(10);
+  SubsequenceOptions options;
+  options.window = 16;
+  SubsequenceIndex index(options);
+  const ts::Series only = RandomWalk(16, rng);
+  ASSERT_TRUE(index.AddSequence(only).ok());
+  EXPECT_EQ(index.window_count(), 1u);
+  const auto result = index.RangeSearch(only, 0.1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].offset, 0u);
+  EXPECT_NEAR(result.value()[0].distance, 0.0, 1e-6);
+}
+
+TEST(SubsequenceIndexTest, ConstantWindowsHandled) {
+  SubsequenceOptions options;
+  options.window = 8;
+  SubsequenceIndex index(options);
+  ts::Series flat(64, 3.0);
+  ASSERT_TRUE(index.AddSequence(flat).ok());
+  // Constant windows normalize to zero; a constant query matches them all
+  // at distance 0.
+  const auto result = index.RangeSearch(ts::Series(8, 9.0), 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 64u - 8u + 1u);
+}
+
+TEST(SubsequenceIndexTest, ShiftTransformsWrapCorrectly) {
+  // Pure phase transforms exercise the angle-wrap machinery at the
+  // subsequence level; indexed answers must match brute force exactly.
+  Rng rng(12);
+  SubsequenceOptions options;
+  options.window = 32;
+  SubsequenceIndex index(options);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(index.AddSequence(RandomWalk(120, rng)).ok());
+  }
+  std::vector<transform::SpectralTransform> shifts;
+  for (std::size_t s : {0u, 1u, 15u, 30u, 31u}) {
+    shifts.push_back(transform::ShiftTransform(32, s));
+  }
+  const ts::Series query = RandomWalk(32, rng);
+  const auto indexed = index.RangeSearch(query, 3.0, shifts);
+  ASSERT_TRUE(indexed.ok());
+  ExpectSameMatches(indexed.value(), index.BruteForce(query, 3.0, shifts));
+}
+
+TEST(SubsequenceIndexTest, NoStatsLayoutSupported) {
+  Rng rng(13);
+  SubsequenceOptions options;
+  options.window = 16;
+  options.layout.include_mean_std = false;
+  options.layout.num_coefficients = 3;
+  SubsequenceIndex index(options);
+  ASSERT_TRUE(index.AddSequence(RandomWalk(100, rng)).ok());
+  EXPECT_EQ(index.tree().dimensions(), 6u);
+  const ts::Series query = RandomWalk(16, rng);
+  const auto indexed = index.RangeSearch(query, 2.0);
+  ASSERT_TRUE(indexed.ok());
+  ExpectSameMatches(indexed.value(), index.BruteForce(query, 2.0));
+}
+
+TEST(SubsequenceIndexTest, MaxSubtrailCapRespected) {
+  Rng rng(11);
+  SubsequenceOptions options;
+  options.window = 16;
+  options.max_subtrail = 4;
+  SubsequenceIndex index(options);
+  ASSERT_TRUE(index.AddSequence(RandomWalk(200, rng)).ok());
+  // 185 windows, at most 4 per sub-trail -> at least 47 sub-trails.
+  EXPECT_GE(index.subtrail_count(), 47u);
+}
+
+}  // namespace
+}  // namespace tsq::subseq

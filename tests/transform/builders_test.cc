@@ -1,0 +1,297 @@
+#include "transform/builders.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "dft/spectrum.h"
+#include "gtest/gtest.h"
+#include "ts/ops.h"
+#include "ts/series.h"
+
+namespace tsq::transform {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+ts::Series RandomSeries(std::size_t n, Rng& rng) {
+  ts::Series x(n);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  return x;
+}
+
+void ExpectSeriesNear(const ts::Series& actual, const ts::Series& expected,
+                      double tolerance = 1e-8) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tolerance) << "i=" << i;
+  }
+}
+
+// Every spectral builder must agree with its time-domain counterpart —
+// that is the whole point of formulating the operations as linear
+// transformations over the Fourier representation (Section 3.1).
+
+class BuilderEquivalenceTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::size_t n() const { return GetParam(); }
+};
+
+TEST_P(BuilderEquivalenceTest, MovingAverageMatchesTimeDomain) {
+  Rng rng(n());
+  const ts::Series x = RandomSeries(n(), rng);
+  for (std::size_t w = 1; w <= n(); w += std::max<std::size_t>(1, n() / 7)) {
+    ExpectSeriesNear(MovingAverageTransform(n(), w).ApplyToSeries(x),
+                     ts::CircularMovingAverage(x, w));
+  }
+}
+
+TEST_P(BuilderEquivalenceTest, MomentumMatchesTimeDomain) {
+  Rng rng(n() + 1);
+  const ts::Series x = RandomSeries(n(), rng);
+  ExpectSeriesNear(MomentumTransform(n()).ApplyToSeries(x),
+                   ts::CircularMomentum(x));
+  if (n() > 3) {
+    ExpectSeriesNear(MomentumTransform(n(), 3).ApplyToSeries(x),
+                     ts::CircularMomentum(x, 3));
+  }
+}
+
+TEST_P(BuilderEquivalenceTest, ShiftMatchesTimeDomain) {
+  Rng rng(n() + 2);
+  const ts::Series x = RandomSeries(n(), rng);
+  for (std::size_t s : {std::size_t{0}, std::size_t{1}, n() / 2, n() - 1}) {
+    ExpectSeriesNear(ShiftTransform(n(), s).ApplyToSeries(x),
+                     ts::CircularShift(x, s));
+  }
+}
+
+TEST_P(BuilderEquivalenceTest, ScaleAndInvertMatchTimeDomain) {
+  Rng rng(n() + 3);
+  const ts::Series x = RandomSeries(n(), rng);
+  ExpectSeriesNear(ScaleTransform(n(), 2.5).ApplyToSeries(x),
+                   ts::Scale(x, 2.5));
+  ExpectSeriesNear(InvertTransform(n()).ApplyToSeries(x), ts::Invert(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BuilderEquivalenceTest,
+                         ::testing::Values(4, 8, 16, 60, 128));
+
+TEST(MovingAverageTransformTest, Figure3Magnitudes) {
+  // Fig. 3 of the paper: for n = 128 the second DFT coefficient (f = 1) of
+  // MV 1..40 has |M| in ~[0.84, 1] and angle in ~[-0.96, 0].
+  const std::size_t n = 128;
+  for (std::size_t w = 1; w <= 40; ++w) {
+    const auto m = MovingAverageTransform(n, w).multiplier(1);
+    const dft::Polar polar = dft::ToPolar(m);
+    EXPECT_GE(polar.magnitude, 0.84) << "w=" << w;
+    EXPECT_LE(polar.magnitude, 1.0 + 1e-9) << "w=" << w;
+    EXPECT_LE(polar.angle, 1e-9) << "w=" << w;
+    EXPECT_GE(polar.angle, -0.96) << "w=" << w;
+  }
+  // Closed form: |M_1| = sin(pi w / n) / (w sin(pi / n)), angle
+  // -pi (w-1) / n (Dirichlet kernel of the trailing window).
+  const auto m40 = MovingAverageTransform(n, 40).multiplier(1);
+  EXPECT_NEAR(std::abs(m40),
+              std::sin(kPi * 40.0 / 128.0) / (40.0 * std::sin(kPi / 128.0)),
+              1e-9);
+  EXPECT_NEAR(std::arg(m40), -kPi * 39.0 / 128.0, 1e-9);
+}
+
+TEST(MovingAverageTransformTest, DcGainIsOne) {
+  // A moving average preserves the mean: M_0 == 1 for every window.
+  for (std::size_t w = 1; w <= 16; ++w) {
+    const auto m = MovingAverageTransform(16, w).multiplier(0);
+    EXPECT_NEAR(m.real(), 1.0, 1e-9);
+    EXPECT_NEAR(m.imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(ShiftTransformTest, UnitMagnitudeAllCoefficients) {
+  const auto t = ShiftTransform(64, 5);
+  for (std::size_t f = 0; f < 64; ++f) {
+    EXPECT_NEAR(std::abs(t.multiplier(f)), 1.0, 1e-12);
+  }
+  // Angle of coefficient f is -2 pi f s / n.
+  EXPECT_NEAR(std::arg(t.multiplier(1)), -2.0 * kPi * 5.0 / 64.0, 1e-12);
+}
+
+TEST(PaddedShiftTransformTest, PaperFormulaAndApproximation) {
+  // Section 3.1.2: X'_f = exp(-j 2 pi f s / (n+s)) X_f. For long sequences
+  // it approximates the padded shift.
+  const std::size_t n = 128;
+  const std::size_t s = 1;
+  const auto t = PaddedShiftTransform(n, s);
+  EXPECT_NEAR(std::arg(t.multiplier(1)), -2.0 * kPi / 129.0, 1e-12);
+  // Approximation quality: compare against the circular shift multiplier.
+  const auto exact = ShiftTransform(n, s);
+  for (std::size_t f = 1; f < 5; ++f) {
+    EXPECT_NEAR(std::arg(t.multiplier(f)), std::arg(exact.multiplier(f)),
+                0.01);
+  }
+}
+
+TEST(MomentumTransformTest, KillsConstants) {
+  // Momentum of a constant series is zero: M_0 == 0.
+  const auto t = MomentumTransform(32);
+  EXPECT_NEAR(std::abs(t.multiplier(0)), 0.0, 1e-12);
+  // |M_f| = 2 |sin(pi f / n)|.
+  for (std::size_t f = 1; f < 32; ++f) {
+    EXPECT_NEAR(std::abs(t.multiplier(f)),
+                2.0 * std::fabs(std::sin(kPi * f / 32.0)), 1e-9);
+  }
+}
+
+TEST(InvertedTest, NegatesSeries) {
+  Rng rng(10);
+  const ts::Series x = RandomSeries(24, rng);
+  const SpectralTransform mv = MovingAverageTransform(24, 4);
+  const SpectralTransform inv = Inverted(mv);
+  const ts::Series a = mv.ApplyToSeries(x);
+  const ts::Series b = inv.ApplyToSeries(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i], -b[i], 1e-9);
+  }
+  EXPECT_EQ(inv.label(), "inv-mv4");
+}
+
+TEST(WeightedMovingAverageTest, UniformWeightsEqualPlainMa) {
+  Rng rng(30);
+  const std::size_t n = 32;
+  const ts::Series x = RandomSeries(n, rng);
+  const std::vector<double> uniform(5, 1.0);
+  ExpectSeriesNear(WeightedMovingAverageTransform(n, uniform).ApplyToSeries(x),
+                   MovingAverageTransform(n, 5).ApplyToSeries(x));
+}
+
+TEST(WeightedMovingAverageTest, MatchesDirectComputation) {
+  Rng rng(31);
+  const std::size_t n = 24;
+  const ts::Series x = RandomSeries(n, rng);
+  const std::vector<double> weights = {3.0, 2.0, 1.0};
+  const ts::Series y =
+      WeightedMovingAverageTransform(n, weights).ApplyToSeries(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double direct = (3.0 * x[i] + 2.0 * x[(i + n - 1) % n] +
+                           1.0 * x[(i + n - 2) % n]) /
+                          6.0;
+    EXPECT_NEAR(y[i], direct, 1e-8) << "i=" << i;
+  }
+}
+
+TEST(WeightedMovingAverageTest, PreservesMean) {
+  // Normalized weights keep M_0 == 1.
+  const auto t = LinearWeightedMovingAverageTransform(16, 6);
+  EXPECT_NEAR(std::abs(t.multiplier(0) - dft::Complex(1.0, 0.0)), 0.0, 1e-9);
+  EXPECT_TRUE(t.PreservesRealSequences());
+}
+
+TEST(ExponentialMovingAverageTest, WeightsDecayGeometrically) {
+  Rng rng(32);
+  const std::size_t n = 64;
+  const ts::Series x = RandomSeries(n, rng);
+  const double alpha = 0.5;
+  const ts::Series y =
+      ExponentialMovingAverageTransform(n, alpha, 8).ApplyToSeries(x);
+  // Direct truncated EMA at one position.
+  double expected = 0.0, total = 0.0, weight = alpha;
+  for (std::size_t k = 0; k < 8; ++k) {
+    expected += weight * x[(10 + n - k) % n];
+    total += weight;
+    weight *= (1.0 - alpha);
+  }
+  EXPECT_NEAR(y[10], expected / total, 1e-8);
+}
+
+TEST(ExponentialMovingAverageTest, AutoDepthAndIdentityLimit) {
+  // alpha = 1 is the identity (all weight on the current value).
+  Rng rng(33);
+  const std::size_t n = 16;
+  const ts::Series x = RandomSeries(n, rng);
+  ExpectSeriesNear(ExponentialMovingAverageTransform(n, 1.0).ApplyToSeries(x),
+                   x);
+  // Auto-depth must smooth: variance decreases for a random-walk.
+  ts::Series walk(n);
+  double level = 0.0;
+  for (double& v : walk) {
+    level += rng.Uniform(-1.0, 1.0);
+    v = level;
+  }
+  const auto smooth = ExponentialMovingAverageTransform(n, 0.3);
+  EXPECT_LE(ts::ComputeStats(smooth.ApplyToSeries(walk)).stddev,
+            ts::ComputeStats(walk).stddev + 1e-9);
+}
+
+TEST(BandPassTransformTest, PartitionsTheSpectrum) {
+  Rng rng(34);
+  const std::size_t n = 32;
+  const ts::Series x = RandomSeries(n, rng);
+  // Low + high bands sum back to the original signal.
+  const ts::Series low = BandPassTransform(n, 0, 4).ApplyToSeries(x);
+  const ts::Series high = BandPassTransform(n, 5, n / 2).ApplyToSeries(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(low[i] + high[i], x[i], 1e-8);
+  }
+  EXPECT_TRUE(BandPassTransform(n, 0, 4).PreservesRealSequences());
+  EXPECT_TRUE(BandPassTransform(n, 5, n / 2).PreservesRealSequences());
+}
+
+TEST(BandPassTransformTest, DetrendRemovesConstants) {
+  const std::size_t n = 16;
+  const ts::Series constant(n, 7.0);
+  const ts::Series detrended =
+      BandPassTransform(n, 1, n / 2).ApplyToSeries(constant);
+  for (double v : detrended) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(SecondDifferenceTest, MatchesMomentumOfMomentum) {
+  Rng rng(35);
+  const std::size_t n = 32;
+  const ts::Series x = RandomSeries(n, rng);
+  const ts::Series via_diff2 = SecondDifferenceTransform(n).ApplyToSeries(x);
+  const ts::Series via_twice =
+      ts::CircularMomentum(ts::CircularMomentum(x));
+  ExpectSeriesNear(via_diff2, via_twice);
+  // Composition agrees too: momentum o momentum == diff2.
+  const auto composed =
+      MomentumTransform(n).Compose(MomentumTransform(n));
+  ExpectSeriesNear(composed.ApplyToSeries(x), via_diff2);
+}
+
+TEST(RangeBuildersTest, SizesAndLabels) {
+  const auto mvs = MovingAverageRange(128, 5, 34);
+  EXPECT_EQ(mvs.size(), 30u);
+  EXPECT_EQ(mvs.front().label(), "mv5");
+  EXPECT_EQ(mvs.back().label(), "mv34");
+
+  const auto shifts = ShiftRange(128, 0, 10);
+  EXPECT_EQ(shifts.size(), 11u);
+
+  const auto scales = ScaleRange(128, 2.0, 100.0, 1.0);
+  EXPECT_EQ(scales.size(), 99u);
+}
+
+TEST(ComposeSpectralSetsTest, Equation11AtTheSpectralLevel) {
+  // "s-day shift followed by m-day moving average" (Section 3.3).
+  const std::size_t n = 64;
+  const auto shifts = ShiftRange(n, 0, 2);
+  const auto mvs = MovingAverageRange(n, 1, 3);
+  const auto composed = ComposeSpectralSets(shifts, mvs);
+  ASSERT_EQ(composed.size(), 9u);
+  Rng rng(11);
+  const ts::Series x = RandomSeries(n, rng);
+  std::size_t index = 0;
+  for (const auto& shift : shifts) {
+    for (const auto& mv : mvs) {
+      const ts::Series expected = mv.ApplyToSeries(shift.ApplyToSeries(x));
+      const ts::Series actual = composed[index].ApplyToSeries(x);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(actual[i], expected[i], 1e-8);
+      }
+      ++index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsq::transform

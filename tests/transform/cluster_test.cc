@@ -1,0 +1,104 @@
+#include "transform/cluster.h"
+
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::transform {
+namespace {
+
+std::vector<std::vector<double>> TwoClusters(Rng& rng, std::size_t per_cluster,
+                                             double separation) {
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      points.push_back(
+          {c * separation + rng.Uniform(-0.5, 0.5), rng.Uniform(-0.5, 0.5)});
+    }
+  }
+  return points;
+}
+
+std::size_t NumLabels(const std::vector<std::size_t>& labels) {
+  return std::set<std::size_t>(labels.begin(), labels.end()).size();
+}
+
+TEST(AgglomerativeClustersTest, SinglePoint) {
+  const std::vector<std::vector<double>> points = {{1.0, 2.0}};
+  EXPECT_EQ(AgglomerativeClusters(points, 1),
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(AgglomerativeClustersTest, KEqualsNMakesSingletons) {
+  Rng rng(1);
+  const auto points = TwoClusters(rng, 3, 100.0);
+  const auto labels = AgglomerativeClusters(points, 6);
+  EXPECT_EQ(NumLabels(labels), 6u);
+}
+
+TEST(AgglomerativeClustersTest, SeparatesTwoClusters) {
+  Rng rng(2);
+  const auto points = TwoClusters(rng, 10, 100.0);
+  const auto labels = AgglomerativeClusters(points, 2);
+  EXPECT_EQ(NumLabels(labels), 2u);
+  // All points in the first half share a label; second half the other.
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (std::size_t i = 11; i < 20; ++i) EXPECT_EQ(labels[i], labels[10]);
+  EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(AgglomerativeClustersTest, ChainStructureSingleLink) {
+  // Single link merges chains: equally spaced points form one cluster until
+  // k forces cuts.
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 8; ++i) points.push_back({static_cast<double>(i)});
+  EXPECT_EQ(NumLabels(AgglomerativeClusters(points, 1)), 1u);
+  EXPECT_EQ(NumLabels(AgglomerativeClusters(points, 3)), 3u);
+}
+
+TEST(DetectClustersTest, FindsTwoWellSeparatedClusters) {
+  Rng rng(3);
+  const auto points = TwoClusters(rng, 12, 50.0);
+  const auto labels = DetectClusters(points);
+  EXPECT_EQ(NumLabels(labels), 2u);
+}
+
+TEST(DetectClustersTest, SingleBlobStaysOneCluster) {
+  Rng rng(4);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+  }
+  const auto labels = DetectClusters(points);
+  EXPECT_EQ(NumLabels(labels), 1u);
+}
+
+TEST(DetectClustersTest, SinglePointAndPair) {
+  EXPECT_EQ(DetectClusters(std::vector<std::vector<double>>{{0.0}}),
+            (std::vector<std::size_t>{0}));
+  const std::vector<std::vector<double>> pair = {{0.0}, {1.0}};
+  EXPECT_EQ(NumLabels(DetectClusters(pair)), 1u);
+}
+
+TEST(DetectClustersTest, ThreeClusters) {
+  Rng rng(5);
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      points.push_back({c * 200.0 + rng.Uniform(-1.0, 1.0)});
+    }
+  }
+  EXPECT_EQ(NumLabels(DetectClusters(points)), 3u);
+}
+
+TEST(DetectClustersTest, GapRatioControlsSensitivity) {
+  // Moderate gap: detected with a low ratio, ignored with a huge one.
+  Rng rng(6);
+  const auto points = TwoClusters(rng, 10, 5.0);
+  EXPECT_GE(NumLabels(DetectClusters(points, 2.0)), 2u);
+  EXPECT_EQ(NumLabels(DetectClusters(points, 1000.0)), 1u);
+}
+
+}  // namespace
+}  // namespace tsq::transform

@@ -1,0 +1,60 @@
+#include "transform/feature_layout.h"
+
+#include "gtest/gtest.h"
+
+namespace tsq::transform {
+namespace {
+
+TEST(FeatureLayoutTest, PaperDefaultLayout) {
+  const FeatureLayout layout;
+  // Section 5: mean, stddev, then (|F1|, angle F1), (|F2|, angle F2).
+  EXPECT_EQ(layout.dimensions(), 6u);
+  EXPECT_EQ(layout.mean_dimension(), 0u);
+  EXPECT_EQ(layout.stddev_dimension(), 1u);
+  EXPECT_EQ(layout.magnitude_dimension(0), 2u);
+  EXPECT_EQ(layout.angle_dimension(0), 3u);
+  EXPECT_EQ(layout.magnitude_dimension(1), 4u);
+  EXPECT_EQ(layout.angle_dimension(1), 5u);
+  EXPECT_EQ(layout.coefficient(0), 1u);  // DC term skipped
+  EXPECT_EQ(layout.coefficient(1), 2u);
+  EXPECT_EQ(layout.coefficient_weight(), 2.0);  // symmetry on by default
+}
+
+TEST(FeatureLayoutTest, DimensionKindPredicates) {
+  const FeatureLayout layout;
+  EXPECT_FALSE(layout.is_angle_dimension(0));
+  EXPECT_FALSE(layout.is_magnitude_dimension(0));
+  EXPECT_FALSE(layout.is_angle_dimension(1));
+  EXPECT_TRUE(layout.is_magnitude_dimension(2));
+  EXPECT_TRUE(layout.is_angle_dimension(3));
+  EXPECT_TRUE(layout.is_magnitude_dimension(4));
+  EXPECT_TRUE(layout.is_angle_dimension(5));
+}
+
+TEST(FeatureLayoutTest, NoStatsLayout) {
+  FeatureLayout layout;
+  layout.include_mean_std = false;
+  layout.num_coefficients = 3;
+  EXPECT_EQ(layout.dimensions(), 6u);
+  EXPECT_EQ(layout.magnitude_dimension(0), 0u);
+  EXPECT_EQ(layout.angle_dimension(2), 5u);
+  EXPECT_TRUE(layout.is_magnitude_dimension(0));
+  EXPECT_TRUE(layout.is_angle_dimension(1));
+}
+
+TEST(FeatureLayoutTest, FirstCoefficientOffset) {
+  FeatureLayout layout;
+  layout.first_coefficient = 2;
+  layout.num_coefficients = 2;
+  EXPECT_EQ(layout.coefficient(0), 2u);
+  EXPECT_EQ(layout.coefficient(1), 3u);
+}
+
+TEST(FeatureLayoutTest, SymmetryToggleChangesWeight) {
+  FeatureLayout layout;
+  layout.use_symmetry = false;
+  EXPECT_EQ(layout.coefficient_weight(), 1.0);
+}
+
+}  // namespace
+}  // namespace tsq::transform

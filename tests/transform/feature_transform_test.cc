@@ -1,0 +1,118 @@
+#include "transform/feature_transform.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::transform {
+namespace {
+
+TEST(FeatureTransformTest, IdentityLeavesPointsAlone) {
+  const FeatureTransform id = FeatureTransform::Identity(3);
+  const rstar::Point p = {1.0, -2.0, 3.5};
+  EXPECT_EQ(id.Apply(p), p);
+}
+
+TEST(FeatureTransformTest, ApplyToPoint) {
+  const FeatureTransform t({2.0, -1.0}, {1.0, 0.5});
+  EXPECT_EQ(t.Apply(rstar::Point{3.0, 4.0}), (rstar::Point{7.0, -3.5}));
+}
+
+TEST(FeatureTransformTest, ApplyToRectHandlesNegativeScale) {
+  const FeatureTransform t({-2.0}, {1.0});
+  const rstar::Rect image = t.Apply(rstar::Rect({1.0}, {3.0}));
+  // -2*[1,3]+1 = [-5,-1].
+  EXPECT_EQ(image, rstar::Rect({-5.0}, {-1.0}));
+}
+
+TEST(FeatureTransformTest, RectImageContainsPointImages) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> scale(3), offset(3), lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      scale[d] = rng.Uniform(-3.0, 3.0);
+      offset[d] = rng.Uniform(-3.0, 3.0);
+      const double a = rng.Uniform(-5.0, 5.0);
+      const double b = rng.Uniform(-5.0, 5.0);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const FeatureTransform t(scale, offset);
+    const rstar::Rect rect(lo, hi);
+    const rstar::Rect image = t.Apply(rect);
+    for (int sample = 0; sample < 10; ++sample) {
+      rstar::Point p(3);
+      for (int d = 0; d < 3; ++d) p[d] = rng.Uniform(lo[d], hi[d]);
+      EXPECT_TRUE(image.ContainsPoint(t.Apply(p)));
+    }
+  }
+}
+
+TEST(FeatureTransformTest, ComposeMatchesEquation10) {
+  // t2(t1(x)) must equal the composed transform applied once.
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> a1(2), b1(2), a2(2), b2(2);
+    for (int d = 0; d < 2; ++d) {
+      a1[d] = rng.Uniform(-2.0, 2.0);
+      b1[d] = rng.Uniform(-2.0, 2.0);
+      a2[d] = rng.Uniform(-2.0, 2.0);
+      b2[d] = rng.Uniform(-2.0, 2.0);
+    }
+    const FeatureTransform t1(a1, b1), t2(a2, b2);
+    const FeatureTransform composed = t2.Compose(t1);
+    const rstar::Point x = {rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)};
+    const rstar::Point via_steps = t2.Apply(t1.Apply(x));
+    const rstar::Point via_composed = composed.Apply(x);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_NEAR(via_steps[d], via_composed[d], 1e-9);
+    }
+  }
+}
+
+TEST(FeatureTransformTest, CompositionIsAssociative) {
+  const FeatureTransform t1({2.0}, {1.0});
+  const FeatureTransform t2({-1.0}, {3.0});
+  const FeatureTransform t3({0.5}, {-2.0});
+  const FeatureTransform left = t3.Compose(t2).Compose(t1);
+  const FeatureTransform right = t3.Compose(t2.Compose(t1));
+  EXPECT_EQ(left, right);
+}
+
+TEST(FeatureTransformTest, IdentityIsNeutralForCompose) {
+  const FeatureTransform t({2.0, 3.0}, {-1.0, 4.0});
+  const FeatureTransform id = FeatureTransform::Identity(2);
+  EXPECT_EQ(t.Compose(id), t);
+  EXPECT_EQ(id.Compose(t), t);
+}
+
+TEST(FeatureTransformTest, AsPointInterleavesScaleAndOffset) {
+  const FeatureTransform t({2.0, 3.0}, {-1.0, 4.0});
+  EXPECT_EQ(t.AsPoint(), (std::vector<double>{2.0, -1.0, 3.0, 4.0}));
+}
+
+TEST(ComposeSetsTest, Equation11CrossProduct) {
+  const std::vector<FeatureTransform> first = {FeatureTransform({1.0}, {1.0}),
+                                               FeatureTransform({2.0}, {0.0})};
+  const std::vector<FeatureTransform> second = {
+      FeatureTransform({1.0}, {0.0}), FeatureTransform({-1.0}, {0.0}),
+      FeatureTransform({1.0}, {5.0})};
+  const auto composed = ComposeSets(first, second);
+  ASSERT_EQ(composed.size(), 6u);
+  // Every element is t2(t1(x)) for some pair; verify on a sample point.
+  const rstar::Point x = {3.0};
+  std::size_t index = 0;
+  for (const FeatureTransform& t1 : first) {
+    for (const FeatureTransform& t2 : second) {
+      EXPECT_NEAR(composed[index].Apply(x)[0], t2.Apply(t1.Apply(x))[0],
+                  1e-12);
+      ++index;
+    }
+  }
+}
+
+TEST(FeatureTransformDeathTest, MismatchedSizes) {
+  EXPECT_DEATH(FeatureTransform({1.0, 2.0}, {0.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace tsq::transform

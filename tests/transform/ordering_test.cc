@@ -1,0 +1,164 @@
+#include "transform/ordering.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+
+namespace tsq::transform {
+namespace {
+
+// The exact counterexample sequences of the paper's Appendix A.
+const std::vector<ts::Series> kAppendixSamples = {
+    {10.0, 12.0, 10.0, 12.0},
+    {10.0, 11.0, 12.0, 11.0},
+    {11.0, 11.0, 11.0, 11.0},
+};
+
+TEST(IsScaleFamilyTest, DetectsScaleSets) {
+  EXPECT_TRUE(IsScaleFamily(ScaleRange(16, 2.0, 10.0)));
+  EXPECT_FALSE(IsScaleFamily(MovingAverageRange(16, 1, 4)));
+  EXPECT_FALSE(IsScaleFamily(ShiftRange(16, 1, 3)));
+  EXPECT_TRUE(IsScaleFamily(std::vector<SpectralTransform>{
+      ScaleTransform(16, -3.0)}));  // negative scales still constant-real
+}
+
+TEST(Lemma2Test, ScaleFactorsAreOrdered) {
+  // Lemma 2: "<" orders scale factors w.r.t. Euclidean distance.
+  const auto scales = ScaleRange(4, 2.0, 10.0);
+  EXPECT_TRUE(EmpiricallyOrdered(scales, kAppendixSamples));
+  // And the dominance chain detects it.
+  EXPECT_EQ(DominanceChain(scales).size(), scales.size());
+}
+
+TEST(Lemma2Test, ScaleOrderingOnRandomData) {
+  Rng rng(1);
+  std::vector<ts::Series> samples;
+  for (int i = 0; i < 5; ++i) {
+    ts::Series s(16);
+    for (double& v : s) v = rng.Uniform(-10.0, 10.0);
+    samples.push_back(std::move(s));
+  }
+  EXPECT_TRUE(EmpiricallyOrdered(ScaleRange(16, 1.0, 50.0, 7.0), samples));
+}
+
+TEST(Lemma3Test, CircularMovingAveragesNotOrdered) {
+  // Lemma 3: mv2 and mv3 (circular) admit no ordering; the appendix
+  // sequences witness both violation directions.
+  std::vector<SpectralTransform> mvs = {MovingAverageTransform(4, 2),
+                                        MovingAverageTransform(4, 3)};
+  EXPECT_FALSE(EmpiricallyOrdered(mvs, kAppendixSamples));
+  std::swap(mvs[0], mvs[1]);
+  EXPECT_FALSE(EmpiricallyOrdered(mvs, kAppendixSamples));
+}
+
+TEST(Lemma3Test, AppendixDistancesReproduced) {
+  // Both violation directions of Lemma 3:
+  //   D(mv2(s2), mv2(s3)) = 1 > D(mv3(s2), mv3(s3))   and
+  //   D(mv3(s1), mv3(s3)) = 0.66 > D(mv2(s1), mv2(s3)) = 0.
+  // Note: the paper prints D(mv3(s2), mv3(s3)) = 0.75, but its own printed
+  // sequences mv3(s2) = [11, 10.67, 11, 11.33] and mv3(s3) = [11 11 11 11]
+  // give sqrt(2)/3 ~ 0.471 (a typo in the paper); the inequality — which is
+  // what the lemma needs — holds either way.
+  const SpectralTransform mv2 = MovingAverageTransform(4, 2);
+  const SpectralTransform mv3 = MovingAverageTransform(4, 3);
+  const auto d = [](const ts::Series& a, const ts::Series& b) {
+    return ts::EuclideanDistance(a, b);
+  };
+  EXPECT_NEAR(d(mv2.ApplyToSeries(kAppendixSamples[1]),
+                mv2.ApplyToSeries(kAppendixSamples[2])),
+              1.0, 1e-6);
+  EXPECT_NEAR(d(mv3.ApplyToSeries(kAppendixSamples[1]),
+                mv3.ApplyToSeries(kAppendixSamples[2])),
+              std::sqrt(2.0) / 3.0, 0.01);
+  EXPECT_GT(d(mv2.ApplyToSeries(kAppendixSamples[1]),
+              mv2.ApplyToSeries(kAppendixSamples[2])),
+            d(mv3.ApplyToSeries(kAppendixSamples[1]),
+              mv3.ApplyToSeries(kAppendixSamples[2])));
+  EXPECT_NEAR(d(mv3.ApplyToSeries(kAppendixSamples[0]),
+                mv3.ApplyToSeries(kAppendixSamples[2])),
+              0.66, 0.01);
+  EXPECT_NEAR(d(mv2.ApplyToSeries(kAppendixSamples[0]),
+                mv2.ApplyToSeries(kAppendixSamples[2])),
+              0.0, 1e-6);
+}
+
+TEST(DominanceChainTest, MovingAveragesHaveNoChain) {
+  // |M_f| curves of different windows cross, so no coefficient-wise
+  // dominance chain exists.
+  EXPECT_TRUE(DominanceChain(MovingAverageRange(128, 5, 34)).empty());
+}
+
+TEST(DominanceChainTest, ScalesChainSortedByMagnitude) {
+  std::vector<SpectralTransform> scales = {
+      ScaleTransform(8, 5.0), ScaleTransform(8, 1.0), ScaleTransform(8, 3.0)};
+  const auto chain = DominanceChain(scales);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(DominanceChainTest, SingletonAndEmptyBehaviour) {
+  EXPECT_EQ(DominanceChain(std::vector<SpectralTransform>{}).size(), 0u);
+  EXPECT_EQ(
+      DominanceChain(std::vector<SpectralTransform>{ScaleTransform(4, 2.0)})
+          .size(),
+      1u);
+}
+
+TEST(MonotonePrefixLengthTest, FindsBoundary) {
+  for (std::size_t boundary = 0; boundary <= 20; ++boundary) {
+    std::size_t probes = 0;
+    const std::size_t found =
+        MonotonePrefixLength(20, [&](std::size_t i) {
+          ++probes;
+          return i < boundary;
+        });
+    EXPECT_EQ(found, std::min<std::size_t>(boundary, 20));
+    EXPECT_LE(probes, 6u);  // ~log2(20) + 1
+  }
+}
+
+TEST(MonotonePrefixLengthTest, EmptyDomain) {
+  EXPECT_EQ(MonotonePrefixLength(0, [](std::size_t) { return true; }), 0u);
+}
+
+TEST(OrderedPostProcessingTest, BinarySearchEqualsLinearScanOnScales) {
+  // The Section 4.4 claim: for ordered transforms, binary search finds
+  // exactly the transforms satisfying the distance predicate.
+  Rng rng(2);
+  const std::size_t n = 32;
+  ts::Series x(n), q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1.0, 1.0);
+    q[i] = rng.Uniform(-1.0, 1.0);
+  }
+  const auto scales = ScaleRange(n, 1.0, 30.0, 1.0);
+  const double eps = 10.0;
+  // Linear scan ground truth.
+  std::vector<bool> qualifies;
+  for (const auto& t : scales) {
+    qualifies.push_back(ts::EuclideanDistance(t.ApplyToSeries(x),
+                                              t.ApplyToSeries(q)) < eps);
+  }
+  // Must be a prefix.
+  bool seen_false = false;
+  for (bool v : qualifies) {
+    if (!v) seen_false = true;
+    if (seen_false) {
+      EXPECT_FALSE(v);
+    }
+  }
+  const std::size_t prefix =
+      MonotonePrefixLength(scales.size(), [&](std::size_t i) {
+        return ts::EuclideanDistance(scales[i].ApplyToSeries(x),
+                                     scales[i].ApplyToSeries(q)) < eps;
+      });
+  std::size_t expected = 0;
+  while (expected < qualifies.size() && qualifies[expected]) ++expected;
+  EXPECT_EQ(prefix, expected);
+}
+
+}  // namespace
+}  // namespace tsq::transform

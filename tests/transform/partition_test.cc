@@ -1,0 +1,174 @@
+#include "transform/partition.h"
+
+#include <numeric>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+
+namespace tsq::transform {
+namespace {
+
+// Checks that `partition` is a real partition of [0, count).
+void ExpectValidPartition(const Partition& partition, std::size_t count) {
+  std::set<std::size_t> seen;
+  for (const auto& group : partition) {
+    EXPECT_FALSE(group.empty());
+    for (std::size_t t : group) {
+      EXPECT_LT(t, count);
+      EXPECT_TRUE(seen.insert(t).second) << "duplicate index " << t;
+    }
+  }
+  EXPECT_EQ(seen.size(), count);
+}
+
+TEST(PartitionAllTest, OneGroupWithEverything) {
+  const Partition p = PartitionAll(5);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  ExpectValidPartition(p, 5);
+}
+
+TEST(PartitionSingletonsTest, OneGroupPerTransform) {
+  const Partition p = PartitionSingletons(4);
+  ASSERT_EQ(p.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(p[i], std::vector<std::size_t>{i});
+  }
+  ExpectValidPartition(p, 4);
+}
+
+TEST(PartitionBySizeTest, EvenAndRaggedGroups) {
+  const Partition even = PartitionBySize(24, 6);
+  EXPECT_EQ(even.size(), 4u);
+  for (const auto& g : even) EXPECT_EQ(g.size(), 6u);
+  ExpectValidPartition(even, 24);
+
+  const Partition ragged = PartitionBySize(10, 4);
+  ASSERT_EQ(ragged.size(), 3u);
+  EXPECT_EQ(ragged[0].size(), 4u);
+  EXPECT_EQ(ragged[2].size(), 2u);
+  ExpectValidPartition(ragged, 10);
+}
+
+TEST(PartitionBySizeTest, GroupsAreContiguous) {
+  const Partition p = PartitionBySize(9, 3);
+  EXPECT_EQ(p[1], (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(PartitionIntoGroupsTest, BalancedSizes) {
+  const Partition p = PartitionIntoGroups(10, 3);
+  ASSERT_EQ(p.size(), 3u);
+  // Sizes 4,3,3 — never differing by more than one.
+  std::vector<std::size_t> sizes;
+  for (const auto& g : p) sizes.push_back(g.size());
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 10u);
+  EXPECT_LE(*std::max_element(sizes.begin(), sizes.end()) -
+                *std::min_element(sizes.begin(), sizes.end()),
+            1u);
+  ExpectValidPartition(p, 10);
+}
+
+TEST(PartitionIntoGroupsTest, ExtremeCases) {
+  ExpectValidPartition(PartitionIntoGroups(7, 1), 7);
+  EXPECT_EQ(PartitionIntoGroups(7, 1).size(), 1u);
+  EXPECT_EQ(PartitionIntoGroups(7, 7).size(), 7u);
+}
+
+TEST(PartitionByClustersTest, NeverSpansTheGap) {
+  // Fig. 9's pathology: MAs plus their inverted copies form two clusters; no
+  // group may contain members of both.
+  const std::size_t n = 128;
+  FeatureLayout layout;
+  std::vector<FeatureTransform> fts;
+  const auto mvs = MovingAverageRange(n, 6, 29);
+  for (const auto& t : mvs) fts.push_back(t.ToFeatureTransform(layout));
+  const std::size_t cluster_size = fts.size();
+  for (const auto& t : mvs) {
+    fts.push_back(Inverted(t).ToFeatureTransform(layout));
+  }
+
+  for (std::size_t per_group : {4u, 8u, 16u, 48u}) {
+    const Partition p = PartitionByClusters(fts, per_group);
+    ExpectValidPartition(p, fts.size());
+    for (const auto& group : p) {
+      bool has_plain = false, has_inverted = false;
+      for (std::size_t t : group) {
+        (t < cluster_size ? has_plain : has_inverted) = true;
+      }
+      EXPECT_FALSE(has_plain && has_inverted)
+          << "group spans the inter-cluster gap";
+      EXPECT_LE(group.size(), per_group);
+    }
+  }
+}
+
+TEST(PartitionByClustersTest, SingleClusterBehavesLikeBySize) {
+  const std::size_t n = 128;
+  FeatureLayout layout;
+  std::vector<FeatureTransform> fts;
+  for (const auto& t : MovingAverageRange(n, 6, 17)) {
+    fts.push_back(t.ToFeatureTransform(layout));
+  }
+  const Partition p = PartitionByClusters(fts, 4);
+  ExpectValidPartition(p, fts.size());
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(PartitionCostBasedTest, ConstantCostPrefersOneGroup) {
+  // When every group costs the same, fewer groups win.
+  const Partition p =
+      PartitionCostBased(8, [](std::size_t, std::size_t) { return 1.0; });
+  EXPECT_EQ(p.size(), 1u);
+  ExpectValidPartition(p, 8);
+}
+
+TEST(PartitionCostBasedTest, SuperLinearCostPrefersSingletons) {
+  // Cost quadratic in group size: singletons are optimal.
+  const Partition p = PartitionCostBased(6, [](std::size_t a, std::size_t b) {
+    const double size = static_cast<double>(b - a + 1);
+    return size * size;
+  });
+  EXPECT_EQ(p.size(), 6u);
+  ExpectValidPartition(p, 6);
+}
+
+TEST(PartitionCostBasedTest, FindsTheObviousCut) {
+  // Crossing index 2..3 is penalized heavily: the DP must cut there.
+  const Partition p = PartitionCostBased(6, [](std::size_t a, std::size_t b) {
+    if (a <= 2 && b >= 3) return 1000.0;
+    return 1.0;
+  });
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(p[1], (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(PartitionCostBasedTest, MatchesExhaustiveOnSmallInputs) {
+  // Compare the DP against brute force over all 2^(n-1) cuts.
+  const auto cost = [](std::size_t a, std::size_t b) {
+    const double size = static_cast<double>(b - a + 1);
+    return 3.0 + size * size * 0.7 + (a % 3) * 0.9;
+  };
+  const std::size_t count = 10;
+  double best = 1e300;
+  for (std::size_t mask = 0; mask < (1u << (count - 1)); ++mask) {
+    double total = 0.0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const bool cut = i + 1 == count || (mask >> i) & 1;
+      if (cut) {
+        total += cost(start, i);
+        start = i + 1;
+      }
+    }
+    best = std::min(best, total);
+  }
+  const Partition p = PartitionCostBased(count, cost);
+  double dp_total = 0.0;
+  for (const auto& g : p) dp_total += cost(g.front(), g.back());
+  EXPECT_NEAR(dp_total, best, 1e-9);
+}
+
+}  // namespace
+}  // namespace tsq::transform

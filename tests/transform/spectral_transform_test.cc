@@ -1,0 +1,182 @@
+#include "transform/spectral_transform.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dft/spectrum.h"
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+#include "ts/ops.h"
+
+namespace tsq::transform {
+namespace {
+
+ts::Series RandomSeries(std::size_t n, Rng& rng) {
+  ts::Series x(n);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  return x;
+}
+
+TEST(SpectralTransformTest, IdentityActsAsIdentity) {
+  Rng rng(1);
+  const ts::Series x = RandomSeries(32, rng);
+  const SpectralTransform id = SpectralTransform::Identity(32);
+  const ts::Series y = id.ApplyToSeries(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-9);
+  }
+  EXPECT_TRUE(id.PreservesRealSequences());
+}
+
+TEST(SpectralTransformTest, TransformedDistanceMatchesTimeDomain) {
+  // D(t(x), t(y)) computed in the frequency domain equals the time-domain
+  // distance between the transformed series (Parseval, Eq. 8).
+  Rng rng(2);
+  const std::size_t n = 64;
+  const ts::Series x = RandomSeries(n, rng);
+  const ts::Series y = RandomSeries(n, rng);
+  dft::FftPlan plan(n);
+  const auto fx = plan.Forward(std::span<const double>(x));
+  const auto fy = plan.Forward(std::span<const double>(y));
+  for (std::size_t w : {1u, 3u, 10u, 25u}) {
+    const SpectralTransform t = MovingAverageTransform(n, w);
+    const double freq = t.TransformedSquaredDistance(fx, fy);
+    const double time = ts::SquaredEuclideanDistance(t.ApplyToSeries(x),
+                                                     t.ApplyToSeries(y));
+    EXPECT_NEAR(freq, time, 1e-6 * (1.0 + time)) << "w=" << w;
+  }
+}
+
+TEST(SpectralTransformTest, TransformedToPlainDistanceMatchesTimeDomain) {
+  // D(t(x), q) computed in the frequency domain equals the time-domain
+  // distance between the transformed data series and the plain query.
+  Rng rng(21);
+  const std::size_t n = 64;
+  const ts::Series x = RandomSeries(n, rng);
+  const ts::Series q = RandomSeries(n, rng);
+  dft::FftPlan plan(n);
+  const auto fx = plan.Forward(std::span<const double>(x));
+  const auto fq = plan.Forward(std::span<const double>(q));
+  for (std::size_t s : {0u, 1u, 5u, 63u}) {
+    const SpectralTransform t = ShiftTransform(n, s);
+    const double freq = t.TransformedToPlainSquaredDistance(fx, fq);
+    const double time =
+        ts::SquaredEuclideanDistance(t.ApplyToSeries(x), q);
+    EXPECT_NEAR(freq, time, 1e-6 * (1.0 + time)) << "s=" << s;
+  }
+}
+
+TEST(SpectralTransformTest, DataOnlyDistanceDetectsShifts) {
+  // Unlike the same-transform distance, the data-only distance changes when
+  // the data is shifted relative to the query.
+  Rng rng(22);
+  const std::size_t n = 32;
+  const ts::Series x = RandomSeries(n, rng);
+  dft::FftPlan plan(n);
+  const auto fx = plan.Forward(std::span<const double>(x));
+  const SpectralTransform shift = ShiftTransform(n, 4);
+  // Same-transform distance to itself: always 0.
+  EXPECT_NEAR(shift.TransformedSquaredDistance(fx, fx), 0.0, 1e-9);
+  // Data-only: shift(x) vs x is far from 0 for a random series.
+  EXPECT_GT(shift.TransformedToPlainSquaredDistance(fx, fx), 1.0);
+  // ...and shift-0 is exact again.
+  EXPECT_NEAR(ShiftTransform(n, 0).TransformedToPlainSquaredDistance(fx, fx),
+              0.0, 1e-9);
+}
+
+TEST(SpectralTransformTest, ComposeMultipliesMultipliers) {
+  const std::size_t n = 16;
+  const SpectralTransform a = MovingAverageTransform(n, 3);
+  const SpectralTransform b = ShiftTransform(n, 2);
+  const SpectralTransform ab = a.Compose(b);
+  for (std::size_t f = 0; f < n; ++f) {
+    EXPECT_LT(std::abs(ab.multiplier(f) - a.multiplier(f) * b.multiplier(f)),
+              1e-12);
+  }
+  EXPECT_EQ(ab.label(), "mv3(shift2)");
+}
+
+TEST(SpectralTransformTest, ComposeEqualsSequentialApplication) {
+  Rng rng(3);
+  const std::size_t n = 32;
+  const ts::Series x = RandomSeries(n, rng);
+  const SpectralTransform shift = ShiftTransform(n, 2);
+  const SpectralTransform mv = MovingAverageTransform(n, 5);
+  const ts::Series via_steps = mv.ApplyToSeries(shift.ApplyToSeries(x));
+  const ts::Series via_composed = mv.Compose(shift).ApplyToSeries(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(via_steps[i], via_composed[i], 1e-8);
+  }
+}
+
+TEST(SpectralTransformTest, PreservesRealDetection) {
+  const std::size_t n = 8;
+  EXPECT_TRUE(MovingAverageTransform(n, 3).PreservesRealSequences());
+  EXPECT_TRUE(ShiftTransform(n, 1).PreservesRealSequences());
+  EXPECT_TRUE(MomentumTransform(n).PreservesRealSequences());
+  EXPECT_TRUE(ScaleTransform(n, -2.5).PreservesRealSequences());
+  // A one-sided multiplier (only f=1 boosted) breaks conjugate symmetry.
+  std::vector<dft::Complex> lopsided(n, {1.0, 0.0});
+  lopsided[1] = {2.0, 0.0};
+  EXPECT_FALSE(
+      SpectralTransform("lopsided", lopsided).PreservesRealSequences());
+}
+
+TEST(SpectralTransformTest, ToFeatureTransformPolarDecomposition) {
+  const std::size_t n = 128;
+  FeatureLayout layout;
+  const SpectralTransform t = MovingAverageTransform(n, 10);
+  const FeatureTransform ft = t.ToFeatureTransform(layout);
+  ASSERT_EQ(ft.dimensions(), layout.dimensions());
+  // Mean/std dims are identity.
+  EXPECT_EQ(ft.scale(layout.mean_dimension()), 1.0);
+  EXPECT_EQ(ft.offset(layout.mean_dimension()), 0.0);
+  for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
+    const dft::Polar polar = dft::ToPolar(t.multiplier(layout.coefficient(i)));
+    EXPECT_NEAR(ft.scale(layout.magnitude_dimension(i)), polar.magnitude,
+                1e-12);
+    EXPECT_EQ(ft.offset(layout.magnitude_dimension(i)), 0.0);
+    EXPECT_EQ(ft.scale(layout.angle_dimension(i)), 1.0);
+    EXPECT_NEAR(ft.offset(layout.angle_dimension(i)), polar.angle, 1e-12);
+  }
+}
+
+TEST(SpectralTransformTest, FeatureTransformTracksTransformedFeatures) {
+  // Applying the feature transform to a sequence's features must produce the
+  // features of the transformed sequence (up to angle wrapping).
+  Rng rng(4);
+  const std::size_t n = 128;
+  FeatureLayout layout;
+  layout.include_mean_std = false;
+  dft::FftPlan plan(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ts::Series x = RandomSeries(n, rng);
+    const auto spectrum = plan.Forward(std::span<const double>(x));
+    const SpectralTransform t = MovingAverageTransform(n, 2 + trial);
+    const FeatureTransform ft = t.ToFeatureTransform(layout);
+
+    rstar::Point features(layout.dimensions());
+    for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
+      const dft::Polar polar =
+          dft::ToPolar(spectrum[layout.coefficient(i)]);
+      features[layout.magnitude_dimension(i)] = polar.magnitude;
+      features[layout.angle_dimension(i)] = polar.angle;
+    }
+    const rstar::Point transformed = ft.Apply(features);
+
+    const auto t_spectrum = t.ApplyToSpectrum(spectrum);
+    for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
+      const dft::Polar expected =
+          dft::ToPolar(t_spectrum[layout.coefficient(i)]);
+      EXPECT_NEAR(transformed[layout.magnitude_dimension(i)],
+                  expected.magnitude, 1e-9);
+      EXPECT_NEAR(dft::AngularDistance(
+                      transformed[layout.angle_dimension(i)], expected.angle),
+                  0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsq::transform

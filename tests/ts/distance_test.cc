@@ -1,0 +1,136 @@
+#include "ts/distance.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ts/normal_form.h"
+#include "ts/series.h"
+
+namespace tsq::ts {
+namespace {
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  EXPECT_NEAR(EuclideanDistance(Series{0.0, 0.0}, Series{3.0, 4.0}), 5.0,
+              1e-12);
+  EXPECT_NEAR(SquaredEuclideanDistance(Series{0.0, 0.0}, Series{3.0, 4.0}),
+              25.0, 1e-12);
+  EXPECT_NEAR(EuclideanDistance(Series{1.0}, Series{1.0}), 0.0, 1e-12);
+}
+
+TEST(CityBlockDistanceTest, KnownValues) {
+  EXPECT_NEAR(CityBlockDistance(Series{0.0, 0.0}, Series{3.0, -4.0}), 7.0,
+              1e-12);
+}
+
+TEST(DistanceTest, MetricProperties) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Series x(16), y(16), z(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      x[i] = rng.Uniform(-5.0, 5.0);
+      y[i] = rng.Uniform(-5.0, 5.0);
+      z[i] = rng.Uniform(-5.0, 5.0);
+    }
+    // Symmetry and triangle inequality.
+    EXPECT_NEAR(EuclideanDistance(x, y), EuclideanDistance(y, x), 1e-12);
+    EXPECT_LE(EuclideanDistance(x, z),
+              EuclideanDistance(x, y) + EuclideanDistance(y, z) + 1e-9);
+    EXPECT_GE(EuclideanDistance(x, y), 0.0);
+  }
+}
+
+TEST(CrossCorrelationTest, PerfectCorrelationHitsTheConventionCeiling) {
+  Rng rng(2);
+  Series x(32);
+  for (double& v : x) v = rng.Uniform(-3.0, 3.0);
+  // Under the paper's footnote-5 convention (sample stddev, 1/n
+  // expectation) a perfectly correlated pair scores (n-1)/n, not 1.
+  const double ceiling = 31.0 / 32.0;
+  EXPECT_NEAR(CrossCorrelation(x, AffineMap(x, 2.0, 5.0)), ceiling, 1e-9);
+  EXPECT_NEAR(CrossCorrelation(x, AffineMap(x, -1.0, 0.0)), -ceiling, 1e-9);
+}
+
+TEST(CrossCorrelationTest, ConstantSeriesYieldsZero) {
+  const Series constant(8, 4.0);
+  Series x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  EXPECT_EQ(CrossCorrelation(constant, x), 0.0);
+  EXPECT_EQ(CrossCorrelation(x, constant), 0.0);
+}
+
+TEST(CrossCorrelationTest, IndependentSeriesNearZero) {
+  Rng rng(3);
+  Series x(2048), y(2048);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  EXPECT_NEAR(CrossCorrelation(x, y), 0.0, 0.1);
+}
+
+TEST(Equation9Test, IdentityForNormalForms) {
+  // Eq. 9: D^2(X, Y) == 2 (n - 1 - n rho(X, Y)) for normal forms.
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 128;
+    Series x(n), y(n);
+    double vx = 0.0, vy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      vx += rng.Uniform(-1.0, 1.0);
+      vy += rng.Uniform(-1.0, 1.0);
+      x[i] = vx;
+      y[i] = vy;
+    }
+    const Series nx = Normalize(x).values;
+    const Series ny = Normalize(y).values;
+    const double d2 = SquaredEuclideanDistance(nx, ny);
+    const double rho = CrossCorrelation(nx, ny);
+    EXPECT_NEAR(d2, CorrelationToSquaredDistance(rho, n), 1e-6 * (1.0 + d2));
+    EXPECT_NEAR(rho, SquaredDistanceToCorrelation(d2, n), 1e-9);
+  }
+}
+
+TEST(Equation9Test, PaperThresholdRho096) {
+  // The paper's experiments: n = 128, rho = 0.96 -> epsilon ~ 2.87 (the
+  // "distance less than 3" of Example 1.1).
+  const double eps = CorrelationToDistanceThreshold(0.96, 128);
+  EXPECT_NEAR(eps, std::sqrt(2.0 * (127.0 - 128.0 * 0.96)), 1e-12);
+  EXPECT_GT(eps, 2.8);
+  EXPECT_LT(eps, 3.0);
+}
+
+TEST(Equation9Test, RhoOneClampsToZero) {
+  EXPECT_EQ(CorrelationToSquaredDistance(1.0, 128), 0.0);
+  EXPECT_EQ(CorrelationToDistanceThreshold(1.0, 128), 0.0);
+}
+
+TEST(Equation9Test, RoundTripThroughBothDirections) {
+  for (double rho : {-0.5, 0.0, 0.5, 0.9, 0.96}) {
+    const double d2 = CorrelationToSquaredDistance(rho, 64);
+    EXPECT_NEAR(SquaredDistanceToCorrelation(d2, 64), rho, 1e-12);
+  }
+}
+
+TEST(NormalFormMinimizesShiftTest, Property1OfSection32) {
+  // Property 1: subtracting the mean minimizes distance over scalar shifts.
+  Rng rng(5);
+  Series x(64), y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = rng.Uniform(0.0, 10.0);
+    y[i] = rng.Uniform(5.0, 15.0);
+  }
+  const SeriesStats sx = ComputeStats(x);
+  const SeriesStats sy = ComputeStats(y);
+  const double best = SquaredEuclideanDistance(AffineMap(x, 1.0, -sx.mean),
+                                               AffineMap(y, 1.0, -sy.mean));
+  for (int trial = 0; trial < 20; ++trial) {
+    const double dx = rng.Uniform(-3.0, 3.0);
+    const double dy = rng.Uniform(-3.0, 3.0);
+    const double other = SquaredEuclideanDistance(
+        AffineMap(x, 1.0, -sx.mean + dx), AffineMap(y, 1.0, -sy.mean + dy));
+    EXPECT_GE(other + 1e-9, best);
+  }
+}
+
+}  // namespace
+}  // namespace tsq::ts

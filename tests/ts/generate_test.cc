@@ -1,0 +1,169 @@
+#include "ts/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dft/fft.h"
+#include "gtest/gtest.h"
+#include "transform/builders.h"
+#include "ts/distance.h"
+#include "ts/normal_form.h"
+#include "ts/ops.h"
+
+namespace tsq::ts {
+namespace {
+
+TEST(RandomWalkTest, ShapeAndDeterminism) {
+  RandomWalkConfig config;
+  config.num_series = 10;
+  config.length = 128;
+  config.seed = 7;
+  const auto a = GenerateRandomWalks(config);
+  const auto b = GenerateRandomWalks(config);
+  ASSERT_EQ(a.size(), 10u);
+  for (const Series& s : a) EXPECT_EQ(s.size(), 128u);
+  EXPECT_EQ(a, b);  // same seed, same data
+}
+
+TEST(RandomWalkTest, DifferentSeedsDiffer) {
+  RandomWalkConfig config;
+  config.num_series = 1;
+  config.seed = 1;
+  const auto a = GenerateRandomWalks(config);
+  config.seed = 2;
+  const auto b = GenerateRandomWalks(config);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomWalkTest, StepsBoundedByPaperRecipe) {
+  // x_t = x_{t-1} + z_t with z_t in [-500, 500].
+  RandomWalkConfig config;
+  config.num_series = 5;
+  config.length = 256;
+  config.step = 500.0;
+  for (const Series& s : GenerateRandomWalks(config)) {
+    for (std::size_t t = 1; t < s.size(); ++t) {
+      EXPECT_LE(std::fabs(s[t] - s[t - 1]), 500.0);
+    }
+  }
+}
+
+TEST(StockMarketTest, ShapeAndDeterminism) {
+  StockMarketConfig config;
+  config.num_series = 50;
+  config.length = 128;
+  const auto a = GenerateStockMarket(config);
+  const auto b = GenerateStockMarket(config);
+  ASSERT_EQ(a.size(), 50u);
+  for (const Series& s : a) EXPECT_EQ(s.size(), 128u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StockMarketTest, PricesStayPositive) {
+  StockMarketConfig config;
+  config.num_series = 100;
+  for (const Series& s : GenerateStockMarket(config)) {
+    for (double price : s) EXPECT_GT(price, 0.0);
+  }
+}
+
+TEST(StockMarketTest, SectorStructureCreatesCorrelatedPairs) {
+  // The point of the generator: a realistic tail of highly-correlated pairs
+  // (the paper's join experiment needs output at rho >= 0.99 after
+  // smoothing).
+  StockMarketConfig config;
+  config.num_series = 200;
+  config.seed = 1999;
+  const auto stocks = GenerateStockMarket(config);
+  double best = -1.0;
+  int high_pairs = 0;
+  for (std::size_t a = 0; a < stocks.size(); ++a) {
+    const Series na = Normalize(stocks[a]).values;
+    const Series sa = CircularMovingAverage(na, 10);
+    for (std::size_t b = a + 1; b < std::min<std::size_t>(stocks.size(), a + 40);
+         ++b) {
+      const Series nb = Normalize(stocks[b]).values;
+      const Series sb = CircularMovingAverage(nb, 10);
+      const double rho = CrossCorrelation(sa, sb);
+      best = std::max(best, rho);
+      if (rho >= 0.99) ++high_pairs;
+    }
+  }
+  EXPECT_GT(best, 0.99);
+  EXPECT_GE(high_pairs, 1);
+}
+
+TEST(SeasonalTest, EnergyConcentratesAtConfiguredHarmonics) {
+  SeasonalConfig config;
+  config.num_series = 5;
+  config.length = 128;
+  config.harmonics = {3, 9};
+  config.noise = 0.0;
+  const auto series = GenerateSeasonal(config);
+  ASSERT_EQ(series.size(), 5u);
+  for (const Series& s : series) {
+    // All energy at bands 3 and 9 (mirrored at n-3, n-9); none elsewhere.
+    const auto spectrum =
+        tsq::dft::Forward(std::span<const double>(s));
+    double in_band = 0.0, total = 0.0;
+    for (std::size_t f = 1; f < 128; ++f) {
+      const std::size_t band = std::min(f, 128 - f);
+      const double energy = std::norm(spectrum[f]);
+      total += energy;
+      if (band == 3 || band == 9) in_band += energy;
+    }
+    EXPECT_GT(total, 1.0);
+    EXPECT_NEAR(in_band / total, 1.0, 1e-9);
+  }
+}
+
+TEST(SeasonalTest, BandPassSeparatesTheHarmonics) {
+  SeasonalConfig config;
+  config.num_series = 20;
+  config.length = 64;
+  config.harmonics = {2, 13};
+  config.noise = 0.05;
+  const auto series = GenerateSeasonal(config);
+  // Keeping only the low band leaves a clean 2-cycle wave: its correlation
+  // with the full series reflects how much energy the low harmonic carries.
+  const auto low = tsq::transform::BandPassTransform(64, 1, 5);
+  const auto high = tsq::transform::BandPassTransform(64, 6, 32);
+  for (const Series& s : series) {
+    const Series l = low.ApplyToSeries(s);
+    const Series h = high.ApplyToSeries(s);
+    Series sum(64);
+    for (std::size_t t = 0; t < 64; ++t) sum[t] = l[t] + h[t];
+    // The two bands partition the signal (minus the DC term, which both
+    // filters drop).
+    const SeriesStats stats = ComputeStats(s);
+    for (std::size_t t = 0; t < 64; ++t) {
+      EXPECT_NEAR(sum[t], s[t] - stats.mean, 0.05);
+    }
+  }
+}
+
+TEST(SeasonalTest, DeterministicAndNoisy) {
+  SeasonalConfig config;
+  config.num_series = 3;
+  const auto a = GenerateSeasonal(config);
+  const auto b = GenerateSeasonal(config);
+  EXPECT_EQ(a, b);
+  config.seed = 8;
+  EXPECT_NE(GenerateSeasonal(config), a);
+}
+
+TEST(StockMarketTest, NotAllPairsAreNearDuplicates) {
+  StockMarketConfig config;
+  config.num_series = 60;
+  const auto stocks = GenerateStockMarket(config);
+  int low_pairs = 0;
+  for (std::size_t a = 0; a < stocks.size(); ++a) {
+    for (std::size_t b = a + 1; b < stocks.size(); ++b) {
+      if (CrossCorrelation(stocks[a], stocks[b]) < 0.9) ++low_pairs;
+    }
+  }
+  EXPECT_GT(low_pairs, 100);
+}
+
+}  // namespace
+}  // namespace tsq::ts

@@ -1,0 +1,76 @@
+#include "ts/normal_form.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::ts {
+namespace {
+
+TEST(NormalizeTest, ProducesZeroMeanUnitStddev) {
+  Rng rng(1);
+  Series x(128);
+  for (double& v : x) v = rng.Uniform(-100.0, 100.0);
+  const NormalForm normal = Normalize(x);
+  const SeriesStats stats = ComputeStats(normal.values);
+  EXPECT_NEAR(stats.mean, 0.0, 1e-9);
+  EXPECT_NEAR(stats.stddev, 1.0, 1e-9);
+}
+
+TEST(NormalizeTest, RecordsOriginalStats) {
+  const Series x = {10.0, 20.0, 30.0};
+  const NormalForm normal = Normalize(x);
+  EXPECT_NEAR(normal.mean, 20.0, 1e-12);
+  EXPECT_NEAR(normal.stddev, 10.0, 1e-12);  // sample stddev
+}
+
+TEST(NormalizeTest, SumOfSquaresIsNMinusOne) {
+  // The convention Eq. 9 needs: sum(x_t^2) == n - 1 for a normal form.
+  Rng rng(2);
+  Series x(64);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  const NormalForm normal = Normalize(x);
+  double ss = 0.0;
+  for (double v : normal.values) ss += v * v;
+  EXPECT_NEAR(ss, 63.0, 1e-9);
+}
+
+TEST(NormalizeTest, ConstantSeriesMapsToZeros) {
+  const NormalForm normal = Normalize(Series{7.0, 7.0, 7.0});
+  EXPECT_EQ(normal.values, (Series{0.0, 0.0, 0.0}));
+  EXPECT_NEAR(normal.mean, 7.0, 1e-12);
+  EXPECT_EQ(normal.stddev, 0.0);
+}
+
+TEST(NormalizeTest, ScaleAndShiftInvariance) {
+  // Normal form removes affine differences: normal(a*x + b) == normal(x)
+  // for a > 0.
+  Rng rng(3);
+  Series x(32);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  const Series moved = AffineMap(x, 4.2, -17.0);
+  const NormalForm a = Normalize(x);
+  const NormalForm b = Normalize(moved);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9);
+  }
+}
+
+TEST(DenormalizeTest, RoundTrip) {
+  Rng rng(4);
+  Series x(50);
+  for (double& v : x) v = rng.Uniform(-1000.0, 1000.0);
+  const Series back = Denormalize(Normalize(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-6);
+  }
+}
+
+TEST(DenormalizeTest, ConstantRoundTrip) {
+  const Series x = {5.0, 5.0, 5.0};
+  EXPECT_EQ(Denormalize(Normalize(x)), x);
+}
+
+}  // namespace
+}  // namespace tsq::ts

@@ -1,0 +1,156 @@
+#include "ts/ops.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::ts {
+namespace {
+
+// The exact sequences from the paper's Appendix A (Lemmas 3 and 4); our
+// moving-average conventions must reproduce the paper's arithmetic.
+const Series kS1 = {10.0, 12.0, 10.0, 12.0};
+const Series kS2 = {10.0, 11.0, 12.0, 11.0};
+const Series kS3 = {11.0, 11.0, 11.0, 11.0};
+
+void ExpectSeriesNear(const Series& actual, const Series& expected,
+                      double tolerance = 1e-9) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tolerance) << "i=" << i;
+  }
+}
+
+TEST(CircularMovingAverageTest, PaperAppendixMv2) {
+  ExpectSeriesNear(CircularMovingAverage(kS1, 2), {11.0, 11.0, 11.0, 11.0});
+  ExpectSeriesNear(CircularMovingAverage(kS2, 2), {10.5, 10.5, 11.5, 11.5});
+  ExpectSeriesNear(CircularMovingAverage(kS3, 2), {11.0, 11.0, 11.0, 11.0});
+}
+
+TEST(CircularMovingAverageTest, PaperAppendixMv3) {
+  ExpectSeriesNear(CircularMovingAverage(kS1, 3),
+                   {32.0 / 3, 34.0 / 3, 32.0 / 3, 34.0 / 3}, 1e-2);
+  ExpectSeriesNear(CircularMovingAverage(kS2, 3),
+                   {11.0, 32.0 / 3, 11.0, 34.0 / 3}, 1e-2);
+  ExpectSeriesNear(CircularMovingAverage(kS3, 3), {11.0, 11.0, 11.0, 11.0});
+}
+
+TEST(MovingAverageTest, PaperAppendixNonCircular) {
+  // Lemma 4's tables (window slides over full windows only).
+  ExpectSeriesNear(MovingAverage(kS1, 2), {11.0, 11.0, 11.0});
+  ExpectSeriesNear(MovingAverage(kS2, 2), {10.5, 11.5, 11.5});
+  ExpectSeriesNear(MovingAverage(kS3, 2), {11.0, 11.0, 11.0});
+  ExpectSeriesNear(MovingAverage(kS1, 3), {32.0 / 3, 34.0 / 3}, 1e-2);
+  ExpectSeriesNear(MovingAverage(kS2, 3), {11.0, 34.0 / 3}, 1e-2);
+  ExpectSeriesNear(MovingAverage(kS3, 3), {11.0, 11.0});
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  Rng rng(4);
+  Series x(16);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  ExpectSeriesNear(CircularMovingAverage(x, 1), x);
+  ExpectSeriesNear(MovingAverage(x, 1), x);
+}
+
+TEST(MovingAverageTest, FullWindowIsMean) {
+  const Series x = {1.0, 2.0, 3.0, 6.0};
+  ExpectSeriesNear(CircularMovingAverage(x, 4), {3.0, 3.0, 3.0, 3.0});
+  ExpectSeriesNear(MovingAverage(x, 4), {3.0});
+}
+
+TEST(MovingAverageTest, SlidingSumMatchesDirectComputation) {
+  Rng rng(5);
+  Series x(50);
+  for (double& v : x) v = rng.Uniform(-100.0, 100.0);
+  for (std::size_t w : {2u, 3u, 7u, 20u, 50u}) {
+    const Series fast = CircularMovingAverage(x, w);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double direct = 0.0;
+      for (std::size_t k = 0; k < w; ++k) {
+        direct += x[(i + x.size() - k) % x.size()];
+      }
+      EXPECT_NEAR(fast[i], direct / static_cast<double>(w), 1e-9)
+          << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(CircularMomentumTest, MatchesDefinition) {
+  const Series x = {1.0, 4.0, 9.0, 16.0};
+  // y_i = x_i - x_{i-1 mod n}
+  ExpectSeriesNear(CircularMomentum(x), {1.0 - 16.0, 3.0, 5.0, 7.0});
+}
+
+TEST(CircularMomentumTest, MultiStep) {
+  const Series x = {1.0, 4.0, 9.0, 16.0};
+  ExpectSeriesNear(CircularMomentum(x, 2), {1.0 - 9.0, 4.0 - 16.0, 8.0, 12.0});
+}
+
+TEST(MomentumTest, NonCircularDiff) {
+  ExpectSeriesNear(Momentum(Series{1.0, 4.0, 9.0, 16.0}), {3.0, 5.0, 7.0});
+}
+
+TEST(CircularShiftTest, ShiftByOne) {
+  ExpectSeriesNear(CircularShift(Series{1.0, 2.0, 3.0, 4.0}, 1),
+                   {4.0, 1.0, 2.0, 3.0});
+}
+
+TEST(CircularShiftTest, ShiftByLengthIsIdentity) {
+  const Series x = {1.0, 2.0, 3.0};
+  ExpectSeriesNear(CircularShift(x, 3), x);
+  ExpectSeriesNear(CircularShift(x, 0), x);
+  ExpectSeriesNear(CircularShift(x, 7), CircularShift(x, 1));
+}
+
+TEST(PaddedShiftTest, InsertsZeros) {
+  ExpectSeriesNear(PaddedShift(Series{1.0, 2.0, 3.0, 4.0}, 2),
+                   {0.0, 0.0, 1.0, 2.0});
+}
+
+TEST(PaddedShiftTest, ShiftBeyondLengthIsAllZero) {
+  ExpectSeriesNear(PaddedShift(Series{1.0, 2.0}, 5), {0.0, 0.0});
+}
+
+TEST(ScaleInvertTest, Basics) {
+  ExpectSeriesNear(Scale(Series{1.0, -2.0}, 3.0), {3.0, -6.0});
+  ExpectSeriesNear(Invert(Series{1.0, -2.0}), {-1.0, 2.0});
+}
+
+// Property sweep: moving average of different windows over random data.
+class MovingAveragePropertyTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(MovingAveragePropertyTest, PreservesMeanCircularly) {
+  // Circular MA redistributes values but preserves the total sum.
+  const std::size_t w = GetParam();
+  Rng rng(w);
+  Series x(64);
+  for (double& v : x) v = rng.Uniform(-10.0, 10.0);
+  const Series smoothed = CircularMovingAverage(x, w);
+  double sum_x = 0.0, sum_s = 0.0;
+  for (double v : x) sum_x += v;
+  for (double v : smoothed) sum_s += v;
+  EXPECT_NEAR(sum_x, sum_s, 1e-8);
+}
+
+TEST_P(MovingAveragePropertyTest, ReducesVariance) {
+  // Smoothing never increases the sample variance of a circular signal
+  // (spectral gain |M_f| <= 1 on every non-DC coefficient).
+  const std::size_t w = GetParam();
+  Rng rng(w * 17);
+  Series x(64);
+  double value = 0.0;
+  for (double& v : x) {
+    value += rng.Uniform(-1.0, 1.0);
+    v = value;
+  }
+  const SeriesStats before = ComputeStats(x);
+  const SeriesStats after = ComputeStats(CircularMovingAverage(x, w));
+  EXPECT_LE(after.stddev, before.stddev + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MovingAveragePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 9, 19, 32, 64));
+
+}  // namespace
+}  // namespace tsq::ts

@@ -1,0 +1,63 @@
+#include "ts/series.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace tsq::ts {
+namespace {
+
+TEST(ComputeStatsTest, SimpleKnownValues) {
+  const Series x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SeriesStats stats = ComputeStats(x);
+  EXPECT_NEAR(stats.mean, 5.0, 1e-12);
+  // Sample variance: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(stats.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(ComputeStatsTest, SingleElement) {
+  const SeriesStats stats = ComputeStats(Series{3.0});
+  EXPECT_NEAR(stats.mean, 3.0, 1e-12);
+  EXPECT_EQ(stats.stddev, 0.0);
+}
+
+TEST(ComputeStatsTest, ConstantSeriesHasZeroStddev) {
+  const SeriesStats stats = ComputeStats(Series{5.0, 5.0, 5.0, 5.0});
+  EXPECT_NEAR(stats.mean, 5.0, 1e-12);
+  EXPECT_NEAR(stats.stddev, 0.0, 1e-12);
+}
+
+TEST(ComputeStatsTest, ShiftAndScaleBehaviour) {
+  Rng rng(99);
+  Series x(64);
+  for (double& v : x) v = rng.Uniform(-10.0, 10.0);
+  const SeriesStats base = ComputeStats(x);
+  const Series moved = AffineMap(x, 3.0, 7.0);
+  const SeriesStats stats = ComputeStats(moved);
+  EXPECT_NEAR(stats.mean, 3.0 * base.mean + 7.0, 1e-9);
+  EXPECT_NEAR(stats.stddev, 3.0 * base.stddev, 1e-9);
+}
+
+TEST(AffineMapTest, AppliesElementwise) {
+  const Series out = AffineMap(Series{1.0, 2.0, 3.0}, 2.0, -1.0);
+  EXPECT_EQ(out, (Series{1.0, 3.0, 5.0}));
+}
+
+TEST(SubtractTest, Elementwise) {
+  const Series out = Subtract(Series{5.0, 6.0}, Series{1.0, 4.0});
+  EXPECT_EQ(out, (Series{4.0, 2.0}));
+}
+
+TEST(PreviewTest, ShortSeries) {
+  EXPECT_EQ(Preview(Series{1.0, 2.0}), "[1, 2]");
+}
+
+TEST(PreviewTest, TruncatesLongSeries) {
+  const Series x(100, 1.0);
+  const std::string preview = Preview(x, 3);
+  EXPECT_EQ(preview, "[1, 1, 1, ...]");
+}
+
+}  // namespace
+}  // namespace tsq::ts
