@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_caching.dir/ablation_caching.cc.o"
+  "CMakeFiles/ablation_caching.dir/ablation_caching.cc.o.d"
+  "ablation_caching"
+  "ablation_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

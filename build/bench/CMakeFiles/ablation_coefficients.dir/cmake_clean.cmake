@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coefficients.dir/ablation_coefficients.cc.o"
+  "CMakeFiles/ablation_coefficients.dir/ablation_coefficients.cc.o.d"
+  "ablation_coefficients"
+  "ablation_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

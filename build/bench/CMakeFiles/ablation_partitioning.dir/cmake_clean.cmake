@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partitioning.dir/ablation_partitioning.cc.o"
+  "CMakeFiles/ablation_partitioning.dir/ablation_partitioning.cc.o.d"
+  "ablation_partitioning"
+  "ablation_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

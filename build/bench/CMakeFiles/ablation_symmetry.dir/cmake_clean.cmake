@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_symmetry.dir/ablation_symmetry.cc.o"
+  "CMakeFiles/ablation_symmetry.dir/ablation_symmetry.cc.o.d"
+  "ablation_symmetry"
+  "ablation_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

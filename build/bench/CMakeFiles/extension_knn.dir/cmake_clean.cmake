@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_knn.dir/extension_knn.cc.o"
+  "CMakeFiles/extension_knn.dir/extension_knn.cc.o.d"
+  "extension_knn"
+  "extension_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

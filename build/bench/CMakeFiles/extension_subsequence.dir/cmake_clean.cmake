@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_subsequence.dir/extension_subsequence.cc.o"
+  "CMakeFiles/extension_subsequence.dir/extension_subsequence.cc.o.d"
+  "extension_subsequence"
+  "extension_subsequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_subsequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scale_sequences.dir/fig5_scale_sequences.cc.o"
+  "CMakeFiles/fig5_scale_sequences.dir/fig5_scale_sequences.cc.o.d"
+  "fig5_scale_sequences"
+  "fig5_scale_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scale_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scale_transforms.dir/fig6_scale_transforms.cc.o"
+  "CMakeFiles/fig6_scale_transforms.dir/fig6_scale_transforms.cc.o.d"
+  "fig6_scale_transforms"
+  "fig6_scale_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scale_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_join.dir/fig7_join.cc.o"
+  "CMakeFiles/fig7_join.dir/fig7_join.cc.o.d"
+  "fig7_join"
+  "fig7_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mbr_packing.dir/fig8_mbr_packing.cc.o"
+  "CMakeFiles/fig8_mbr_packing.dir/fig8_mbr_packing.cc.o.d"
+  "fig8_mbr_packing"
+  "fig8_mbr_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mbr_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

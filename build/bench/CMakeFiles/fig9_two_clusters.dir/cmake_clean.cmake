@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_two_clusters.dir/fig9_two_clusters.cc.o"
+  "CMakeFiles/fig9_two_clusters.dir/fig9_two_clusters.cc.o.d"
+  "fig9_two_clusters"
+  "fig9_two_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_two_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_two_clusters.
+# This may be replaced when dependencies are built.

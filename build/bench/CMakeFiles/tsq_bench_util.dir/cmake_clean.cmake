@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tsq_bench_util.dir/bench_util.cc.o.d"
+  "libtsq_bench_util.a"
+  "libtsq_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

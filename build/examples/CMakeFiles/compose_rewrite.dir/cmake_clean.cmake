@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_rewrite.dir/compose_rewrite.cc.o"
+  "CMakeFiles/compose_rewrite.dir/compose_rewrite.cc.o.d"
+  "compose_rewrite"
+  "compose_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedging_screen.dir/hedging_screen.cc.o"
+  "CMakeFiles/hedging_screen.dir/hedging_screen.cc.o.d"
+  "hedging_screen"
+  "hedging_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedging_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

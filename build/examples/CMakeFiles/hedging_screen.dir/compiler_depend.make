@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hedging_screen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_indices.dir/market_indices.cc.o"
+  "CMakeFiles/market_indices.dir/market_indices.cc.o.d"
+  "market_indices"
+  "market_indices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

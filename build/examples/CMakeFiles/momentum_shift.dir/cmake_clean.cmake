@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/momentum_shift.dir/momentum_shift.cc.o"
+  "CMakeFiles/momentum_shift.dir/momentum_shift.cc.o.d"
+  "momentum_shift"
+  "momentum_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/momentum_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

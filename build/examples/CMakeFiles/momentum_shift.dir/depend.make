@@ -1,0 +1,2 @@
+# Empty dependencies file for momentum_shift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsequence_scan.dir/subsequence_scan.cc.o"
+  "CMakeFiles/subsequence_scan.dir/subsequence_scan.cc.o.d"
+  "subsequence_scan"
+  "subsequence_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsequence_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

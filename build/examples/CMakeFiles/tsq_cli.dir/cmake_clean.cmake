@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_cli.dir/tsq_cli.cc.o"
+  "CMakeFiles/tsq_cli.dir/tsq_cli.cc.o.d"
+  "tsq_cli"
+  "tsq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_common.dir/check.cc.o"
+  "CMakeFiles/tsq_common.dir/check.cc.o.d"
+  "CMakeFiles/tsq_common.dir/rng.cc.o"
+  "CMakeFiles/tsq_common.dir/rng.cc.o.d"
+  "CMakeFiles/tsq_common.dir/status.cc.o"
+  "CMakeFiles/tsq_common.dir/status.cc.o.d"
+  "libtsq_common.a"
+  "libtsq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

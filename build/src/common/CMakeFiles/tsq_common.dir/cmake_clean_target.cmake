@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsq_common.a"
+)

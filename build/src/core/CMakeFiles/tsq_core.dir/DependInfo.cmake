@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/tsq_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/tsq_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/tsq_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feature.cc" "src/core/CMakeFiles/tsq_core.dir/feature.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/feature.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/tsq_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/index.cc.o.d"
+  "/root/repo/src/core/join_query.cc" "src/core/CMakeFiles/tsq_core.dir/join_query.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/join_query.cc.o.d"
+  "/root/repo/src/core/knn_query.cc" "src/core/CMakeFiles/tsq_core.dir/knn_query.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/knn_query.cc.o.d"
+  "/root/repo/src/core/polar_bounds.cc" "src/core/CMakeFiles/tsq_core.dir/polar_bounds.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/polar_bounds.cc.o.d"
+  "/root/repo/src/core/range_query.cc" "src/core/CMakeFiles/tsq_core.dir/range_query.cc.o" "gcc" "src/core/CMakeFiles/tsq_core.dir/range_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/tsq_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/tsq_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/tsq_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/tsq_transform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

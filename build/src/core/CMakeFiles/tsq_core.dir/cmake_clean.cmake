@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_core.dir/cost_model.cc.o"
+  "CMakeFiles/tsq_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/tsq_core.dir/dataset.cc.o"
+  "CMakeFiles/tsq_core.dir/dataset.cc.o.d"
+  "CMakeFiles/tsq_core.dir/engine.cc.o"
+  "CMakeFiles/tsq_core.dir/engine.cc.o.d"
+  "CMakeFiles/tsq_core.dir/feature.cc.o"
+  "CMakeFiles/tsq_core.dir/feature.cc.o.d"
+  "CMakeFiles/tsq_core.dir/index.cc.o"
+  "CMakeFiles/tsq_core.dir/index.cc.o.d"
+  "CMakeFiles/tsq_core.dir/join_query.cc.o"
+  "CMakeFiles/tsq_core.dir/join_query.cc.o.d"
+  "CMakeFiles/tsq_core.dir/knn_query.cc.o"
+  "CMakeFiles/tsq_core.dir/knn_query.cc.o.d"
+  "CMakeFiles/tsq_core.dir/polar_bounds.cc.o"
+  "CMakeFiles/tsq_core.dir/polar_bounds.cc.o.d"
+  "CMakeFiles/tsq_core.dir/range_query.cc.o"
+  "CMakeFiles/tsq_core.dir/range_query.cc.o.d"
+  "libtsq_core.a"
+  "libtsq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

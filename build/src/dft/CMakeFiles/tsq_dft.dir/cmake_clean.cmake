@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_dft.dir/fft.cc.o"
+  "CMakeFiles/tsq_dft.dir/fft.cc.o.d"
+  "CMakeFiles/tsq_dft.dir/spectrum.cc.o"
+  "CMakeFiles/tsq_dft.dir/spectrum.cc.o.d"
+  "libtsq_dft.a"
+  "libtsq_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

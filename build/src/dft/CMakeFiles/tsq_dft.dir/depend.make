@@ -1,0 +1,2 @@
+# Empty dependencies file for tsq_dft.
+# This may be replaced when dependencies are built.

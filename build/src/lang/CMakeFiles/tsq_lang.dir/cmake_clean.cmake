@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_lang.dir/compiler.cc.o"
+  "CMakeFiles/tsq_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/tsq_lang.dir/lexer.cc.o"
+  "CMakeFiles/tsq_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/tsq_lang.dir/parser.cc.o"
+  "CMakeFiles/tsq_lang.dir/parser.cc.o.d"
+  "libtsq_lang.a"
+  "libtsq_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rstar/join.cc" "src/rstar/CMakeFiles/tsq_rstar.dir/join.cc.o" "gcc" "src/rstar/CMakeFiles/tsq_rstar.dir/join.cc.o.d"
+  "/root/repo/src/rstar/rect.cc" "src/rstar/CMakeFiles/tsq_rstar.dir/rect.cc.o" "gcc" "src/rstar/CMakeFiles/tsq_rstar.dir/rect.cc.o.d"
+  "/root/repo/src/rstar/rstar_tree.cc" "src/rstar/CMakeFiles/tsq_rstar.dir/rstar_tree.cc.o" "gcc" "src/rstar/CMakeFiles/tsq_rstar.dir/rstar_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/tsq_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_rstar.dir/join.cc.o"
+  "CMakeFiles/tsq_rstar.dir/join.cc.o.d"
+  "CMakeFiles/tsq_rstar.dir/rect.cc.o"
+  "CMakeFiles/tsq_rstar.dir/rect.cc.o.d"
+  "CMakeFiles/tsq_rstar.dir/rstar_tree.cc.o"
+  "CMakeFiles/tsq_rstar.dir/rstar_tree.cc.o.d"
+  "libtsq_rstar.a"
+  "libtsq_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

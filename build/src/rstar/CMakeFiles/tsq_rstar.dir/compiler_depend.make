@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsq_rstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/tsq_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/tsq_storage.dir/page_file.cc.o"
+  "CMakeFiles/tsq_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/tsq_storage.dir/record_store.cc.o"
+  "CMakeFiles/tsq_storage.dir/record_store.cc.o.d"
+  "libtsq_storage.a"
+  "libtsq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

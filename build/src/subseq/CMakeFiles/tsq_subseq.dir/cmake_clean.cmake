@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_subseq.dir/subsequence_index.cc.o"
+  "CMakeFiles/tsq_subseq.dir/subsequence_index.cc.o.d"
+  "libtsq_subseq.a"
+  "libtsq_subseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_subseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

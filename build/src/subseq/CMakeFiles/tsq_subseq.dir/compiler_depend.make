@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsq_subseq.
+# This may be replaced when dependencies are built.

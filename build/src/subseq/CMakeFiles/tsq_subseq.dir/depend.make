@@ -1,0 +1,2 @@
+# Empty dependencies file for tsq_subseq.
+# This may be replaced when dependencies are built.

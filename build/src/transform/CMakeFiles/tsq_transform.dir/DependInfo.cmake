@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/builders.cc" "src/transform/CMakeFiles/tsq_transform.dir/builders.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/builders.cc.o.d"
+  "/root/repo/src/transform/cluster.cc" "src/transform/CMakeFiles/tsq_transform.dir/cluster.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/cluster.cc.o.d"
+  "/root/repo/src/transform/feature_transform.cc" "src/transform/CMakeFiles/tsq_transform.dir/feature_transform.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/feature_transform.cc.o.d"
+  "/root/repo/src/transform/ordering.cc" "src/transform/CMakeFiles/tsq_transform.dir/ordering.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/ordering.cc.o.d"
+  "/root/repo/src/transform/partition.cc" "src/transform/CMakeFiles/tsq_transform.dir/partition.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/partition.cc.o.d"
+  "/root/repo/src/transform/spectral_transform.cc" "src/transform/CMakeFiles/tsq_transform.dir/spectral_transform.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/spectral_transform.cc.o.d"
+  "/root/repo/src/transform/transform_mbr.cc" "src/transform/CMakeFiles/tsq_transform.dir/transform_mbr.cc.o" "gcc" "src/transform/CMakeFiles/tsq_transform.dir/transform_mbr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/tsq_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/tsq_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/tsq_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsq_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

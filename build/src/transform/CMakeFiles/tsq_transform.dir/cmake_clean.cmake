@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_transform.dir/builders.cc.o"
+  "CMakeFiles/tsq_transform.dir/builders.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/cluster.cc.o"
+  "CMakeFiles/tsq_transform.dir/cluster.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/feature_transform.cc.o"
+  "CMakeFiles/tsq_transform.dir/feature_transform.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/ordering.cc.o"
+  "CMakeFiles/tsq_transform.dir/ordering.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/partition.cc.o"
+  "CMakeFiles/tsq_transform.dir/partition.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/spectral_transform.cc.o"
+  "CMakeFiles/tsq_transform.dir/spectral_transform.cc.o.d"
+  "CMakeFiles/tsq_transform.dir/transform_mbr.cc.o"
+  "CMakeFiles/tsq_transform.dir/transform_mbr.cc.o.d"
+  "libtsq_transform.a"
+  "libtsq_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/distance.cc" "src/ts/CMakeFiles/tsq_ts.dir/distance.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/distance.cc.o.d"
+  "/root/repo/src/ts/generate.cc" "src/ts/CMakeFiles/tsq_ts.dir/generate.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/generate.cc.o.d"
+  "/root/repo/src/ts/io.cc" "src/ts/CMakeFiles/tsq_ts.dir/io.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/io.cc.o.d"
+  "/root/repo/src/ts/normal_form.cc" "src/ts/CMakeFiles/tsq_ts.dir/normal_form.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/normal_form.cc.o.d"
+  "/root/repo/src/ts/ops.cc" "src/ts/CMakeFiles/tsq_ts.dir/ops.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/ops.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/ts/CMakeFiles/tsq_ts.dir/series.cc.o" "gcc" "src/ts/CMakeFiles/tsq_ts.dir/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsq_ts.dir/distance.cc.o"
+  "CMakeFiles/tsq_ts.dir/distance.cc.o.d"
+  "CMakeFiles/tsq_ts.dir/generate.cc.o"
+  "CMakeFiles/tsq_ts.dir/generate.cc.o.d"
+  "CMakeFiles/tsq_ts.dir/io.cc.o"
+  "CMakeFiles/tsq_ts.dir/io.cc.o.d"
+  "CMakeFiles/tsq_ts.dir/normal_form.cc.o"
+  "CMakeFiles/tsq_ts.dir/normal_form.cc.o.d"
+  "CMakeFiles/tsq_ts.dir/ops.cc.o"
+  "CMakeFiles/tsq_ts.dir/ops.cc.o.d"
+  "CMakeFiles/tsq_ts.dir/series.cc.o"
+  "CMakeFiles/tsq_ts.dir/series.cc.o.d"
+  "libtsq_ts.a"
+  "libtsq_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsq_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

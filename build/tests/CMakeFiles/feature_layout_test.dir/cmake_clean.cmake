@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_layout_test.dir/transform/feature_layout_test.cc.o"
+  "CMakeFiles/feature_layout_test.dir/transform/feature_layout_test.cc.o.d"
+  "feature_layout_test"
+  "feature_layout_test.pdb"
+  "feature_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

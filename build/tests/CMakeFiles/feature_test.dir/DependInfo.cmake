@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/feature_test.cc" "tests/CMakeFiles/feature_test.dir/core/feature_test.cc.o" "gcc" "tests/CMakeFiles/feature_test.dir/core/feature_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/tsq_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/subseq/CMakeFiles/tsq_subseq.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/tsq_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/rstar/CMakeFiles/tsq_rstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/tsq_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/tsq_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_transform_test.dir/transform/feature_transform_test.cc.o"
+  "CMakeFiles/feature_transform_test.dir/transform/feature_transform_test.cc.o.d"
+  "feature_transform_test"
+  "feature_transform_test.pdb"
+  "feature_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

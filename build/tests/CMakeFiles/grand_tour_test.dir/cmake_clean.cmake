@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grand_tour_test.dir/integration/grand_tour_test.cc.o"
+  "CMakeFiles/grand_tour_test.dir/integration/grand_tour_test.cc.o.d"
+  "grand_tour_test"
+  "grand_tour_test.pdb"
+  "grand_tour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grand_tour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_detection_test.dir/rstar/invariant_detection_test.cc.o"
+  "CMakeFiles/invariant_detection_test.dir/rstar/invariant_detection_test.cc.o.d"
+  "invariant_detection_test"
+  "invariant_detection_test.pdb"
+  "invariant_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

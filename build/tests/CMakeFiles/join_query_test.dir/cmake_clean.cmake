@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_query_test.dir/core/join_query_test.cc.o"
+  "CMakeFiles/join_query_test.dir/core/join_query_test.cc.o.d"
+  "join_query_test"
+  "join_query_test.pdb"
+  "join_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_query_test.dir/core/knn_query_test.cc.o"
+  "CMakeFiles/knn_query_test.dir/core/knn_query_test.cc.o.d"
+  "knn_query_test"
+  "knn_query_test.pdb"
+  "knn_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

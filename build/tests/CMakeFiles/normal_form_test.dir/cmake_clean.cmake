@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_form_test.dir/ts/normal_form_test.cc.o"
+  "CMakeFiles/normal_form_test.dir/ts/normal_form_test.cc.o.d"
+  "normal_form_test"
+  "normal_form_test.pdb"
+  "normal_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

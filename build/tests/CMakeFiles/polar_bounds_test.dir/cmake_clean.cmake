@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_bounds_test.dir/core/polar_bounds_test.cc.o"
+  "CMakeFiles/polar_bounds_test.dir/core/polar_bounds_test.cc.o.d"
+  "polar_bounds_test"
+  "polar_bounds_test.pdb"
+  "polar_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

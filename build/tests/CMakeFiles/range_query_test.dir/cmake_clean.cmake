@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_query_test.dir/core/range_query_test.cc.o"
+  "CMakeFiles/range_query_test.dir/core/range_query_test.cc.o.d"
+  "range_query_test"
+  "range_query_test.pdb"
+  "range_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

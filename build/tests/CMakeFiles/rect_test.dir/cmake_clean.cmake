@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rect_test.dir/rstar/rect_test.cc.o"
+  "CMakeFiles/rect_test.dir/rstar/rect_test.cc.o.d"
+  "rect_test"
+  "rect_test.pdb"
+  "rect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

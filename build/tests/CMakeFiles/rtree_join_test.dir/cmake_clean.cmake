@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_join_test.dir/rstar/join_test.cc.o"
+  "CMakeFiles/rtree_join_test.dir/rstar/join_test.cc.o.d"
+  "rtree_join_test"
+  "rtree_join_test.pdb"
+  "rtree_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

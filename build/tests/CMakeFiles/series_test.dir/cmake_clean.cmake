@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_test.dir/ts/series_test.cc.o"
+  "CMakeFiles/series_test.dir/ts/series_test.cc.o.d"
+  "series_test"
+  "series_test.pdb"
+  "series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

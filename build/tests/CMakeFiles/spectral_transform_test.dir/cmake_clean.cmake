@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_transform_test.dir/transform/spectral_transform_test.cc.o"
+  "CMakeFiles/spectral_transform_test.dir/transform/spectral_transform_test.cc.o.d"
+  "spectral_transform_test"
+  "spectral_transform_test.pdb"
+  "spectral_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

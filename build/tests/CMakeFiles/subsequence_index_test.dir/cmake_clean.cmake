@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsequence_index_test.dir/subseq/subsequence_index_test.cc.o"
+  "CMakeFiles/subsequence_index_test.dir/subseq/subsequence_index_test.cc.o.d"
+  "subsequence_index_test"
+  "subsequence_index_test.pdb"
+  "subsequence_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsequence_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_claim_test.dir/integration/symmetry_claim_test.cc.o"
+  "CMakeFiles/symmetry_claim_test.dir/integration/symmetry_claim_test.cc.o.d"
+  "symmetry_claim_test"
+  "symmetry_claim_test.pdb"
+  "symmetry_claim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_claim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

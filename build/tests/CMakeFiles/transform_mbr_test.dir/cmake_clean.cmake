@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_mbr_test.dir/transform/transform_mbr_test.cc.o"
+  "CMakeFiles/transform_mbr_test.dir/transform/transform_mbr_test.cc.o.d"
+  "transform_mbr_test"
+  "transform_mbr_test.pdb"
+  "transform_mbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_mbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

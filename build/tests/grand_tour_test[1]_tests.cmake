@@ -1,0 +1,3 @@
+add_test([=[GrandTourTest.FullLifecycle]=]  /root/repo/build/tests/grand_tour_test [==[--gtest_filter=GrandTourTest.FullLifecycle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GrandTourTest.FullLifecycle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  grand_tour_test_TESTS GrandTourTest.FullLifecycle)
