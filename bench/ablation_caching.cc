@@ -35,7 +35,7 @@ int main() {
     for (const core::Algorithm algorithm :
          {core::Algorithm::kStIndex, core::Algorithm::kMtIndex}) {
       engine.ResetIoStats();
-      if (auto* pool = engine.mutable_index().buffer_pool()) {
+      if (auto* pool = engine.index_buffer_pool()) {
         pool->ResetStats();
         pool->Clear();
       }

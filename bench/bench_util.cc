@@ -74,6 +74,21 @@ void Table::WriteCsv(const std::string& name) const {
   }
 }
 
+std::size_t ParseThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long threads = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end != nullptr && *end == '\0' && threads >= 0) {
+        return static_cast<std::size_t>(threads);
+      }
+      std::printf("ignoring malformed %s\n", arg.c_str());
+    }
+  }
+  return 1;
+}
+
 std::string FormatDouble(double value, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
@@ -111,28 +126,32 @@ std::uint64_t CalibrateSimulatedDisk(core::SimilarityEngine& engine,
 
 QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
                                    core::RangeQuerySpec spec,
-                                   core::Algorithm algorithm, Rng& rng) {
+                                   core::Algorithm algorithm, Rng& rng,
+                                   std::size_t num_threads) {
   const std::size_t reps = QueryReps();
   QueryMeasurement m;
   const double leaf_capacity = engine.index().AverageLeafCapacity();
+  core::ExecOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = num_threads;
+  options.collect_group_stats = true;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const std::size_t query_id = static_cast<std::size_t>(
         rng.UniformInt(0, static_cast<std::int64_t>(engine.size()) - 1));
     spec.query = ts::Denormalize(engine.dataset().normal(query_id));
-    std::vector<core::GroupRunStats> groups;
     Stopwatch watch;
-    const auto result = engine.RangeQuery(spec, algorithm, &groups);
+    auto result = engine.Execute(spec, options);
     const double elapsed = watch.ElapsedMillis();
     TSQ_CHECK(result.ok()) << result.status().ToString();
+    const core::QueryStats& stats = result->stats();
     m.millis += elapsed;
-    m.disk_accesses += static_cast<double>(result->stats.disk_accesses());
-    m.index_accesses +=
-        static_cast<double>(result->stats.index_nodes_accessed);
-    m.candidates += static_cast<double>(result->stats.candidates);
-    m.comparisons += static_cast<double>(result->stats.comparisons);
-    m.output_size += static_cast<double>(result->stats.output_size);
-    m.cost += core::CostEq20(groups, leaf_capacity);
-    m.last_group_stats = std::move(groups);
+    m.disk_accesses += static_cast<double>(stats.disk_accesses());
+    m.index_accesses += static_cast<double>(stats.index_nodes_accessed);
+    m.candidates += static_cast<double>(stats.candidates);
+    m.comparisons += static_cast<double>(stats.comparisons);
+    m.output_size += static_cast<double>(stats.output_size);
+    m.cost += core::CostEq20(result->group_stats, leaf_capacity);
+    m.last_group_stats = std::move(result->group_stats);
   }
   const double d = static_cast<double>(reps);
   m.millis /= d;

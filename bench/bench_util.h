@@ -56,10 +56,17 @@ struct QueryMeasurement {
 };
 
 /// Runs `spec` (with its query replaced by a random dataset member each
-/// repetition) under `algorithm` and averages time and counters.
+/// repetition) under `algorithm` with `num_threads` executor workers and
+/// averages time and counters. The counters are identical for every thread
+/// count; only the wall-clock changes.
 QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
                                    core::RangeQuerySpec spec,
-                                   core::Algorithm algorithm, Rng& rng);
+                                   core::Algorithm algorithm, Rng& rng,
+                                   std::size_t num_threads = 1);
+
+/// Parses a `--threads=N` argument (0 = one worker per hardware thread).
+/// Returns 1 when the flag is absent or malformed.
+std::size_t ParseThreadsFlag(int argc, char** argv);
 
 /// Calibrates the simulated per-page latency so that one full-sequence
 /// comparison costs `cmp_to_da_ratio` of one page read — the paper's

@@ -40,19 +40,20 @@ int main() {
             0, static_cast<std::int64_t>(engine.size()) - 1));
         spec.query = ts::Denormalize(engine.dataset().normal(id));
         Stopwatch watch;
-        const auto scan =
-            engine.Knn(spec, core::Algorithm::kSequentialScan);
+        const auto scan = engine.Execute(
+            spec, {.algorithm = core::Algorithm::kSequentialScan});
         scan_ms += watch.ElapsedMillis();
         watch.Reset();
-        const auto mt = engine.Knn(spec, core::Algorithm::kMtIndex);
+        const auto mt =
+            engine.Execute(spec, {.algorithm = core::Algorithm::kMtIndex});
         mt_ms += watch.ElapsedMillis();
         if (!scan.ok() || !mt.ok()) return 1;
-        if (scan->matches.size() != mt->matches.size()) {
+        if (scan->knn()->matches.size() != mt->knn()->matches.size()) {
           std::printf("MISMATCH\n");
           return 1;
         }
-        candidates += static_cast<double>(mt->stats.candidates);
-        nodes += static_cast<double>(mt->stats.index_nodes_accessed);
+        candidates += static_cast<double>(mt->stats().candidates);
+        nodes += static_cast<double>(mt->stats().index_nodes_accessed);
       }
       const double d = static_cast<double>(queries);
       table.AddRow({std::to_string(k), std::to_string(transforms),

@@ -9,24 +9,29 @@
 // Paper's result: MT-index fastest at every size; sequential scan grows
 // linearly; ST-index pays |T| traversals. (Absolute times differ from the
 // 168 MHz UltraSPARC; the ordering and growth shapes are what reproduce.)
+//
+// --threads=N runs the parallel executor with N workers (0 = one per
+// hardware thread). Counters are identical for every N; only time changes.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exec/thread_pool.h"
 #include "transform/builders.h"
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
   std::vector<std::size_t> sizes = {500, 1000, 2000, 4000, 8000, 12000};
   if (bench::FastMode()) sizes = {500, 1000, 2000};
+  const std::size_t threads = bench::ParseThreadsFlag(argc, argv);
 
   std::printf("Figure 5: time per query vs. number of sequences\n");
   std::printf("(synthetic random walks, |T| = 16 moving averages 10..25, "
-              "rho = 0.96, %zu queries/point)\n\n",
-              bench::QueryReps());
+              "rho = 0.96, %zu queries/point, %zu worker thread(s))\n\n",
+              bench::QueryReps(), exec::EffectiveThreads(threads));
 
   bench::Table table({"sequences", "seq-scan(ms)", "ST-index(ms)",
                       "MT-index(ms)", "seq DA", "ST DA", "MT DA", "output"});
@@ -45,15 +50,15 @@ int main() {
 
     Rng rng(size);
     const auto seq = bench::MeasureRangeQuery(
-        engine, spec, core::Algorithm::kSequentialScan, rng);
+        engine, spec, core::Algorithm::kSequentialScan, rng, threads);
     Rng rng_st(size);
     const auto st =
         bench::MeasureRangeQuery(engine, spec, core::Algorithm::kStIndex,
-                                 rng_st);
+                                 rng_st, threads);
     Rng rng_mt(size);
     const auto mt =
         bench::MeasureRangeQuery(engine, spec, core::Algorithm::kMtIndex,
-                                 rng_mt);
+                                 rng_mt, threads);
 
     table.AddRow({std::to_string(size), bench::FormatDouble(seq.millis),
                   bench::FormatDouble(st.millis),

@@ -7,24 +7,29 @@
 //
 // Paper's result: sequential scan is flat; ST-index grows linearly with |T|;
 // MT-index stays below both.
+//
+// --threads=N runs the parallel executor with N workers (0 = one per
+// hardware thread). Counters are identical for every N; only time changes.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exec/thread_pool.h"
 #include "transform/builders.h"
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
   std::vector<std::size_t> counts = {1, 2, 4, 8, 12, 16, 20, 25, 30};
   if (bench::FastMode()) counts = {1, 4, 8};
+  const std::size_t threads = bench::ParseThreadsFlag(argc, argv);
 
   std::printf("Figure 6: time per query vs. number of transformations\n");
   std::printf("(1068 stocks x 128 days, MA 5..4+k, rho = 0.96, "
-              "%zu queries/point)\n\n",
-              bench::QueryReps());
+              "%zu queries/point, %zu worker thread(s))\n\n",
+              bench::QueryReps(), exec::EffectiveThreads(threads));
 
   ts::StockMarketConfig config;  // 1068 x 128 as in the paper
   core::SimilarityEngine engine(ts::GenerateStockMarket(config));
@@ -39,13 +44,13 @@ int main() {
 
     Rng rng_seq(k), rng_st(k), rng_mt(k);
     const auto seq = bench::MeasureRangeQuery(
-        engine, spec, core::Algorithm::kSequentialScan, rng_seq);
+        engine, spec, core::Algorithm::kSequentialScan, rng_seq, threads);
     const auto st = bench::MeasureRangeQuery(engine, spec,
                                              core::Algorithm::kStIndex,
-                                             rng_st);
+                                             rng_st, threads);
     const auto mt = bench::MeasureRangeQuery(engine, spec,
                                              core::Algorithm::kMtIndex,
-                                             rng_mt);
+                                             rng_mt, threads);
     table.AddRow({std::to_string(k), bench::FormatDouble(seq.millis),
                   bench::FormatDouble(st.millis),
                   bench::FormatDouble(mt.millis),

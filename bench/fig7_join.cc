@@ -45,14 +45,14 @@ int main() {
                                            core::Algorithm::kMtIndex};
     for (int a = 0; a < 3; ++a) {
       Stopwatch watch;
-      const auto result = engine.Join(spec, algorithms[a]);
+      const auto result = engine.Execute(spec, {.algorithm = algorithms[a]});
       seconds[a] = watch.ElapsedSeconds();
       if (!result.ok()) {
         std::printf("join failed: %s\n", result.status().ToString().c_str());
         return 1;
       }
-      disk[a] = static_cast<double>(result->stats.disk_accesses());
-      output = static_cast<double>(result->matches.size());
+      disk[a] = static_cast<double>(result->stats().disk_accesses());
+      output = static_cast<double>(result->join()->matches.size());
     }
     table.AddRow({std::to_string(k), bench::FormatDouble(seconds[0], 3),
                   bench::FormatDouble(seconds[1], 3),

@@ -10,12 +10,8 @@
 #include <cstdio>
 
 #include "common/stopwatch.h"
-#include "core/cost_model.h"
-#include "core/engine.h"
-#include "transform/builders.h"
 #include "transform/partition.h"
-#include "ts/distance.h"
-#include "ts/generate.h"
+#include "tsq.h"
 
 namespace {
 
@@ -41,16 +37,16 @@ int main() {
   std::printf("composed set: %zu shifts x %zu windows = %zu transformations\n",
               shifts.size(), mvs.size(), spec.transforms.size());
 
-  const auto flat = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  const auto flat = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
   if (!flat.ok()) {
     std::printf("query failed: %s\n", flat.status().ToString().c_str());
     return 1;
   }
   std::printf("one-MBR MT-index: %llu disk accesses, %llu comparisons, "
               "%zu matches\n\n",
-              static_cast<unsigned long long>(flat->stats.disk_accesses()),
-              static_cast<unsigned long long>(flat->stats.comparisons),
-              flat->matches.size());
+              static_cast<unsigned long long>(flat->stats().disk_accesses()),
+              static_cast<unsigned long long>(flat->stats().comparisons),
+              flat->range()->matches.size());
 
   // --- 2. Partitioning choices over the composed set ---------------------
   std::printf("%-22s %10s %12s %12s\n", "partitioning", "groups",
@@ -59,11 +55,11 @@ int main() {
                           tsq::transform::Partition partition) {
     tsq::core::RangeQuerySpec run = spec;
     run.partition = std::move(partition);
-    const auto result = engine.RangeQuery(run, Algorithm::kMtIndex);
+    const auto result = engine.Execute(run, {.algorithm = Algorithm::kMtIndex});
     if (!result.ok()) return;
     std::printf("%-22s %10zu %12llu %12llu\n", name, run.partition.size(),
-                static_cast<unsigned long long>(result->stats.disk_accesses()),
-                static_cast<unsigned long long>(result->stats.comparisons));
+                static_cast<unsigned long long>(result->stats().disk_accesses()),
+                static_cast<unsigned long long>(result->stats().comparisons));
   };
   report("single MBR",
          tsq::transform::PartitionAll(spec.transforms.size()));
@@ -97,13 +93,13 @@ int main() {
   for (const bool use_ordering : {false, true}) {
     scale_spec.use_ordering = use_ordering;
     tsq::Stopwatch watch;
-    const auto result =
-        engine.RangeQuery(scale_spec, Algorithm::kSequentialScan);
+    const auto result = engine.Execute(
+        scale_spec, {.algorithm = Algorithm::kSequentialScan});
     if (!result.ok()) continue;
     std::printf("  %-14s %8llu comparisons (%zu matches, %.1f ms)\n",
                 use_ordering ? "binary search" : "linear sweep",
-                static_cast<unsigned long long>(result->stats.comparisons),
-                result->matches.size(), watch.ElapsedMillis());
+                static_cast<unsigned long long>(result->stats().comparisons),
+                result->range()->matches.size(), watch.ElapsedMillis());
   }
   return 0;
 }

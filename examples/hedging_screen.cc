@@ -10,10 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/engine.h"
-#include "transform/builders.h"
-#include "ts/distance.h"
-#include "ts/generate.h"
+#include "tsq.h"
 
 namespace {
 
@@ -61,7 +58,7 @@ int main() {
   }
   spec.epsilon = tsq::ts::CorrelationToDistanceThreshold(0.96, n);
 
-  const auto hedges = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  const auto hedges = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
   if (!hedges.ok()) {
     std::printf("query failed: %s\n", hedges.status().ToString().c_str());
     return 1;
@@ -69,7 +66,7 @@ int main() {
   std::printf("hedge candidates for stock %zu (MA 5..20 vs the inverted "
               "query, rho >= 0.96):\n", query_id);
   std::vector<std::size_t> ids;
-  for (const auto& m : hedges->matches) ids.push_back(m.series_id);
+  for (const auto& m : hedges->range()->matches) ids.push_back(m.series_id);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   for (std::size_t id : ids) {
@@ -87,10 +84,10 @@ int main() {
   knn.query = spec.query;  // still the inverted query
   knn.k = 3;
   knn.transforms = spec.transforms;
-  const auto best = engine.Knn(knn);
+  const auto best = engine.Execute(knn);
   if (best.ok()) {
     std::printf("\n3 nearest hedges (k-NN under the same transformations):\n");
-    for (const auto& m : best->matches) {
+    for (const auto& m : best->knn()->matches) {
       std::printf("  stock %4zu under %-8s D = %.3f\n", m.series_id,
                   knn.transforms[m.transform_index].label().c_str(),
                   m.distance);
@@ -102,11 +99,11 @@ int main() {
   join.mode = tsq::core::JoinMode::kCorrelation;
   join.min_correlation = 0.99;
   join.transforms = tsq::transform::MovingAverageRange(n, 5, 14);
-  const auto pairs = engine.Join(join, Algorithm::kMtIndex);
+  const auto pairs = engine.Execute(join, {.algorithm = Algorithm::kMtIndex});
   if (pairs.ok()) {
     std::size_t distinct = 0;
     std::size_t last_a = SIZE_MAX, last_b = SIZE_MAX;
-    tsq::core::JoinQueryResult sorted = *pairs;
+    tsq::core::JoinQueryResult sorted = *pairs->join();
     tsq::core::SortJoinMatches(&sorted.matches);
     for (const auto& m : sorted.matches) {
       if (m.a != last_a || m.b != last_b) {
@@ -118,8 +115,9 @@ int main() {
     std::printf("\nQuery 2 self-join at rho >= 0.99 under MA 5..14:\n");
     std::printf("  %zu (pair, window) matches over %zu distinct pairs; "
                 "%llu disk accesses vs %zu pages for a scan\n",
-                pairs->matches.size(), distinct,
-                static_cast<unsigned long long>(pairs->stats.disk_accesses()),
+                pairs->join()->matches.size(), distinct,
+                static_cast<unsigned long long>(
+                    pairs->stats().disk_accesses()),
                 engine.dataset().record_pages());
   }
   return 0;

@@ -9,12 +9,8 @@
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/engine.h"
-#include "transform/builders.h"
-#include "ts/distance.h"
 #include "ts/normal_form.h"
-#include "ts/generate.h"
-#include "ts/ops.h"
+#include "tsq.h"
 
 namespace {
 
@@ -94,18 +90,19 @@ int main() {
   spec.target = tsq::core::TransformTarget::kDataOnly;
   spec.epsilon = 6.0;  // tight enough that only an aligned momentum matches
 
-  const auto result = engine.RangeQuery(spec, tsq::core::Algorithm::kMtIndex);
+  const auto result = engine.Execute(spec);
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  const tsq::core::RangeQueryResult& range = *result->range();
   std::printf("|T| = %zu composed transformations, epsilon = %.2f\n",
               spec.transforms.size(), spec.epsilon);
   std::printf("disk accesses = %llu, candidates = %llu, matches = %zu\n",
-              static_cast<unsigned long long>(result->stats.disk_accesses()),
-              static_cast<unsigned long long>(result->stats.candidates),
-              result->matches.size());
-  for (const tsq::core::Match& m : result->matches) {
+              static_cast<unsigned long long>(range.stats.disk_accesses()),
+              static_cast<unsigned long long>(range.stats.candidates),
+              range.matches.size());
+  for (const tsq::core::Match& m : range.matches) {
     std::printf("  stock %4zu under %-18s D = %.3f%s\n", m.series_id,
                 spec.transforms[m.transform_index].label().c_str(), m.distance,
                 m.series_id == 0 ? "   <- PCL, found via the 2-day shift"

@@ -8,12 +8,9 @@
 #include <cstdio>
 
 #include "common/stopwatch.h"
-#include "core/engine.h"
 #include "dft/spectrum.h"
-#include "transform/builders.h"
 #include "transform/transform_mbr.h"
-#include "ts/distance.h"
-#include "ts/generate.h"
+#include "tsq.h"
 
 namespace {
 
@@ -39,24 +36,25 @@ void RunQueryWithAllAlgorithms(const SimilarityEngine& engine) {
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
                               Algorithm::kMtIndex}) {
     tsq::Stopwatch watch;
-    const auto result = engine.RangeQuery(spec, algorithm);
+    const auto result = engine.Execute(spec, {.algorithm = algorithm});
     if (!result.ok()) {
       std::printf("query failed: %s\n", result.status().ToString().c_str());
       return;
     }
+    const tsq::core::QueryStats& stats = result->stats();
     std::printf("%-10s %10.2f %12llu %12llu %12llu %10llu\n",
                 tsq::core::AlgorithmName(algorithm), watch.ElapsedMillis(),
-                static_cast<unsigned long long>(result->stats.disk_accesses()),
-                static_cast<unsigned long long>(result->stats.candidates),
-                static_cast<unsigned long long>(result->stats.comparisons),
-                static_cast<unsigned long long>(result->stats.output_size));
+                static_cast<unsigned long long>(stats.disk_accesses()),
+                static_cast<unsigned long long>(stats.candidates),
+                static_cast<unsigned long long>(stats.comparisons),
+                static_cast<unsigned long long>(stats.output_size));
   }
 
   // Show a few matches: which stock, which window, how close.
-  const auto result = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  const auto result = engine.Execute(spec);
   std::printf("\nSample matches (stock, window, distance):\n");
   std::size_t shown = 0;
-  for (const tsq::core::Match& m : result->matches) {
+  for (const tsq::core::Match& m : result->range()->matches) {
     if (m.series_id == 0) continue;  // skip the query itself
     std::printf("  stock %4zu  mv%-3zu  D = %.3f\n", m.series_id,
                 m.transform_index + 1, m.distance);

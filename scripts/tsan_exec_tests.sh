@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the executor tests under ThreadSanitizer and runs them.
+#
+# The exec tests (parallel_test, exec_determinism_test,
+# exec_concurrency_test) are the ones that exercise the concurrent read
+# path; running them under TSan is the repo's data-race gate for the
+# parallel query executor.
+#
+# Usage: scripts/tsan_exec_tests.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+  parallel_test exec_determinism_test exec_concurrency_test
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -R 'EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'

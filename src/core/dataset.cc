@@ -100,9 +100,10 @@ Result<std::unique_ptr<Dataset>> Dataset::LoadFrom(
   return dataset;
 }
 
-Result<std::vector<dft::Complex>> Dataset::FetchSpectrum(std::size_t i) const {
+Result<std::vector<dft::Complex>> Dataset::FetchSpectrum(
+    std::size_t i, std::uint64_t* pages_read) const {
   TSQ_CHECK_LT(i, record_ids_.size());
-  Result<ts::Series> record = records_->GetSeries(record_ids_[i]);
+  Result<ts::Series> record = records_->GetSeries(record_ids_[i], pages_read);
   if (!record.ok()) return record.status();
   if (record->size() != 2 * length_) {
     return Status::Corruption("spectrum record has unexpected size");

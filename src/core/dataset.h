@@ -63,13 +63,17 @@ class Dataset {
   /// Fetches sequence i's normal form from the record store (counted page
   /// reads) and returns its spectrum. This is what executors use to touch a
   /// "full database record" at the cost the paper's cost model charges.
-  Result<std::vector<dft::Complex>> FetchSpectrum(std::size_t i) const;
+  /// `pages_read`, when non-null, is incremented by the pages this fetch
+  /// touched — per-task accounting for the parallel executor, which cannot
+  /// diff the shared record_io() counter.
+  Result<std::vector<dft::Complex>> FetchSpectrum(
+      std::size_t i, std::uint64_t* pages_read = nullptr) const;
 
   /// Pages the record store occupies (the sequential scan reads all of
   /// them).
   std::size_t record_pages() const { return record_file_.page_count(); }
 
-  const storage::IoStats& record_io() const { return record_file_.stats(); }
+  storage::IoStats record_io() const { return record_file_.stats(); }
   void ResetRecordIo() { record_file_.ResetStats(); }
 
   /// Simulated per-page read latency (see storage::PageFile).

@@ -34,6 +34,36 @@ Status SimilarityEngine::Remove(std::size_t id) {
   return dataset_->MarkRemoved(id);
 }
 
+const QueryStats& QueryResult::stats() const {
+  return std::visit(
+      [](const auto& result) -> const QueryStats& { return result.stats; },
+      value);
+}
+
+Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
+                                              const ExecOptions& options) const {
+  QueryResult out;
+  if (const auto* range = std::get_if<RangeQuerySpec>(&spec)) {
+    Result<RangeQueryResult> result = RunRangeQuery(
+        *dataset_, *index_, *range, options,
+        options.collect_group_stats ? &out.group_stats : nullptr);
+    if (!result.ok()) return result.status();
+    out.value = std::move(*result);
+  } else if (const auto* knn = std::get_if<KnnQuerySpec>(&spec)) {
+    Result<KnnQueryResult> result =
+        RunKnnQuery(*dataset_, *index_, *knn, options);
+    if (!result.ok()) return result.status();
+    out.value = std::move(*result);
+  } else {
+    Result<JoinQueryResult> result =
+        RunJoinQuery(*dataset_, *index_, std::get<JoinQuerySpec>(spec),
+                     options);
+    if (!result.ok()) return result.status();
+    out.value = std::move(*result);
+  }
+  return out;
+}
+
 Result<RangeQueryResult> SimilarityEngine::RangeQuery(
     const RangeQuerySpec& spec, Algorithm algorithm,
     std::vector<GroupRunStats>* group_stats) const {

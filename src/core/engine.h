@@ -2,6 +2,7 @@
 #define TSQ_CORE_ENGINE_H_
 
 #include <memory>
+#include <variant>
 #include <vector>
 
 #include "common/status.h"
@@ -11,8 +12,35 @@
 #include "core/knn_query.h"
 #include "core/query.h"
 #include "core/range_query.h"
+#include "storage/buffer_pool.h"
 
 namespace tsq::core {
+
+/// What a query asks, independent of how it is executed — one alternative
+/// per query type of the paper (Query 1, k-NN extension, Query 2).
+using QuerySpec = std::variant<RangeQuerySpec, KnnQuerySpec, JoinQuerySpec>;
+
+/// Uniform result of SimilarityEngine::Execute: the per-type result plus,
+/// for range queries run with ExecOptions::collect_group_stats, the
+/// per-rectangle counters of the cost function Ck (Eq. 20).
+struct QueryResult {
+  std::variant<RangeQueryResult, KnnQueryResult, JoinQueryResult> value;
+  std::vector<GroupRunStats> group_stats;
+
+  /// The execution counters, whatever the query type.
+  const QueryStats& stats() const;
+
+  /// Typed views; nullptr when the result is of another type.
+  const RangeQueryResult* range() const {
+    return std::get_if<RangeQueryResult>(&value);
+  }
+  const KnnQueryResult* knn() const {
+    return std::get_if<KnnQueryResult>(&value);
+  }
+  const JoinQueryResult* join() const {
+    return std::get_if<JoinQueryResult>(&value);
+  }
+};
 
 /// Facade over the whole system: owns the sequence relation, its record
 /// storage and the R*-tree index, and exposes the paper's three query types.
@@ -24,7 +52,12 @@ namespace tsq::core {
 ///   spec.query = ibm_closes;
 ///   spec.transforms = tsq::transform::MovingAverageRange(n, 1, 40);
 ///   spec.epsilon = tsq::ts::CorrelationToDistanceThreshold(0.96, n);
-///   auto result = engine.RangeQuery(spec, tsq::core::Algorithm::kMtIndex);
+///   auto result = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex,
+///                                       .num_threads = 4});
+///   for (const auto& match : result->range()->matches) { ... }
+///
+/// Execute() is const and safe to call from several threads at once; see
+/// docs/ARCHITECTURE.md ("Thread-safety contract").
 class SimilarityEngine {
  public:
   struct Options {
@@ -52,17 +85,28 @@ class SimilarityEngine {
   std::size_t size() const { return dataset_->active_size(); }
   std::size_t length() const { return dataset_->length(); }
 
+  /// Runs any query. `options` chooses the algorithm, the worker-thread
+  /// count (results and summed stats are identical for every value) and
+  /// whether per-rectangle group stats are collected (range queries).
+  /// Thread-safe: concurrent Execute() calls on one engine are supported, as
+  /// long as no Insert/Remove/EnableIndexBufferPool runs concurrently.
+  Result<QueryResult> Execute(const QuerySpec& spec,
+                              const ExecOptions& options = ExecOptions()) const;
+
   /// Query 1 (range query). `group_stats`, when non-null, receives the
   /// per-rectangle counters for cost-function analysis.
+  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
   Result<RangeQueryResult> RangeQuery(
       const RangeQuerySpec& spec, Algorithm algorithm = Algorithm::kMtIndex,
       std::vector<GroupRunStats>* group_stats = nullptr) const;
 
   /// Query 2 (similarity self-join).
+  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
   Result<JoinQueryResult> Join(const JoinQuerySpec& spec,
                                Algorithm algorithm = Algorithm::kMtIndex) const;
 
   /// k-nearest neighbours under multiple transformations.
+  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
   Result<KnnQueryResult> Knn(const KnnQuerySpec& spec,
                              Algorithm algorithm = Algorithm::kMtIndex) const;
 
@@ -75,9 +119,19 @@ class SimilarityEngine {
   void SetSimulatedDiskLatency(std::uint64_t nanos);
 
   /// Attaches an LRU buffer pool of `pages` pages to the index (0 detaches);
-  /// see SequenceIndex::EnableBufferPool.
+  /// see SequenceIndex::EnableBufferPool. Not safe concurrently with
+  /// Execute().
   void EnableIndexBufferPool(std::size_t pages);
-  SequenceIndex& mutable_index() { return *index_; }
+
+  /// The index buffer pool, nullptr when none is attached. This replaces the
+  /// old mutable_index() escape hatch, which let callers restructure the
+  /// index behind the engine's back — a data race once queries run on worker
+  /// threads. Benchmarks only need the pool (to clear it or reset its
+  /// counters between runs), so only the pool is exposed.
+  storage::BufferPool* index_buffer_pool() { return index_->buffer_pool(); }
+  const storage::BufferPool* index_buffer_pool() const {
+    return index_->buffer_pool();
+  }
 
   /// Persists the engine to three files: `<prefix>.meta` (layout, tree and
   /// per-sequence metadata), `<prefix>.records` and `<prefix>.index` (page

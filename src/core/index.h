@@ -42,7 +42,7 @@ class SequenceIndex {
   /// Removes sequence `i`'s entry from the index.
   Status RemoveEntry(std::size_t i);
 
-  const storage::IoStats& index_io() const { return index_file_.stats(); }
+  storage::IoStats index_io() const { return index_file_.stats(); }
   void ResetIndexIo() { index_file_.ResetStats(); }
 
   /// Simulated per-page read latency (see storage::PageFile).

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/polar_bounds.h"
+#include "exec/parallel.h"
 #include "rstar/join.h"
 #include "transform/transform_mbr.h"
 #include "ts/distance.h"
@@ -13,6 +14,11 @@
 namespace tsq::core {
 
 namespace {
+
+// Fixed task granularity — chunk boundaries never depend on num_threads, so
+// the merged output is identical for every thread count.
+constexpr std::size_t kScanChunk = 256;  // outer sequence ids per scan task
+constexpr std::size_t kPairChunk = 32;   // candidate pairs per verify task
 
 Status ValidateSpec(const Dataset& dataset, const JoinQuerySpec& spec) {
   if (spec.transforms.empty()) {
@@ -98,44 +104,63 @@ std::vector<JoinMatch> BruteForceJoinQuery(const Dataset& dataset,
 Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const SequenceIndex& index,
                                      const JoinQuerySpec& spec,
-                                     Algorithm algorithm) {
+                                     const ExecOptions& options) {
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   JoinQueryResult result;
   QueryStats& stats = result.stats;
 
-  // Spectra fetched from the record store, cached for the whole join (the
-  // paper's post-processing would keep candidate records buffered too).
-  std::unordered_map<std::size_t, std::vector<dft::Complex>> fetched;
-  const auto fetch = [&](std::size_t id)
-      -> Result<const std::vector<dft::Complex>*> {
-    auto it = fetched.find(id);
-    if (it == fetched.end()) {
-      Result<std::vector<dft::Complex>> spectrum = dataset.FetchSpectrum(id);
-      if (!spectrum.ok()) return spectrum.status();
-      it = fetched.emplace(id, std::move(*spectrum)).first;
-    }
-    return &it->second;
-  };
-
-  if (algorithm == Algorithm::kSequentialScan) {
-    for (std::size_t a = 0; a < dataset.size(); ++a) {
-      if (dataset.removed(a)) continue;
-      Result<const std::vector<dft::Complex>*> xa = fetch(a);
-      if (!xa.ok()) return xa.status();
-      for (std::size_t b = a + 1; b < dataset.size(); ++b) {
-        if (dataset.removed(b)) continue;
-        Result<const std::vector<dft::Complex>*> xb = fetch(b);
-        if (!xb.ok()) return xb.status();
-        ++stats.candidates;
-        for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
-          ++stats.comparisons;
-          double value = 0.0;
-          if (EvaluatePair(spec, spec.transforms[t], **xa, **xb, &value)) {
-            result.matches.push_back(JoinMatch{a, b, t, value});
+  if (options.algorithm == Algorithm::kSequentialScan) {
+    // A scan join touches every record anyway, so prefetch all spectra once
+    // (slices write disjoint slots) and make the pairwise phase pure
+    // compute, fanned out over fixed-size slices of the outer id.
+    std::vector<std::vector<dft::Complex>> spectra(dataset.size());
+    const std::size_t slices = exec::ChunkCount(dataset.size(), kScanChunk);
+    TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+        options.num_threads, slices, [&](std::size_t task) -> Status {
+          const exec::ChunkRange slice =
+              exec::ChunkBounds(dataset.size(), kScanChunk, task);
+          for (std::size_t i = slice.first; i < slice.last; ++i) {
+            if (dataset.removed(i)) continue;
+            Result<std::vector<dft::Complex>> spectrum =
+                dataset.FetchSpectrum(i);
+            if (!spectrum.ok()) return spectrum.status();
+            spectra[i] = std::move(*spectrum);
           }
-        }
-      }
+          return Status::Ok();
+        }));
+
+    struct ScanPart {
+      std::vector<JoinMatch> matches;
+      QueryStats stats;
+    };
+    std::vector<ScanPart> parts(slices);
+    TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+        options.num_threads, slices, [&](std::size_t task) -> Status {
+          const exec::ChunkRange slice =
+              exec::ChunkBounds(dataset.size(), kScanChunk, task);
+          ScanPart& part = parts[task];
+          for (std::size_t a = slice.first; a < slice.last; ++a) {
+            if (dataset.removed(a)) continue;
+            for (std::size_t b = a + 1; b < dataset.size(); ++b) {
+              if (dataset.removed(b)) continue;
+              ++part.stats.candidates;
+              for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+                ++part.stats.comparisons;
+                double value = 0.0;
+                if (EvaluatePair(spec, spec.transforms[t], spectra[a],
+                                 spectra[b], &value)) {
+                  part.matches.push_back(JoinMatch{a, b, t, value});
+                }
+              }
+            }
+          }
+          return Status::Ok();
+        }));
+    for (ScanPart& part : parts) {
+      result.matches.insert(result.matches.end(), part.matches.begin(),
+                            part.matches.end());
+      stats += part.stats;
     }
     stats.record_pages_read = dataset.record_pages();
     stats.output_size = result.matches.size();
@@ -143,7 +168,7 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
   }
 
   transform::Partition partition;
-  if (algorithm == Algorithm::kStIndex) {
+  if (options.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
@@ -160,58 +185,126 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
   const double filter_eps = FilterEpsilon(dataset, spec);
   const double filter_eps2 = filter_eps * filter_eps;
 
-  for (const std::vector<std::size_t>& group : partition) {
-    std::vector<transform::FeatureTransform> group_fts;
-    group_fts.reserve(group.size());
-    for (const std::size_t t : group) {
-      group_fts.push_back(feature_transforms[t]);
-    }
-    const transform::TransformMbr mbr(group_fts, layout);
+  // Phase A — one spatial-join task per transformation rectangle, with the
+  // rectangle applied to both node rectangles before the proximity test; the
+  // rectangle application happens once per entry (JoinOptions maps), not
+  // once per candidate pair.
+  struct GroupPass {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    rstar::SearchStats left;
+    rstar::SearchStats right;
+  };
+  std::vector<GroupPass> passes(partition.size());
+  TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+      options.num_threads, partition.size(), [&](std::size_t g) -> Status {
+        GroupPass& pass = passes[g];
+        std::vector<transform::FeatureTransform> group_fts;
+        group_fts.reserve(partition[g].size());
+        for (const std::size_t t : partition[g]) {
+          group_fts.push_back(feature_transforms[t]);
+        }
+        const transform::TransformMbr mbr(group_fts, layout);
+        rstar::JoinOptions join_options;
+        join_options.left_map = [&](const rstar::Rect& r) {
+          return mbr.Apply(r);
+        };
+        join_options.right_map = join_options.left_map;
+        return rstar::SpatialJoin(
+            index.tree(), index.tree(),
+            [&](const rstar::Rect& a, const rstar::Rect& b) {
+              return RectPairSquaredDistanceLowerBound(a, b, layout) <=
+                     filter_eps2;
+            },
+            [&](const rstar::Entry& a, const rstar::Entry& b) {
+              if (a.id < b.id) pass.pairs.emplace_back(a.id, b.id);
+            },
+            &pass.left, &pass.right, join_options);
+      }));
 
-    // R-tree self-join with the transformation rectangle applied to both
-    // sides before the proximity test; the rectangle application happens
-    // once per entry (JoinOptions maps), not once per candidate pair.
-    std::vector<std::pair<std::size_t, std::size_t>> candidate_pairs;
-    rstar::SearchStats left_stats, right_stats;
-    const std::uint64_t record_reads_before = dataset.record_io().reads;
-    rstar::JoinOptions join_options;
-    join_options.left_map = [&](const rstar::Rect& r) { return mbr.Apply(r); };
-    join_options.right_map = join_options.left_map;
-    TSQ_RETURN_IF_ERROR(rstar::SpatialJoin(
-        index.tree(), index.tree(),
-        [&](const rstar::Rect& a, const rstar::Rect& b) {
-          return RectPairSquaredDistanceLowerBound(a, b, layout) <=
-                 filter_eps2;
-        },
-        [&](const rstar::Entry& a, const rstar::Entry& b) {
-          if (a.id < b.id) candidate_pairs.emplace_back(a.id, b.id);
-        },
-        &left_stats, &right_stats, join_options));
+  // Phase B — verify candidate pairs in fixed-size chunks, group-major.
+  // Each chunk keeps its own fetch cache (a page fetched by two chunks is
+  // counted by both — the per-chunk cache is what a worker would actually
+  // buffer), and the ordered merge reproduces the sequential output.
+  struct VerifyTask {
+    std::size_t group_index = 0;
+    exec::ChunkRange range;
+  };
+  std::vector<VerifyTask> tasks;
+  for (std::size_t g = 0; g < passes.size(); ++g) {
+    const std::size_t chunks =
+        exec::ChunkCount(passes[g].pairs.size(), kPairChunk);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      tasks.push_back(VerifyTask{
+          g, exec::ChunkBounds(passes[g].pairs.size(), kPairChunk, c)});
+    }
+  }
+  struct VerifyPart {
+    std::vector<JoinMatch> matches;
+    QueryStats stats;                // comparisons only
+    std::uint64_t record_pages = 0;  // pages read by this task's fetches
+  };
+  std::vector<VerifyPart> parts(tasks.size());
+  TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+      options.num_threads, tasks.size(), [&](std::size_t ti) -> Status {
+        const VerifyTask& task = tasks[ti];
+        const GroupPass& pass = passes[task.group_index];
+        const std::vector<std::size_t>& group = partition[task.group_index];
+        VerifyPart& part = parts[ti];
+        std::unordered_map<std::size_t, std::vector<dft::Complex>> fetched;
+        const auto fetch = [&](std::size_t id)
+            -> Result<const std::vector<dft::Complex>*> {
+          auto it = fetched.find(id);
+          if (it == fetched.end()) {
+            Result<std::vector<dft::Complex>> spectrum =
+                dataset.FetchSpectrum(id, &part.record_pages);
+            if (!spectrum.ok()) return spectrum.status();
+            it = fetched.emplace(id, std::move(*spectrum)).first;
+          }
+          return &it->second;
+        };
+        for (std::size_t c = task.range.first; c < task.range.last; ++c) {
+          const auto& [a, b] = pass.pairs[c];
+          Result<const std::vector<dft::Complex>*> xa = fetch(a);
+          if (!xa.ok()) return xa.status();
+          Result<const std::vector<dft::Complex>*> xb = fetch(b);
+          if (!xb.ok()) return xb.status();
+          for (const std::size_t t : group) {
+            ++part.stats.comparisons;
+            double value = 0.0;
+            if (EvaluatePair(spec, spec.transforms[t], **xa, **xb, &value)) {
+              part.matches.push_back(JoinMatch{a, b, t, value});
+            }
+          }
+        }
+        return Status::Ok();
+      }));
+
+  for (VerifyPart& part : parts) {
+    result.matches.insert(result.matches.end(), part.matches.begin(),
+                          part.matches.end());
+    stats += part.stats;
+    stats.record_pages_read += part.record_pages;
+  }
+  for (const GroupPass& pass : passes) {
     ++stats.traversals;
     stats.index_nodes_accessed +=
-        left_stats.nodes_accessed + right_stats.nodes_accessed;
+        pass.left.nodes_accessed + pass.right.nodes_accessed;
     stats.index_leaves_accessed +=
-        left_stats.leaf_nodes_accessed + right_stats.leaf_nodes_accessed;
-    stats.candidates += candidate_pairs.size();
-
-    for (const auto& [a, b] : candidate_pairs) {
-      Result<const std::vector<dft::Complex>*> xa = fetch(a);
-      if (!xa.ok()) return xa.status();
-      Result<const std::vector<dft::Complex>*> xb = fetch(b);
-      if (!xb.ok()) return xb.status();
-      for (const std::size_t t : group) {
-        ++stats.comparisons;
-        double value = 0.0;
-        if (EvaluatePair(spec, spec.transforms[t], **xa, **xb, &value)) {
-          result.matches.push_back(JoinMatch{a, b, t, value});
-        }
-      }
-    }
-    stats.record_pages_read +=
-        dataset.record_io().reads - record_reads_before;
+        pass.left.leaf_nodes_accessed + pass.right.leaf_nodes_accessed;
+    stats.candidates += pass.pairs.size();
   }
   stats.output_size = result.matches.size();
   return result;
+}
+
+Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
+                                     const SequenceIndex& index,
+                                     const JoinQuerySpec& spec,
+                                     Algorithm algorithm) {
+  ExecOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = 1;
+  return RunJoinQuery(dataset, index, spec, options);
 }
 
 void SortJoinMatches(std::vector<JoinMatch>* matches) {

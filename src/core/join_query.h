@@ -55,6 +55,19 @@ struct JoinQueryResult {
 /// all pairs; kStIndex/kMtIndex run an R-tree spatial join per
 /// transformation (rectangle), applying the rectangle to both node
 /// rectangles before the overlap test (Section 4.1, spatial-join paragraph).
+///
+/// Parallelism (`options.num_threads`): the sequential scan fans out one
+/// task per fixed-size slice of outer sequence ids (after a parallel
+/// prefetch of all record spectra); the indexed join runs one spatial-join
+/// task per transformation rectangle, then verifies candidate pairs in
+/// fixed-size chunks with per-chunk fetch caches. Matches and summed
+/// QueryStats are identical for every thread count.
+Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
+                                     const SequenceIndex& index,
+                                     const JoinQuerySpec& spec,
+                                     const ExecOptions& options);
+
+/// Legacy entry point: algorithm only, single-threaded.
 Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const SequenceIndex& index,
                                      const JoinQuerySpec& spec,

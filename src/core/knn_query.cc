@@ -7,12 +7,17 @@
 #include "common/check.h"
 #include "core/feature.h"
 #include "core/polar_bounds.h"
+#include "exec/parallel.h"
 #include "transform/transform_mbr.h"
 #include "ts/normal_form.h"
 
 namespace tsq::core {
 
 namespace {
+
+// Sequence ids per sequential-scan task; a constant, so the decomposition
+// (and hence the merged output) never depends on num_threads.
+constexpr std::size_t kScanChunk = 256;
 
 Status ValidateSpec(const Dataset& dataset, const KnnQuerySpec& spec) {
   if (spec.query.size() != dataset.length()) {
@@ -80,7 +85,7 @@ std::vector<KnnMatch> BruteForceKnnQuery(const Dataset& dataset,
 Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                                    const SequenceIndex& index,
                                    const KnnQuerySpec& spec,
-                                   Algorithm algorithm) {
+                                   const ExecOptions& options) {
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   const ts::NormalForm query_normal = ts::Normalize(spec.query);
@@ -93,15 +98,36 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   KnnQueryResult result;
   QueryStats& stats = result.stats;
 
-  if (algorithm == Algorithm::kSequentialScan) {
+  if (options.algorithm == Algorithm::kSequentialScan) {
+    // One task per fixed-size slice; each evaluates its sequences exactly,
+    // then the merged list is sorted and truncated — the same computation
+    // the serial scan performs, in the same tie-break order.
+    struct ScanPart {
+      std::vector<KnnMatch> matches;
+      QueryStats stats;
+    };
+    const std::size_t slices = exec::ChunkCount(dataset.size(), kScanChunk);
+    std::vector<ScanPart> parts(slices);
+    TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+        options.num_threads, slices, [&](std::size_t task) -> Status {
+          const exec::ChunkRange slice =
+              exec::ChunkBounds(dataset.size(), kScanChunk, task);
+          ScanPart& part = parts[task];
+          for (std::size_t i = slice.first; i < slice.last; ++i) {
+            if (dataset.removed(i)) continue;
+            Result<std::vector<dft::Complex>> spectrum =
+                dataset.FetchSpectrum(i);
+            if (!spectrum.ok()) return spectrum.status();
+            const auto [d2, t] =
+                BestTransform(spec, *spectrum, query_spectrum, &part.stats);
+            part.matches.push_back(KnnMatch{i, t, std::sqrt(d2)});
+          }
+          return Status::Ok();
+        }));
     std::vector<KnnMatch> all;
-    for (std::size_t i = 0; i < dataset.size(); ++i) {
-      if (dataset.removed(i)) continue;
-      Result<std::vector<dft::Complex>> spectrum = dataset.FetchSpectrum(i);
-      if (!spectrum.ok()) return spectrum.status();
-      const auto [d2, t] =
-          BestTransform(spec, *spectrum, query_spectrum, &stats);
-      all.push_back(KnnMatch{i, t, std::sqrt(d2)});
+    for (ScanPart& part : parts) {
+      all.insert(all.end(), part.matches.begin(), part.matches.end());
+      stats += part.stats;
     }
     std::sort(all.begin(), all.end(),
               [](const KnnMatch& a, const KnnMatch& b) {
@@ -121,7 +147,7 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
       ExtractFeatures(query_normal, query_spectrum, layout);
 
   transform::Partition partition;
-  if (algorithm == Algorithm::kStIndex) {
+  if (options.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
@@ -193,11 +219,9 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
             KnnMatch{item.id, item.transform_index, std::sqrt(item.key)});
         break;
       case Kind::kEntry: {
-        const std::uint64_t reads_before = dataset.record_io().reads;
         Result<std::vector<dft::Complex>> spectrum =
-            dataset.FetchSpectrum(item.id);
+            dataset.FetchSpectrum(item.id, &stats.record_pages_read);
         if (!spectrum.ok()) return spectrum.status();
-        stats.record_pages_read += dataset.record_io().reads - reads_before;
         ++stats.candidates;
         const auto [d2, t] =
             BestTransform(spec, *spectrum, query_spectrum, &stats);
@@ -222,6 +246,16 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   stats.traversals = 1;
   stats.output_size = result.matches.size();
   return result;
+}
+
+Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
+                                   const SequenceIndex& index,
+                                   const KnnQuerySpec& spec,
+                                   Algorithm algorithm) {
+  ExecOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = 1;
+  return RunKnnQuery(dataset, index, spec, options);
 }
 
 }  // namespace tsq::core

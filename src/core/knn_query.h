@@ -43,6 +43,18 @@ struct KnnQueryResult {
 /// MBR and its polar MINDIST to the MBR of the transformed query points
 /// lower-bounds the true distance (the MINDIST analogue of Lemma 1).
 /// kSequentialScan evaluates every sequence exactly.
+///
+/// Parallelism (`options.num_threads`): the sequential scan fans out one
+/// task per fixed-size slice of the relation, then merges, sorts and
+/// truncates — identical output for every thread count. The indexed
+/// best-first search is inherently serial (each refinement depends on the
+/// global queue order) and ignores num_threads.
+Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
+                                   const SequenceIndex& index,
+                                   const KnnQuerySpec& spec,
+                                   const ExecOptions& options);
+
+/// Legacy entry point: algorithm only, single-threaded.
 Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                                    const SequenceIndex& index,
                                    const KnnQuerySpec& spec,

@@ -26,6 +26,21 @@ enum class Algorithm {
 
 const char* AlgorithmName(Algorithm algorithm);
 
+/// How a query is executed, independent of *what* is asked (the spec).
+/// Replaces the positional Algorithm + out-param arguments of the legacy
+/// SimilarityEngine::RangeQuery/Join/Knn signatures.
+struct ExecOptions {
+  Algorithm algorithm = Algorithm::kMtIndex;
+  /// Worker threads for the parallel executor: 1 (default) runs inline on
+  /// the calling thread, 0 means one worker per hardware thread. Results and
+  /// summed QueryStats are identical for every value — the task
+  /// decomposition (one task per transformation rectangle / traversal /
+  /// candidate chunk) is fixed, only the workers executing it vary.
+  std::size_t num_threads = 1;
+  /// Collect per-rectangle GroupRunStats (range queries; empty otherwise).
+  bool collect_group_stats = false;
+};
+
 /// Which side(s) of the distance predicate a transformation applies to.
 enum class TransformTarget {
   /// D(t(s), t(q)) — Query 1 exactly as the paper states it. Note that

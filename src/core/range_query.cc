@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "exec/parallel.h"
 #include "transform/ordering.h"
 #include "transform/transform_mbr.h"
 #include "ts/normal_form.h"
@@ -10,6 +11,12 @@
 namespace tsq::core {
 
 namespace {
+
+// Task granularity of the parallel executor. These are part of the
+// determinism contract only insofar as they are *constants*: the chunk
+// boundaries (and hence the merge order) never depend on num_threads.
+constexpr std::size_t kScanChunk = 256;   // sequence ids per seq-scan task
+constexpr std::size_t kVerifyChunk = 32;  // candidates per verification task
 
 // Sorts the indices of one group into ascending dominance-chain order when
 // the whole transformation set forms a chain; returns false when it does not
@@ -158,7 +165,7 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
 Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        const SequenceIndex& index,
                                        const RangeQuerySpec& spec,
-                                       Algorithm algorithm,
+                                       const ExecOptions& options,
                                        std::vector<GroupRunStats>* group_stats) {
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   if (group_stats != nullptr) group_stats->clear();
@@ -185,16 +192,38 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
   RangeQueryResult result;
   QueryStats& stats = result.stats;
 
-  if (algorithm == Algorithm::kSequentialScan) {
+  if (options.algorithm == Algorithm::kSequentialScan) {
     std::vector<std::size_t> all(spec.transforms.size());
     for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
     const bool ordered = spec.use_ordering && OrderGroupByChain(chain, &all);
-    for (std::size_t i = 0; i < dataset.size(); ++i) {
-      if (dataset.removed(i)) continue;
-      Result<std::vector<dft::Complex>> spectrum = dataset.FetchSpectrum(i);
-      if (!spectrum.ok()) return spectrum.status();
-      VerifyCandidate(spec, *spectrum, query_spectrum, all, ordered, i,
-                      &result.matches, &stats);
+
+    // One task per fixed-size slice of the relation; each task accumulates
+    // its own matches and counters, merged below in slice order.
+    struct ScanPart {
+      std::vector<Match> matches;
+      QueryStats stats;
+    };
+    const std::size_t tasks = exec::ChunkCount(dataset.size(), kScanChunk);
+    std::vector<ScanPart> parts(tasks);
+    TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+        options.num_threads, tasks, [&](std::size_t task) -> Status {
+          const exec::ChunkRange slice =
+              exec::ChunkBounds(dataset.size(), kScanChunk, task);
+          ScanPart& part = parts[task];
+          for (std::size_t i = slice.first; i < slice.last; ++i) {
+            if (dataset.removed(i)) continue;
+            Result<std::vector<dft::Complex>> spectrum =
+                dataset.FetchSpectrum(i);
+            if (!spectrum.ok()) return spectrum.status();
+            VerifyCandidate(spec, *spectrum, query_spectrum, all, ordered, i,
+                            &part.matches, &part.stats);
+          }
+          return Status::Ok();
+        }));
+    for (ScanPart& part : parts) {
+      result.matches.insert(result.matches.end(), part.matches.begin(),
+                            part.matches.end());
+      stats += part.stats;
     }
     // A sequential scan reads every table page exactly once, regardless of
     // how individual fetches above were counted.
@@ -206,7 +235,7 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
 
   // Indexed algorithms: ST-index is MT-index with singleton rectangles.
   transform::Partition partition;
-  if (algorithm == Algorithm::kStIndex) {
+  if (options.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
@@ -221,64 +250,122 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     feature_transforms.push_back(t.ToFeatureTransform(layout));
   }
 
-  for (std::vector<std::size_t> group : partition) {
-    const bool ordered = spec.use_ordering && OrderGroupByChain(chain, &group);
-    std::vector<transform::FeatureTransform> group_fts;
-    group_fts.reserve(group.size());
-    for (const std::size_t t : group) {
-      group_fts.push_back(feature_transforms[t]);
-    }
-    const transform::TransformMbr mbr(group_fts, layout);
-    // kBoth: the query region covers every transformed query image t(q).
-    // kDataOnly: the query is compared untransformed, so the region is the
-    // paper's literal step 2 — a safe window around q itself.
-    const std::vector<transform::FeatureTransform> identity = {
-        transform::FeatureTransform::Identity(layout.dimensions())};
-    const rstar::Rect query_region = BuildQueryRegion(
-        query_features,
-        spec.target == TransformTarget::kBoth
-            ? std::span<const transform::FeatureTransform>(group_fts)
-            : std::span<const transform::FeatureTransform>(identity),
-        spec.epsilon, layout);
-
-    // One traversal: transform every node rectangle by the group MBR
-    // (Eq. 12) and keep those intersecting the query region (Algorithm 1,
-    // steps 3-4).
+  // Phase A — one task per transformation rectangle: build the group MBR and
+  // query region, run the index traversal (Algorithm 1, steps 3-4), keep the
+  // candidates. Traversals only read tree pages, so they run concurrently.
+  struct GroupPass {
+    std::vector<std::size_t> group;  // chain-ordered when `ordered`
+    bool ordered = false;
     std::vector<rstar::Entry> candidates;
-    rstar::SearchStats search_stats;
-    TSQ_RETURN_IF_ERROR(index.tree().Search(
-        [&](const rstar::Rect& rect) {
-          return mbr.AppliedIntersects(rect, query_region);
-        },
-        &candidates, &search_stats));
-    ++stats.traversals;
-    stats.index_nodes_accessed += search_stats.nodes_accessed;
-    stats.index_leaves_accessed += search_stats.leaf_nodes_accessed;
-    stats.candidates += candidates.size();
+    rstar::SearchStats search;
+  };
+  std::vector<GroupPass> passes(partition.size());
+  TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+      options.num_threads, partition.size(), [&](std::size_t g) -> Status {
+        GroupPass& pass = passes[g];
+        pass.group = partition[g];
+        pass.ordered =
+            spec.use_ordering && OrderGroupByChain(chain, &pass.group);
+        std::vector<transform::FeatureTransform> group_fts;
+        group_fts.reserve(pass.group.size());
+        for (const std::size_t t : pass.group) {
+          group_fts.push_back(feature_transforms[t]);
+        }
+        const transform::TransformMbr mbr(group_fts, layout);
+        // kBoth: the query region covers every transformed query image t(q).
+        // kDataOnly: the query is compared untransformed, so the region is
+        // the paper's literal step 2 — a safe window around q itself.
+        const std::vector<transform::FeatureTransform> identity = {
+            transform::FeatureTransform::Identity(layout.dimensions())};
+        const rstar::Rect query_region = BuildQueryRegion(
+            query_features,
+            spec.target == TransformTarget::kBoth
+                ? std::span<const transform::FeatureTransform>(group_fts)
+                : std::span<const transform::FeatureTransform>(identity),
+            spec.epsilon, layout);
+        return index.tree().Search(
+            [&](const rstar::Rect& rect) {
+              return mbr.AppliedIntersects(rect, query_region);
+            },
+            &pass.candidates, &pass.search);
+      }));
 
-    // Post-processing (step 5): fetch each candidate's full record and apply
-    // every transformation of this rectangle.
-    const std::uint64_t record_reads_before = dataset.record_io().reads;
-    for (const rstar::Entry& entry : candidates) {
-      Result<std::vector<dft::Complex>> spectrum =
-          dataset.FetchSpectrum(entry.id);
-      if (!spectrum.ok()) return spectrum.status();
-      VerifyCandidate(spec, *spectrum, query_spectrum, group, ordered,
-                      entry.id, &result.matches, &stats);
+  // Phase B — post-processing (step 5): fetch each candidate's full record
+  // and apply every transformation of its rectangle. One task per fixed-size
+  // candidate chunk; tasks are laid out group-major so the ordered merge
+  // reproduces the sequential output exactly.
+  struct VerifyTask {
+    std::size_t group_index = 0;
+    exec::ChunkRange range;
+  };
+  std::vector<VerifyTask> tasks;
+  for (std::size_t g = 0; g < passes.size(); ++g) {
+    const std::size_t chunks =
+        exec::ChunkCount(passes[g].candidates.size(), kVerifyChunk);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      tasks.push_back(VerifyTask{
+          g, exec::ChunkBounds(passes[g].candidates.size(), kVerifyChunk, c)});
     }
-    const std::uint64_t record_reads =
-        dataset.record_io().reads - record_reads_before;
-    stats.record_pages_read += record_reads;
+  }
+  struct VerifyPart {
+    std::vector<Match> matches;
+    QueryStats stats;                 // comparisons only
+    std::uint64_t record_pages = 0;   // pages read by this task's fetches
+  };
+  std::vector<VerifyPart> parts(tasks.size());
+  TSQ_RETURN_IF_ERROR(exec::ParallelFor(
+      options.num_threads, tasks.size(), [&](std::size_t ti) -> Status {
+        const VerifyTask& task = tasks[ti];
+        const GroupPass& pass = passes[task.group_index];
+        VerifyPart& part = parts[ti];
+        for (std::size_t c = task.range.first; c < task.range.last; ++c) {
+          const rstar::Entry& entry = pass.candidates[c];
+          Result<std::vector<dft::Complex>> spectrum =
+              dataset.FetchSpectrum(entry.id, &part.record_pages);
+          if (!spectrum.ok()) return spectrum.status();
+          VerifyCandidate(spec, *spectrum, query_spectrum, pass.group,
+                          pass.ordered, entry.id, &part.matches, &part.stats);
+        }
+        return Status::Ok();
+      }));
 
+  // Deterministic merge: task order is group-major chunk order.
+  std::vector<std::uint64_t> group_record_reads(passes.size(), 0);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    VerifyPart& part = parts[ti];
+    result.matches.insert(result.matches.end(), part.matches.begin(),
+                          part.matches.end());
+    stats += part.stats;
+    stats.record_pages_read += part.record_pages;
+    group_record_reads[tasks[ti].group_index] += part.record_pages;
+  }
+  for (std::size_t g = 0; g < passes.size(); ++g) {
+    const GroupPass& pass = passes[g];
+    ++stats.traversals;
+    stats.index_nodes_accessed += pass.search.nodes_accessed;
+    stats.index_leaves_accessed += pass.search.leaf_nodes_accessed;
+    stats.candidates += pass.candidates.size();
     if (group_stats != nullptr) {
       group_stats->push_back(GroupRunStats{
-          search_stats.nodes_accessed + record_reads,
-          search_stats.leaf_nodes_accessed,
-          group.size(), candidates.size()});
+          pass.search.nodes_accessed + group_record_reads[g],
+          pass.search.leaf_nodes_accessed, pass.group.size(),
+          pass.candidates.size()});
     }
   }
   stats.output_size = result.matches.size();
   return result;
+}
+
+Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
+                                       const SequenceIndex& index,
+                                       const RangeQuerySpec& spec,
+                                       Algorithm algorithm,
+                                       std::vector<GroupRunStats>* group_stats) {
+  ExecOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = 1;
+  options.collect_group_stats = group_stats != nullptr;
+  return RunRangeQuery(dataset, index, spec, options, group_stats);
 }
 
 std::vector<Match> BruteForceRangeQuery(const Dataset& dataset,

@@ -21,9 +21,24 @@ namespace tsq::core {
 ///    grouping per `spec.partition` (all transformations in one rectangle
 ///    when the partition is empty).
 ///
+/// Parallelism (`options.num_threads`): index traversals fan out one task
+/// per transformation rectangle (so ST-index gets |T| tasks), candidate
+/// verification one task per fixed-size candidate chunk, and the sequential
+/// scan one task per fixed-size slice of the relation. Tasks merge in
+/// deterministic order, so matches and summed QueryStats are identical for
+/// every thread count.
+///
 /// When `group_stats` is non-null it receives one entry per index traversal
 /// (empty for the sequential scan), the inputs of the cost function Ck
 /// (Eq. 20).
+Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
+                                       const SequenceIndex& index,
+                                       const RangeQuerySpec& spec,
+                                       const ExecOptions& options,
+                                       std::vector<GroupRunStats>* group_stats =
+                                           nullptr);
+
+/// Legacy entry point: algorithm only, single-threaded.
 Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        const SequenceIndex& index,
                                        const RangeQuerySpec& spec,

@@ -1,0 +1,61 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/thread_pool.h"
+
+namespace tsq::exec {
+
+Status ParallelFor(std::size_t num_threads, std::size_t count,
+                   const std::function<Status(std::size_t)>& fn) {
+  if (count == 0) return Status::Ok();
+  const std::size_t workers =
+      std::min(EffectiveThreads(num_threads), count);
+  if (workers <= 1) {
+    Status first = Status::Ok();
+    for (std::size_t i = 0; i < count; ++i) {
+      Status status = fn(i);
+      if (!status.ok() && first.ok()) first = std::move(status);
+    }
+    return first;
+  }
+
+  std::vector<Status> statuses(count);
+  std::atomic<std::size_t> next{0};
+  {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          statuses[i] = fn(i);
+        }
+      });
+    }
+    // ~ThreadPool drains the queue and joins, so every task has completed
+    // (and its writes are visible) once the pool goes out of scope.
+  }
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::Ok();
+}
+
+std::size_t ChunkCount(std::size_t count, std::size_t chunk) {
+  TSQ_CHECK_GE(chunk, std::size_t{1});
+  return (count + chunk - 1) / chunk;
+}
+
+ChunkRange ChunkBounds(std::size_t count, std::size_t chunk,
+                       std::size_t index) {
+  ChunkRange range;
+  range.first = index * chunk;
+  range.last = std::min(count, range.first + chunk);
+  return range;
+}
+
+}  // namespace tsq::exec

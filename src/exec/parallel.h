@@ -1,0 +1,40 @@
+#ifndef TSQ_EXEC_PARALLEL_H_
+#define TSQ_EXEC_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace tsq::exec {
+
+/// Runs tasks `0 .. count-1` by invoking `fn(task_index)` across at most
+/// `num_threads` workers (0 = one per hardware thread). Tasks are claimed in
+/// index order; every task runs exactly once regardless of other tasks'
+/// failures, so stats accumulated by task bodies are complete even on error.
+/// Returns the lowest-task-index non-OK status, or OK.
+///
+/// When the effective worker count (or `count`) is 1, tasks run inline on
+/// the calling thread — same semantics, no thread is ever created. Query
+/// executors rely on this: results and counters must not depend on the
+/// thread count, only on the task decomposition.
+Status ParallelFor(std::size_t num_threads, std::size_t count,
+                   const std::function<Status(std::size_t)>& fn);
+
+/// Number of fixed-size chunks covering `count` items (`ceil(count/chunk)`).
+/// Chunk boundaries depend only on `count` and `chunk`, never on the thread
+/// count — the decomposition invariant behind deterministic parallel query
+/// results.
+std::size_t ChunkCount(std::size_t count, std::size_t chunk);
+
+/// Half-open item range `[first, last)` of chunk `index`.
+struct ChunkRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+ChunkRange ChunkBounds(std::size_t count, std::size_t chunk,
+                       std::size_t index);
+
+}  // namespace tsq::exec
+
+#endif  // TSQ_EXEC_PARALLEL_H_

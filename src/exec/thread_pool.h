@@ -1,0 +1,53 @@
+#ifndef TSQ_EXEC_THREAD_POOL_H_
+#define TSQ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsq::exec {
+
+/// Number of worker threads a request for `requested` resolves to: the value
+/// itself, or the hardware concurrency (at least 1) when `requested` is 0.
+std::size_t EffectiveThreads(std::size_t requested);
+
+/// A small fixed-size worker pool: `Submit` enqueues a task, workers drain
+/// the queue in FIFO order, and the destructor waits for every submitted
+/// task to finish before joining.
+///
+/// The pool makes no fairness or ordering promises beyond FIFO dispatch;
+/// callers that need per-task results or error collection should use the
+/// helpers in exec/parallel.h, which layer deterministic merging on top.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 resolves via EffectiveThreads).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsq::exec
+
+#endif  // TSQ_EXEC_THREAD_POOL_H_

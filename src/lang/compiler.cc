@@ -175,13 +175,13 @@ Result<CompiledQuery> Compile(const ParsedQuery& query,
   switch (query.algorithm) {
     case AlgorithmChoice::kDefault:
     case AlgorithmChoice::kMt:
-      compiled.algorithm = core::Algorithm::kMtIndex;
+      compiled.options.algorithm = core::Algorithm::kMtIndex;
       break;
     case AlgorithmChoice::kSt:
-      compiled.algorithm = core::Algorithm::kStIndex;
+      compiled.options.algorithm = core::Algorithm::kStIndex;
       break;
     case AlgorithmChoice::kScan:
-      compiled.algorithm = core::Algorithm::kSequentialScan;
+      compiled.options.algorithm = core::Algorithm::kSequentialScan;
       break;
   }
 
@@ -312,10 +312,11 @@ Result<std::string> Execute(const CompiledQuery& query,
                             const core::SimilarityEngine& engine,
                             std::size_t max_rows) {
   std::ostringstream out;
+  Result<core::QueryResult> executed = engine.Execute(query.spec,
+                                                      query.options);
+  if (!executed.ok()) return executed.status();
   if (const auto* range = std::get_if<core::RangeQuerySpec>(&query.spec)) {
-    Result<core::RangeQueryResult> result =
-        engine.RangeQuery(*range, query.algorithm);
-    if (!result.ok()) return result.status();
+    const core::RangeQueryResult* result = executed->range();
     out << result->matches.size() << " match(es); disk accesses = "
         << result->stats.disk_accesses()
         << ", candidates = " << result->stats.candidates << "\n";
@@ -334,8 +335,7 @@ Result<std::string> Execute(const CompiledQuery& query,
     return out.str();
   }
   if (const auto* knn = std::get_if<core::KnnQuerySpec>(&query.spec)) {
-    Result<core::KnnQueryResult> result = engine.Knn(*knn, query.algorithm);
-    if (!result.ok()) return result.status();
+    const core::KnnQueryResult* result = executed->knn();
     out << result->matches.size() << " neighbour(s):\n";
     for (const core::KnnMatch& m : result->matches) {
       out << "  series " << m.series_id << "  "
@@ -345,8 +345,7 @@ Result<std::string> Execute(const CompiledQuery& query,
     return out.str();
   }
   const auto& join = std::get<core::JoinQuerySpec>(query.spec);
-  Result<core::JoinQueryResult> result = engine.Join(join, query.algorithm);
-  if (!result.ok()) return result.status();
+  const core::JoinQueryResult* result = executed->join();
   out << result->matches.size() << " pair match(es); disk accesses = "
       << result->stats.disk_accesses() << "\n";
   std::vector<core::JoinMatch> sorted = result->matches;

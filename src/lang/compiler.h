@@ -11,12 +11,11 @@
 
 namespace tsq::lang {
 
-/// A compiled query: the engine-level spec plus the algorithm to run it
-/// with.
+/// A compiled query: the engine-level spec plus the execution options to run
+/// it with — exactly the two arguments of SimilarityEngine::Execute.
 struct CompiledQuery {
-  std::variant<core::RangeQuerySpec, core::KnnQuerySpec, core::JoinQuerySpec>
-      spec;
-  core::Algorithm algorithm = core::Algorithm::kMtIndex;
+  core::QuerySpec spec;
+  core::ExecOptions options;
 };
 
 /// Expands the factor language into spectral transformations of length `n`.

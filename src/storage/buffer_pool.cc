@@ -28,6 +28,7 @@ void BufferPool::InsertAndMaybeEvict(PageId id, const Page& page) {
 }
 
 Status BufferPool::Read(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     ++stats_.hits;
@@ -42,6 +43,7 @@ Status BufferPool::Read(PageId id, Page* out) {
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   TSQ_RETURN_IF_ERROR(file_->Write(id, page));
   auto it = entries_.find(id);
   if (it != entries_.end()) {
@@ -54,6 +56,7 @@ Status BufferPool::Write(PageId id, const Page& page) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
 }

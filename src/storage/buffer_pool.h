@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -25,6 +26,12 @@ struct BufferPoolStats {
 /// caching changes the disk-access picture. Pages are read-mostly in this
 /// workload; writes go through the pool and are written back immediately
 /// (write-through), keeping recovery concerns out of scope.
+///
+/// Thread safety: every public method takes an internal mutex (even reads
+/// mutate LRU order), so concurrent query threads may share one pool. The
+/// mutex is held across the backing-file read on a miss, which serializes
+/// misses — a single LRU list cannot admit two pages race-free anyway;
+/// sharding the pool by page id is the planned lock-splitting step.
 class BufferPool {
  public:
   /// Creates a pool holding at most `capacity` pages. Requires capacity >= 1.
@@ -43,10 +50,20 @@ class BufferPool {
   /// cache).
   void Clear();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Snapshot of the counters.
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats{};
+  }
 
-  std::size_t cached_pages() const { return entries_.size(); }
+  std::size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
 
  private:
@@ -59,7 +76,8 @@ class BufferPool {
   void InsertAndMaybeEvict(PageId id, const Page& page);
 
   PageFile* file_;
-  std::size_t capacity_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;  // guards entries_, lru_ and stats_
   std::unordered_map<PageId, Entry> entries_;
   std::list<PageId> lru_;  // front = most recently used
   BufferPoolStats stats_;

@@ -33,38 +33,47 @@ std::uint64_t PageFile::Checksum(const Page& page) {
 }
 
 PageId PageFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.emplace_back();
   checksums_.push_back(Checksum(pages_.back()));
-  ++stats_.allocations;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status PageFile::Read(PageId id, Page* out) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange(PageIdMessage("read", id, pages_.size()));
-  }
-  ++stats_.reads;
-  if (read_delay_nanos_ > 0) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t delay = read_delay_nanos();
+  if (delay > 0) {
+    // Spin outside the lock: concurrent readers pay their simulated
+    // latencies in parallel, like requests in flight on independent disks.
     const auto until = std::chrono::steady_clock::now() +
-                       std::chrono::nanoseconds(read_delay_nanos_);
+                       std::chrono::nanoseconds(delay);
     while (std::chrono::steady_clock::now() < until) {
-      // Spin: models the fixed per-page cost of a (cached-era) disk access.
+      // Models the fixed per-page cost of a (cached-era) disk access.
     }
   }
-  const Page& stored = pages_[id];
-  if (Checksum(stored) != checksums_[id]) {
-    return Status::Corruption(PageIdMessage("checksum mismatch", id,
-                                            pages_.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= pages_.size()) {
+      reads_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::OutOfRange(PageIdMessage("read", id, pages_.size()));
+    }
+    const Page& stored = pages_[id];
+    if (Checksum(stored) != checksums_[id]) {
+      return Status::Corruption(PageIdMessage("checksum mismatch", id,
+                                              pages_.size()));
+    }
+    *out = stored;
   }
-  *out = stored;
   return Status::Ok();
 }
 
 Status PageFile::Write(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange(PageIdMessage("write", id, pages_.size()));
   }
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   pages_[id] = page;
   checksums_[id] = Checksum(page);
   return Status::Ok();
@@ -77,6 +86,7 @@ constexpr std::uint64_t kPageFileMagic = 0x545351504147u;  // "TSQPAG"
 Status PageFile::SaveTo(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
+  std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t count = pages_.size();
   out.write(reinterpret_cast<const char*>(&kPageFileMagic),
             sizeof kPageFileMagic);
@@ -104,16 +114,18 @@ Status PageFile::LoadFrom(const std::string& path) {
     in.read(reinterpret_cast<char*>(page.bytes.data()), kPageSize);
     if (!in) return Status::Corruption("truncated page file: " + path);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   pages_ = std::move(pages);
   checksums_.resize(pages_.size());
   for (std::size_t i = 0; i < pages_.size(); ++i) {
     checksums_[i] = Checksum(pages_[i]);
   }
-  stats_ = IoStats{};
+  ResetStats();
   return Status::Ok();
 }
 
 Status PageFile::CorruptForTesting(PageId id, std::size_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange(PageIdMessage("corrupt", id, pages_.size()));
   }

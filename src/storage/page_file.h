@@ -2,8 +2,10 @@
 #define TSQ_STORAGE_PAGE_FILE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -38,6 +40,13 @@ struct IoStats {
 /// independent of the host machine. Each page carries a checksum maintained
 /// on write and verified on read, so corruption (or the failure-injection
 /// test hook) is detected rather than silently propagated.
+///
+/// Thread safety: Read, Write, Allocate and the counters may be called
+/// concurrently — page content is guarded by a mutex and the counters are
+/// atomic. The simulated read-delay spin happens on the calling thread
+/// *outside* the lock, so N concurrent readers pay their latencies in
+/// parallel (the model of N independent disks the parallel executor
+/// assumes). SaveTo/LoadFrom still require external exclusion from writers.
 class PageFile {
  public:
   PageFile() = default;
@@ -48,15 +57,23 @@ class PageFile {
   /// Allocates a zeroed page and returns its id.
   PageId Allocate();
 
-  /// Simulates storage latency: every Read spins for `nanos` nanoseconds.
-  /// Benchmarks use this to reproduce the paper's cost ratio between a disk
-  /// access and a sequence comparison (C_cmp = 0.4 * C_DA on their 1999
-  /// hardware); 0 (the default) disables the delay.
-  void set_read_delay_nanos(std::uint64_t nanos) { read_delay_nanos_ = nanos; }
-  std::uint64_t read_delay_nanos() const { return read_delay_nanos_; }
+  /// Simulates storage latency: every Read spins for `nanos` nanoseconds on
+  /// the calling thread (concurrent readers spin independently). Benchmarks
+  /// use this to reproduce the paper's cost ratio between a disk access and
+  /// a sequence comparison (C_cmp = 0.4 * C_DA on their 1999 hardware);
+  /// 0 (the default) disables the delay.
+  void set_read_delay_nanos(std::uint64_t nanos) {
+    read_delay_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+  std::uint64_t read_delay_nanos() const {
+    return read_delay_nanos_.load(std::memory_order_relaxed);
+  }
 
   /// Number of allocated pages.
-  std::size_t page_count() const { return pages_.size(); }
+  std::size_t page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
   /// Reads page `id` into `*out`. Fails with OutOfRange for an unknown id and
   /// Corruption when the stored checksum does not match the page content.
@@ -65,8 +82,20 @@ class PageFile {
   /// Writes `page` to `id` and updates its checksum.
   Status Write(PageId id, const Page& page);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Snapshot of the counters (each counter is read atomically; the snapshot
+  /// as a whole is not a consistent cut under concurrent I/O).
+  IoStats stats() const {
+    IoStats out;
+    out.reads = reads_.load(std::memory_order_relaxed);
+    out.writes = writes_.load(std::memory_order_relaxed);
+    out.allocations = allocations_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocations_.store(0, std::memory_order_relaxed);
+  }
 
   /// Test hook: flips a byte in the stored page without updating the
   /// checksum, so the next Read reports corruption.
@@ -82,10 +111,13 @@ class PageFile {
  private:
   static std::uint64_t Checksum(const Page& page);
 
+  mutable std::mutex mu_;  // guards pages_ and checksums_
   std::vector<Page> pages_;
   std::vector<std::uint64_t> checksums_;
-  IoStats stats_;
-  std::uint64_t read_delay_nanos_ = 0;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> read_delay_nanos_{0};
 };
 
 }  // namespace tsq::storage

@@ -49,9 +49,14 @@ Result<RecordId> RecordStore::Append(std::span<const std::uint8_t> payload) {
   return id;
 }
 
-Result<std::vector<std::uint8_t>> RecordStore::Get(RecordId id) const {
+Result<std::vector<std::uint8_t>> RecordStore::Get(
+    RecordId id, std::uint64_t* pages_read) const {
+  const auto count_page = [pages_read] {
+    if (pages_read != nullptr) ++*pages_read;
+  };
   Page page;
   TSQ_RETURN_IF_ERROR(file_->Read(id.page, &page));
+  count_page();
   if (id.offset + kHeaderSize > kPageSize) {
     return Status::OutOfRange("record offset beyond page");
   }
@@ -67,6 +72,7 @@ Result<std::vector<std::uint8_t>> RecordStore::Get(RecordId id) const {
       ++page_id;
       cursor = 0;
       TSQ_RETURN_IF_ERROR(file_->Read(page_id, &page));
+      count_page();
     }
     const std::size_t chunk = std::min(kPageSize - cursor,
                                        static_cast<std::size_t>(total) - read);
@@ -144,8 +150,9 @@ Result<RecordId> RecordStore::AppendSeries(const ts::Series& series) {
   return Append(payload);
 }
 
-Result<ts::Series> RecordStore::GetSeries(RecordId id) const {
-  Result<std::vector<std::uint8_t>> payload = Get(id);
+Result<ts::Series> RecordStore::GetSeries(RecordId id,
+                                          std::uint64_t* pages_read) const {
+  Result<std::vector<std::uint8_t>> payload = Get(id, pages_read);
   if (!payload.ok()) return payload.status();
   if (payload->size() % sizeof(double) != 0) {
     return Status::Corruption("record size is not a multiple of 8");

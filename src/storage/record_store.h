@@ -43,8 +43,13 @@ class RecordStore {
   /// Appends a record; returns its id.
   Result<RecordId> Append(std::span<const std::uint8_t> payload);
 
-  /// Fetches a record by id (reads, and counts, every page it spans).
-  Result<std::vector<std::uint8_t>> Get(RecordId id) const;
+  /// Fetches a record by id (reads, and counts, every page it spans). When
+  /// `pages_read` is non-null it is *incremented* by the number of page
+  /// reads this call issued — the per-task accounting the parallel query
+  /// executor uses instead of diffing the file's global counter.
+  Result<std::vector<std::uint8_t>> Get(RecordId id,
+                                        std::uint64_t* pages_read =
+                                            nullptr) const;
 
   /// Fetches `length` payload bytes starting at `byte_offset` within the
   /// record, reading (and counting) only the pages that range spans plus the
@@ -61,7 +66,9 @@ class RecordStore {
   Result<RecordId> AppendSeries(const ts::Series& series);
 
   /// Convenience: fetches a record and decodes it as a series of doubles.
-  Result<ts::Series> GetSeries(RecordId id) const;
+  /// `pages_read`, when non-null, is incremented per page read (see Get).
+  Result<ts::Series> GetSeries(RecordId id,
+                               std::uint64_t* pages_read = nullptr) const;
 
   std::size_t record_count() const { return record_count_; }
 

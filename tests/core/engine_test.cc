@@ -18,12 +18,15 @@ TEST(SimilarityEngineTest, EndToEndRangeQuery) {
   spec.query = ts::Denormalize(engine.dataset().normal(0));
   spec.transforms = transform::MovingAverageRange(128, 1, 40);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
-  const auto result = engine.RangeQuery(spec);
+  const auto result = engine.Execute(spec);
   ASSERT_TRUE(result.ok());
-  EXPECT_FALSE(result->matches.empty());
+  ASSERT_NE(result->range(), nullptr);
+  EXPECT_EQ(result->knn(), nullptr);
+  EXPECT_EQ(result->join(), nullptr);
+  EXPECT_FALSE(result->range()->matches.empty());
   // The query itself qualifies under every window (distance 0).
   std::size_t self_matches = 0;
-  for (const Match& m : result->matches) {
+  for (const Match& m : result->range()->matches) {
     if (m.series_id == 0) ++self_matches;
   }
   EXPECT_EQ(self_matches, spec.transforms.size());
@@ -36,22 +39,23 @@ TEST(SimilarityEngineTest, AllThreeQueryTypes) {
   range.query = ts::Denormalize(engine.dataset().normal(5));
   range.transforms = transform::MovingAverageRange(128, 5, 10);
   range.epsilon = 2.0;
-  EXPECT_TRUE(engine.RangeQuery(range, Algorithm::kStIndex).ok());
+  EXPECT_TRUE(engine.Execute(range, {.algorithm = Algorithm::kStIndex}).ok());
 
   JoinQuerySpec join;
   join.mode = JoinMode::kCorrelation;
   join.min_correlation = 0.99;
   join.transforms = transform::MovingAverageRange(128, 5, 10);
-  EXPECT_TRUE(engine.Join(join).ok());
+  EXPECT_TRUE(engine.Execute(join).ok());
 
   KnnQuerySpec knn;
   knn.query = ts::Denormalize(engine.dataset().normal(5));
   knn.k = 3;
   knn.transforms = transform::MovingAverageRange(128, 5, 10);
-  const auto neighbors = engine.Knn(knn);
+  const auto neighbors = engine.Execute(knn);
   ASSERT_TRUE(neighbors.ok());
-  EXPECT_EQ(neighbors->matches.size(), 3u);
-  EXPECT_EQ(neighbors->matches[0].series_id, 5u);
+  ASSERT_NE(neighbors->knn(), nullptr);
+  EXPECT_EQ(neighbors->knn()->matches.size(), 3u);
+  EXPECT_EQ(neighbors->knn()->matches[0].series_id, 5u);
 }
 
 TEST(SimilarityEngineTest, CustomOptions) {
@@ -66,11 +70,14 @@ TEST(SimilarityEngineTest, CustomOptions) {
   spec.query = ts::Denormalize(engine.dataset().normal(0));
   spec.transforms = transform::MovingAverageRange(64, 1, 5);
   spec.epsilon = 1.5;
-  const auto via_index = engine.RangeQuery(spec, Algorithm::kMtIndex);
-  const auto via_scan = engine.RangeQuery(spec, Algorithm::kSequentialScan);
+  const auto via_index =
+      engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+  const auto via_scan =
+      engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
   ASSERT_TRUE(via_index.ok());
   ASSERT_TRUE(via_scan.ok());
-  EXPECT_EQ(via_index->matches.size(), via_scan->matches.size());
+  EXPECT_EQ(via_index->range()->matches.size(),
+            via_scan->range()->matches.size());
 }
 
 TEST(SimilarityEngineTest, GroupStatsExposedForCostAnalysis) {
@@ -80,13 +87,41 @@ TEST(SimilarityEngineTest, GroupStatsExposedForCostAnalysis) {
   spec.transforms = transform::MovingAverageRange(128, 6, 17);
   spec.epsilon = 2.0;
   spec.partition = transform::PartitionBySize(spec.transforms.size(), 4);
-  std::vector<GroupRunStats> groups;
-  ASSERT_TRUE(engine.RangeQuery(spec, Algorithm::kMtIndex, &groups).ok());
-  ASSERT_EQ(groups.size(), 3u);
-  for (const GroupRunStats& g : groups) {
+  const auto result = engine.Execute(
+      spec, {.algorithm = Algorithm::kMtIndex, .collect_group_stats = true});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->group_stats.size(), 3u);
+  for (const GroupRunStats& g : result->group_stats) {
     EXPECT_EQ(g.transforms, 4u);
     EXPECT_GE(g.da_all, g.da_leaf);
   }
+  // Without the flag, no group stats are collected.
+  const auto bare = engine.Execute(spec);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->group_stats.empty());
+}
+
+TEST(SimilarityEngineTest, DeprecatedWrappersStillAnswer) {
+  // The legacy per-type methods stay as thin wrappers over Execute(); this
+  // test pins their behaviour until they are removed for good.
+  SimilarityEngine engine(testutil::Stocks(40, 128, 39));
+  RangeQuerySpec spec;
+  spec.query = ts::Denormalize(engine.dataset().normal(0));
+  spec.transforms = transform::MovingAverageRange(128, 5, 10);
+  spec.epsilon = 2.0;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto old_api = engine.RangeQuery(spec, Algorithm::kMtIndex);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  const auto new_api = engine.Execute(spec);
+  ASSERT_TRUE(old_api.ok());
+  ASSERT_TRUE(new_api.ok());
+  EXPECT_EQ(old_api->matches.size(), new_api->range()->matches.size());
+  EXPECT_EQ(old_api->stats.comparisons, new_api->stats().comparisons);
 }
 
 TEST(SimilarityEngineTest, InsertAndRemoveSequences) {
@@ -104,10 +139,10 @@ TEST(SimilarityEngineTest, InsertAndRemoveSequences) {
   spec.query = ts::Denormalize(engine.dataset().normal(0));
   spec.transforms = {transform::SpectralTransform::Identity(128)};
   spec.epsilon = 1.0;
-  auto found = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  auto found = engine.Execute(spec);
   ASSERT_TRUE(found.ok());
   bool has_clone = false;
-  for (const Match& m : found->matches) {
+  for (const Match& m : found->range()->matches) {
     if (m.series_id == *id) has_clone = true;
   }
   EXPECT_TRUE(has_clone);
@@ -118,17 +153,17 @@ TEST(SimilarityEngineTest, InsertAndRemoveSequences) {
   EXPECT_TRUE(engine.index().tree().CheckInvariants().ok());
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
                               Algorithm::kMtIndex}) {
-    auto result = engine.RangeQuery(spec, algorithm);
+    auto result = engine.Execute(spec, {.algorithm = algorithm});
     ASSERT_TRUE(result.ok());
-    for (const Match& m : result->matches) {
+    for (const Match& m : result->range()->matches) {
       EXPECT_NE(m.series_id, *id) << AlgorithmName(algorithm);
     }
   }
   // Brute force agrees after mutations (indexed vs scan still equivalent).
   const auto expected = BruteForceRangeQuery(engine.dataset(), spec);
-  auto mt = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  auto mt = engine.Execute(spec);
   ASSERT_TRUE(mt.ok());
-  EXPECT_EQ(mt->matches.size(), expected.size());
+  EXPECT_EQ(mt->range()->matches.size(), expected.size());
 
   // Double-remove and bad ids are NotFound; wrong length rejected.
   EXPECT_EQ(engine.Remove(*id).code(), StatusCode::kNotFound);
@@ -168,12 +203,12 @@ TEST(SimilarityEngineTest, ManyInsertionsAndRemovalsStaySound) {
   spec.transforms = transform::MovingAverageRange(64, 1, 6);
   spec.epsilon = 2.0;
   const auto expected = BruteForceRangeQuery(engine.dataset(), spec);
-  auto mt = engine.RangeQuery(spec, Algorithm::kMtIndex);
-  auto seq = engine.RangeQuery(spec, Algorithm::kSequentialScan);
+  auto mt = engine.Execute(spec);
+  auto seq = engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
   ASSERT_TRUE(mt.ok());
   ASSERT_TRUE(seq.ok());
-  EXPECT_EQ(mt->matches.size(), expected.size());
-  EXPECT_EQ(seq->matches.size(), expected.size());
+  EXPECT_EQ(mt->range()->matches.size(), expected.size());
+  EXPECT_EQ(seq->range()->matches.size(), expected.size());
 }
 
 TEST(SimilarityEngineTest, BufferPoolPreservesAnswersAndCutsPhysicalReads) {
@@ -182,36 +217,39 @@ TEST(SimilarityEngineTest, BufferPoolPreservesAnswersAndCutsPhysicalReads) {
   spec.query = ts::Denormalize(engine.dataset().normal(4));
   spec.transforms = transform::MovingAverageRange(128, 5, 20);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
+  const ExecOptions st{.algorithm = Algorithm::kStIndex};
 
   // Cold baseline: physical reads over two ST queries.
   engine.ResetIoStats();
-  const auto cold_a = engine.RangeQuery(spec, Algorithm::kStIndex);
+  const auto cold_a = engine.Execute(spec, st);
   ASSERT_TRUE(cold_a.ok());
   const std::uint64_t cold_reads = engine.index().index_io().reads;
+  EXPECT_EQ(engine.index_buffer_pool(), nullptr);
 
   // Warm: a pool big enough for the whole tree.
   engine.EnableIndexBufferPool(256);
+  ASSERT_NE(engine.index_buffer_pool(), nullptr);
   engine.ResetIoStats();
-  const auto warm_a = engine.RangeQuery(spec, Algorithm::kStIndex);
-  const auto warm_b = engine.RangeQuery(spec, Algorithm::kStIndex);
+  const auto warm_a = engine.Execute(spec, st);
+  const auto warm_b = engine.Execute(spec, st);
   ASSERT_TRUE(warm_a.ok());
   ASSERT_TRUE(warm_b.ok());
   const std::uint64_t warm_reads = engine.index().index_io().reads;
 
   // Same answers, far fewer physical reads (two queries vs. one cold one).
-  EXPECT_EQ(warm_a->matches.size(), cold_a->matches.size());
-  EXPECT_EQ(warm_b->matches.size(), cold_a->matches.size());
+  EXPECT_EQ(warm_a->range()->matches.size(), cold_a->range()->matches.size());
+  EXPECT_EQ(warm_b->range()->matches.size(), cold_a->range()->matches.size());
   EXPECT_LT(warm_reads, cold_reads);
   // Logical accounting unchanged by the pool.
-  EXPECT_EQ(warm_a->stats.index_nodes_accessed,
-            cold_a->stats.index_nodes_accessed);
+  EXPECT_EQ(warm_a->stats().index_nodes_accessed,
+            cold_a->stats().index_nodes_accessed);
 
   engine.EnableIndexBufferPool(0);
   engine.ResetIoStats();
-  const auto detached = engine.RangeQuery(spec, Algorithm::kStIndex);
+  const auto detached = engine.Execute(spec, st);
   ASSERT_TRUE(detached.ok());
   EXPECT_EQ(engine.index().index_io().reads,
-            detached->stats.index_nodes_accessed);
+            detached->stats().index_nodes_accessed);
 }
 
 TEST(SimilarityEngineTest, ResetIoStats) {
@@ -220,7 +258,7 @@ TEST(SimilarityEngineTest, ResetIoStats) {
   spec.query = ts::Denormalize(engine.dataset().normal(0));
   spec.transforms = transform::MovingAverageRange(64, 1, 4);
   spec.epsilon = 3.0;
-  ASSERT_TRUE(engine.RangeQuery(spec).ok());
+  ASSERT_TRUE(engine.Execute(spec).ok());
   engine.ResetIoStats();
   EXPECT_EQ(engine.dataset().record_io().reads, 0u);
   EXPECT_EQ(engine.index().index_io().reads, 0u);

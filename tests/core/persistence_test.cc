@@ -27,7 +27,8 @@ TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
   spec.query = ts::Denormalize(original.dataset().normal(7));
   spec.transforms = transform::MovingAverageRange(128, 5, 20);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
-  const auto before = original.RangeQuery(spec, Algorithm::kMtIndex);
+  const auto before =
+      original.Execute(spec, {.algorithm = Algorithm::kMtIndex});
   ASSERT_TRUE(before.ok());
 
   ASSERT_TRUE(original.SaveTo(prefix_).ok());
@@ -40,11 +41,11 @@ TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
   // Identical answers and identical index traversal counters.
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
                               Algorithm::kMtIndex}) {
-    const auto a = original.RangeQuery(spec, algorithm);
-    const auto b = (*loaded)->RangeQuery(spec, algorithm);
+    const auto a = original.Execute(spec, {.algorithm = algorithm});
+    const auto b = (*loaded)->Execute(spec, {.algorithm = algorithm});
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
-    std::vector<Match> ma = a->matches, mb = b->matches;
+    std::vector<Match> ma = a->range()->matches, mb = b->range()->matches;
     SortMatches(&ma);
     SortMatches(&mb);
     ASSERT_EQ(ma.size(), mb.size()) << AlgorithmName(algorithm);
@@ -52,7 +53,8 @@ TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
       EXPECT_EQ(ma[i].series_id, mb[i].series_id);
       EXPECT_NEAR(ma[i].distance, mb[i].distance, 1e-9);
     }
-    EXPECT_EQ(a->stats.index_nodes_accessed, b->stats.index_nodes_accessed);
+    EXPECT_EQ(a->stats().index_nodes_accessed,
+              b->stats().index_nodes_accessed);
   }
 }
 
@@ -74,10 +76,11 @@ TEST_F(PersistenceTest, LoadedEngineSupportsUpdatesAndQueries) {
   spec.query = fresh;
   spec.transforms = {transform::SpectralTransform::Identity(64)};
   spec.epsilon = 0.1;
-  const auto result = (*loaded)->RangeQuery(spec, Algorithm::kMtIndex);
+  const auto result =
+      (*loaded)->Execute(spec, {.algorithm = Algorithm::kMtIndex});
   ASSERT_TRUE(result.ok());
   bool found = false;
-  for (const Match& m : result->matches) {
+  for (const Match& m : result->range()->matches) {
     if (m.series_id == *id) found = true;
     EXPECT_NE(m.series_id, 3u);  // tombstone stays dead
   }

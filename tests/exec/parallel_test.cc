@@ -1,0 +1,108 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace tsq::exec {
+namespace {
+
+TEST(EffectiveThreadsTest, ZeroMeansHardware) {
+  EXPECT_GE(EffectiveThreads(0), 1u);
+  EXPECT_EQ(EffectiveThreads(1), 1u);
+  EXPECT_EQ(EffectiveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructorWaitsForInFlightTasks) {
+  std::atomic<bool> done{false};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.store(true);
+    });
+  }
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ParallelForTest, EveryTaskRunsExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> runs(101);
+    for (auto& r : runs) r.store(0);
+    const Status status =
+        ParallelFor(threads, runs.size(), [&runs](std::size_t i) {
+          runs[i].fetch_add(1);
+          return Status::Ok();
+        });
+    EXPECT_TRUE(status.ok());
+    for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  Status status = ParallelFor(1, 8, [caller](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  // Zero tasks: trivially OK, no worker spun up.
+  EXPECT_TRUE(ParallelFor(8, 0, [](std::size_t) {
+                return Status::Internal("never called");
+              }).ok());
+}
+
+TEST(ParallelForTest, ReturnsLowestFailingTaskAndStillRunsAll) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<int> ran{0};
+    const Status status =
+        ParallelFor(threads, 64, [&ran](std::size_t i) -> Status {
+          ran.fetch_add(1);
+          if (i == 9 || i == 40) {
+            return Status::Internal("task " + std::to_string(i));
+          }
+          return Status::Ok();
+        });
+    EXPECT_EQ(ran.load(), 64);  // failures never cancel other tasks
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("task 9"), std::string::npos);
+  }
+}
+
+TEST(ChunkTest, BoundsPartitionTheRange) {
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{255}, std::size_t{256},
+                                  std::size_t{1000}}) {
+    const std::size_t chunk = 256;
+    const std::size_t chunks = ChunkCount(count, chunk);
+    EXPECT_EQ(chunks, (count + chunk - 1) / chunk);
+    std::size_t covered = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const ChunkRange r = ChunkBounds(count, chunk, c);
+      EXPECT_EQ(r.first, covered);
+      EXPECT_LE(r.last, count);
+      EXPECT_LT(r.first, r.last);
+      covered = r.last;
+    }
+    EXPECT_EQ(covered, count);
+  }
+}
+
+}  // namespace
+}  // namespace tsq::exec

@@ -59,9 +59,9 @@ TEST_P(EndToEndSweepTest, EverythingAgreesWithBruteForce) {
   auto check = [&](Algorithm algorithm, const transform::Partition& partition) {
     RangeQuerySpec run_spec = spec;
     run_spec.partition = partition;
-    auto result = engine.RangeQuery(run_spec, algorithm);
+    auto result = engine.Execute(run_spec, {.algorithm = algorithm});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
-    std::vector<Match> actual = result->matches;
+    std::vector<Match> actual = result->range()->matches;
     std::vector<Match> want = expected;
     SortMatches(&actual);
     SortMatches(&want);
@@ -113,9 +113,10 @@ TEST(EndToEndTest, TwoClusterWorkloadAllPartitionings) {
     RangeQuerySpec run_spec = spec;
     run_spec.partition =
         transform::PartitionBySize(spec.transforms.size(), per_group);
-    auto result = engine.RangeQuery(run_spec, Algorithm::kMtIndex);
+    auto result =
+        engine.Execute(run_spec, {.algorithm = Algorithm::kMtIndex});
     ASSERT_TRUE(result.ok());
-    EXPECT_EQ(result->matches.size(), expected.size())
+    EXPECT_EQ(result->range()->matches.size(), expected.size())
         << "per_group=" << per_group;
   }
 }
@@ -130,19 +131,19 @@ TEST(EndToEndTest, FilteringActuallyPrunes) {
   spec.transforms = transform::MovingAverageRange(128, 10, 25);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
 
-  auto seq = engine.RangeQuery(spec, Algorithm::kSequentialScan);
-  auto st = engine.RangeQuery(spec, Algorithm::kStIndex);
-  auto mt = engine.RangeQuery(spec, Algorithm::kMtIndex);
+  auto seq = engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
+  auto st = engine.Execute(spec, {.algorithm = Algorithm::kStIndex});
+  auto mt = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
   ASSERT_TRUE(seq.ok());
   ASSERT_TRUE(st.ok());
   ASSERT_TRUE(mt.ok());
-  EXPECT_EQ(seq->matches.size(), mt->matches.size());
-  EXPECT_EQ(st->matches.size(), mt->matches.size());
+  EXPECT_EQ(seq->range()->matches.size(), mt->range()->matches.size());
+  EXPECT_EQ(st->range()->matches.size(), mt->range()->matches.size());
 
   // MT: single traversal, fewer total disk accesses than both competitors.
-  EXPECT_LT(mt->stats.disk_accesses(), seq->stats.disk_accesses());
-  EXPECT_LT(mt->stats.disk_accesses(), st->stats.disk_accesses());
-  EXPECT_LT(mt->stats.comparisons, seq->stats.comparisons);
+  EXPECT_LT(mt->stats().disk_accesses(), seq->stats().disk_accesses());
+  EXPECT_LT(mt->stats().disk_accesses(), st->stats().disk_accesses());
+  EXPECT_LT(mt->stats().comparisons, seq->stats().comparisons);
 }
 
 TEST(EndToEndTest, CompositionQueryRewriting) {
@@ -158,7 +159,7 @@ TEST(EndToEndTest, CompositionQueryRewriting) {
   composed.query = ts::Denormalize(engine.dataset().normal(7));
   composed.transforms = transform::ComposeSpectralSets(shifts, mvs);
   composed.epsilon = 1.5;
-  auto result = engine.RangeQuery(composed, Algorithm::kMtIndex);
+  auto result = engine.Execute(composed, {.algorithm = Algorithm::kMtIndex});
   ASSERT_TRUE(result.ok());
 
   // Ground truth: apply shift then MA by hand over in-memory data.
@@ -179,7 +180,7 @@ TEST(EndToEndTest, CompositionQueryRewriting) {
       ++index;
     }
   }
-  std::vector<Match> actual = result->matches;
+  std::vector<Match> actual = result->range()->matches;
   SortMatches(&actual);
   SortMatches(&expected);
   ASSERT_EQ(actual.size(), expected.size());

@@ -44,14 +44,14 @@ TEST_F(GrandTourTest, FullLifecycle) {
       engine);
   ASSERT_TRUE(range.ok()) << range.status().ToString();
   const auto& spec = std::get<core::RangeQuerySpec>(range->spec);
-  const auto lang_result = engine.RangeQuery(spec, range->algorithm);
+  const auto lang_result = engine.Execute(spec, range->options);
   ASSERT_TRUE(lang_result.ok());
   const auto brute = core::BruteForceRangeQuery(engine.dataset(), spec);
-  EXPECT_EQ(lang_result->matches.size(), brute.size());
+  EXPECT_EQ(lang_result->range()->matches.size(), brute.size());
 
   // 3. Mutations: drop the best non-self match, insert a fresh series.
   std::size_t victim = SIZE_MAX;
-  for (const core::Match& m : lang_result->matches) {
+  for (const core::Match& m : lang_result->range()->matches) {
     if (m.series_id != 12) {
       victim = m.series_id;
       break;
@@ -77,14 +77,13 @@ TEST_F(GrandTourTest, FullLifecycle) {
       **reopened);
   ASSERT_TRUE(again.ok());
   const auto& spec2 = std::get<core::RangeQuerySpec>(again->spec);
-  const auto reopened_result = (*reopened)->RangeQuery(spec2,
-                                                       again->algorithm);
+  const auto reopened_result = (*reopened)->Execute(spec2, again->options);
   ASSERT_TRUE(reopened_result.ok());
   const auto reopened_brute =
       core::BruteForceRangeQuery((*reopened)->dataset(), spec2);
-  EXPECT_EQ(reopened_result->matches.size(), reopened_brute.size());
+  EXPECT_EQ(reopened_result->range()->matches.size(), reopened_brute.size());
   if (victim != SIZE_MAX) {
-    for (const core::Match& m : reopened_result->matches) {
+    for (const core::Match& m : reopened_result->range()->matches) {
       EXPECT_NE(m.series_id, victim);
     }
   }

@@ -27,11 +27,12 @@ FilterMeasurement Measure(const SimilarityEngine& engine,
   RangeQuerySpec spec = base;
   for (std::size_t q = 0; q < queries; ++q) {
     spec.query = ts::Denormalize(engine.dataset().normal(q * 7 % engine.size()));
-    const auto result = engine.RangeQuery(spec, Algorithm::kMtIndex);
+    const auto result =
+        engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
     EXPECT_TRUE(result.ok());
-    m.candidates += static_cast<double>(result->stats.candidates);
-    m.disk_accesses += static_cast<double>(result->stats.disk_accesses());
-    m.output += result->matches.size();
+    m.candidates += static_cast<double>(result->stats().candidates);
+    m.disk_accesses += static_cast<double>(result->stats().disk_accesses());
+    m.output += result->range()->matches.size();
   }
   return m;
 }

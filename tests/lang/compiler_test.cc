@@ -80,15 +80,17 @@ TEST(CompilerTest, RangeQueryEndToEnd) {
               ts::CorrelationToDistanceThreshold(0.96, 128), 1e-12);
 
   // And it runs, agreeing with a hand-built spec.
-  const auto via_lang = engine.RangeQuery(*spec, compiled->algorithm);
+  const auto via_lang = engine.Execute(*spec, compiled->options);
   ASSERT_TRUE(via_lang.ok());
   core::RangeQuerySpec manual;
   manual.query = ts::Denormalize(engine.dataset().normal(7));
   manual.transforms = transform::MovingAverageRange(128, 1, 40);
   manual.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
-  const auto via_api = engine.RangeQuery(manual, core::Algorithm::kMtIndex);
+  const auto via_api =
+      engine.Execute(manual, {.algorithm = core::Algorithm::kMtIndex});
   ASSERT_TRUE(via_api.ok());
-  EXPECT_EQ(via_lang->matches.size(), via_api->matches.size());
+  EXPECT_EQ(via_lang->range()->matches.size(),
+            via_api->range()->matches.size());
 }
 
 TEST(CompilerTest, KnnQueryEndToEnd) {
@@ -96,14 +98,14 @@ TEST(CompilerTest, KnnQueryEndToEnd) {
   const auto compiled = CompileQuery(
       "find 4 nearest to series 2 under mv(1..10) using scan", engine);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-  EXPECT_EQ(compiled->algorithm, core::Algorithm::kSequentialScan);
+  EXPECT_EQ(compiled->options.algorithm, core::Algorithm::kSequentialScan);
   const auto* spec = std::get_if<core::KnnQuerySpec>(&compiled->spec);
   ASSERT_NE(spec, nullptr);
   EXPECT_EQ(spec->k, 4u);
-  const auto result = engine.Knn(*spec, compiled->algorithm);
+  const auto result = engine.Execute(*spec, compiled->options);
   ASSERT_TRUE(result.ok());
-  ASSERT_EQ(result->matches.size(), 4u);
-  EXPECT_EQ(result->matches[0].series_id, 2u);
+  ASSERT_EQ(result->knn()->matches.size(), 4u);
+  EXPECT_EQ(result->knn()->matches[0].series_id, 2u);
 }
 
 TEST(CompilerTest, JoinQueryEndToEnd) {
@@ -114,7 +116,7 @@ TEST(CompilerTest, JoinQueryEndToEnd) {
   const auto* spec = std::get_if<core::JoinQuerySpec>(&compiled->spec);
   ASSERT_NE(spec, nullptr);
   EXPECT_EQ(spec->mode, core::JoinMode::kCorrelation);
-  EXPECT_TRUE(engine.Join(*spec, compiled->algorithm).ok());
+  EXPECT_TRUE(engine.Execute(*spec, compiled->options).ok());
 }
 
 TEST(CompilerTest, GroupingOptions) {
