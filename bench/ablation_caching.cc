@@ -13,9 +13,10 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::size_t pool_shards = bench::ParsePoolShardsFlag(argc, argv);
   std::printf("Ablation: index buffer pool (cold vs. warm traversals)\n");
   std::printf("(1068 stocks, MA 5..20, rho = 0.96, %zu queries/point)\n\n",
               bench::QueryReps());
@@ -31,7 +32,7 @@ int main() {
                       "physical index reads", "pool hit rate"});
   for (const std::size_t pool_pages : {std::size_t{0}, std::size_t{8},
                                        std::size_t{64}}) {
-    engine.EnableIndexBufferPool(pool_pages);
+    engine.EnableIndexBufferPool(pool_pages, pool_shards);
     for (const core::Algorithm algorithm :
          {core::Algorithm::kStIndex, core::Algorithm::kMtIndex}) {
       engine.ResetIoStats();

@@ -89,6 +89,21 @@ std::size_t ParseThreadsFlag(int argc, char** argv) {
   return 1;
 }
 
+std::size_t ParsePoolShardsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pool-shards=", 0) == 0) {
+      char* end = nullptr;
+      const long shards = std::strtol(arg.c_str() + 14, &end, 10);
+      if (end != nullptr && *end == '\0' && shards >= 0) {
+        return static_cast<std::size_t>(shards);
+      }
+      std::printf("ignoring malformed %s\n", arg.c_str());
+    }
+  }
+  return 0;
+}
+
 std::string FormatDouble(double value, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);

@@ -68,6 +68,10 @@ QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
 /// Returns 1 when the flag is absent or malformed.
 std::size_t ParseThreadsFlag(int argc, char** argv);
 
+/// Parses a `--pool-shards=N` argument selecting the buffer-pool shard
+/// count (0 = the pool's default). Returns 0 when absent or malformed.
+std::size_t ParsePoolShardsFlag(int argc, char** argv);
+
 /// Calibrates the simulated per-page latency so that one full-sequence
 /// comparison costs `cmp_to_da_ratio` of one page read — the paper's
 /// measured hardware ratio is C_cmp = 0.4 * C_DA (Section 5.2). Measures the

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the storage and executor tests under Address+UB sanitizers and runs
+# them.
+#
+# TSan finds the races; ASan/UBSan find the lifetime bugs the sharded
+# buffer pool's lock-dropping miss path could introduce (a leader
+# publishing into a freed in-flight slot, a follower reading a dead page
+# buffer). Run this alongside scripts/tsan_exec_tests.sh when touching
+# src/storage or src/exec.
+#
+# Usage: scripts/asan_storage_tests.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+  page_file_test buffer_pool_test record_store_test \
+  parallel_test exec_determinism_test exec_concurrency_test
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -R 'PageFile|BufferPool|ShardedBufferPool|RecordStore|EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'

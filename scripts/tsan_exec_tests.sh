@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Builds the executor tests under ThreadSanitizer and runs them.
+# Builds the executor and storage tests under ThreadSanitizer and runs them.
 #
 # The exec tests (parallel_test, exec_determinism_test,
-# exec_concurrency_test) are the ones that exercise the concurrent read
-# path; running them under TSan is the repo's data-race gate for the
-# parallel query executor.
+# exec_concurrency_test) exercise the concurrent query path; the storage
+# tests (page_file_test, buffer_pool_test, record_store_test) exercise the
+# sharded buffer pool's drop-the-lock miss path and in-flight read
+# coalescing. Together they are the repo's data-race gate.
 #
 # Usage: scripts/tsan_exec_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,7 +15,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  parallel_test exec_determinism_test exec_concurrency_test
+  parallel_test exec_determinism_test exec_concurrency_test \
+  page_file_test buffer_pool_test record_store_test
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -R 'EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'
+ctest --output-on-failure -R 'EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency|PageFile|BufferPool|ShardedBufferPool|RecordStore'

@@ -90,8 +90,9 @@ void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
   index_->set_io_delay_nanos(nanos);
 }
 
-void SimilarityEngine::EnableIndexBufferPool(std::size_t pages) {
-  index_->EnableBufferPool(pages);
+void SimilarityEngine::EnableIndexBufferPool(std::size_t pages,
+                                             std::size_t shards) {
+  index_->EnableBufferPool(pages, shards);
 }
 
 Status SimilarityEngine::SaveTo(const std::string& prefix) const {

@@ -118,10 +118,10 @@ class SimilarityEngine {
   /// ratio (the paper's hardware had C_cmp = 0.4 * C_DA). 0 disables.
   void SetSimulatedDiskLatency(std::uint64_t nanos);
 
-  /// Attaches an LRU buffer pool of `pages` pages to the index (0 detaches);
-  /// see SequenceIndex::EnableBufferPool. Not safe concurrently with
-  /// Execute().
-  void EnableIndexBufferPool(std::size_t pages);
+  /// Attaches a sharded LRU buffer pool of `pages` pages to the index
+  /// (0 detaches; `shards` = 0 uses the default shard count); see
+  /// SequenceIndex::EnableBufferPool. Not safe concurrently with Execute().
+  void EnableIndexBufferPool(std::size_t pages, std::size_t shards = 0);
 
   /// The index buffer pool, nullptr when none is attached. This replaces the
   /// old mutable_index() escape hatch, which let callers restructure the

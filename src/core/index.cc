@@ -46,13 +46,13 @@ Status SequenceIndex::RemoveEntry(std::size_t i) {
   return tree_->Delete(rstar::Rect::FromPoint(dataset_->features(i)), i);
 }
 
-void SequenceIndex::EnableBufferPool(std::size_t pages) {
+void SequenceIndex::EnableBufferPool(std::size_t pages, std::size_t shards) {
   if (pages == 0) {
     tree_->SetBufferPool(nullptr);
     pool_.reset();
     return;
   }
-  pool_ = std::make_unique<storage::BufferPool>(&index_file_, pages);
+  pool_ = std::make_unique<storage::BufferPool>(&index_file_, pages, shards);
   tree_->SetBufferPool(pool_.get());
 }
 

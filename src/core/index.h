@@ -50,10 +50,12 @@ class SequenceIndex {
     index_file_.set_read_delay_nanos(nanos);
   }
 
-  /// Attaches an LRU buffer pool of `pages` pages in front of the index file
-  /// (0 detaches). With a pool, physical reads = pool misses; the tree's
-  /// SearchStats keep counting logical node accesses.
-  void EnableBufferPool(std::size_t pages);
+  /// Attaches a sharded LRU buffer pool of `pages` pages in front of the
+  /// index file (0 detaches). `shards` picks the lock-striping factor
+  /// (0 = BufferPool::kDefaultShards; clamped to `pages`). With a pool,
+  /// physical reads = pool misses; the tree's SearchStats keep counting
+  /// logical node accesses.
+  void EnableBufferPool(std::size_t pages, std::size_t shards = 0);
   const storage::BufferPool* buffer_pool() const { return pool_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
 

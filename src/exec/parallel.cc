@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <vector>
+#include <mutex>
 
 #include "common/check.h"
 #include "exec/thread_pool.h"
@@ -23,7 +23,12 @@ Status ParallelFor(std::size_t num_threads, std::size_t count,
     return first;
   }
 
-  std::vector<Status> statuses(count);
+  // Errors are rare; keep only the lowest-index failure instead of an
+  // O(count) status array (million-item fan-outs should not pay a per-item
+  // allocation just to report one error).
+  std::mutex error_mu;
+  std::size_t first_error_index = count;
+  Status first_error;
   std::atomic<std::size_t> next{0};
   {
     ThreadPool pool(workers);
@@ -32,17 +37,21 @@ Status ParallelFor(std::size_t num_threads, std::size_t count,
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= count) return;
-          statuses[i] = fn(i);
+          Status status = fn(i);
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (i < first_error_index) {
+              first_error_index = i;
+              first_error = std::move(status);
+            }
+          }
         }
       });
     }
     // ~ThreadPool drains the queue and joins, so every task has completed
     // (and its writes are visible) once the pool goes out of scope.
   }
-  for (Status& status : statuses) {
-    if (!status.ok()) return std::move(status);
-  }
-  return Status::Ok();
+  return first_error;
 }
 
 std::size_t ChunkCount(std::size_t count, std::size_t chunk) {

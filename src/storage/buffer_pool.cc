@@ -1,64 +1,167 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace tsq::storage {
 
-BufferPool::BufferPool(PageFile* file, std::size_t capacity)
-    : file_(file), capacity_(capacity) {
+BufferPool::BufferPool(PageFile* file, std::size_t capacity,
+                       std::size_t shards)
+    : file_(file),
+      capacity_(capacity),
+      shards_(std::max<std::size_t>(
+          1, std::min(shards == 0 ? kDefaultShards : shards, capacity))) {
   TSQ_CHECK(file != nullptr);
   TSQ_CHECK_GE(capacity, std::size_t{1});
-}
-
-void BufferPool::Touch(Entry& entry, PageId id) {
-  lru_.erase(entry.lru_position);
-  lru_.push_front(id);
-  entry.lru_position = lru_.begin();
-}
-
-void BufferPool::InsertAndMaybeEvict(PageId id, const Page& page) {
-  if (entries_.size() >= capacity_) {
-    const PageId victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++stats_.evictions;
+  // Distribute the capacity as evenly as possible; the per-shard capacities
+  // sum to exactly `capacity`, so total occupancy never exceeds it.
+  const std::size_t base = capacity_ / shards_.size();
+  const std::size_t remainder = capacity_ % shards_.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].capacity = base + (s < remainder ? 1 : 0);
   }
-  lru_.push_front(id);
-  entries_[id] = Entry{page, lru_.begin()};
+}
+
+std::size_t BufferPool::ShardOf(PageId id) const {
+  // PageFile allocates ids densely from 0, so plain modulo striping spreads
+  // any dense working set perfectly evenly: a pool whose capacity covers
+  // the file never evicts, regardless of the shard count. A mixing hash
+  // would skew dense id ranges and make per-shard capacity overflow while
+  // the pool as a whole had room.
+  return static_cast<std::size_t>(id % shards_.size());
+}
+
+void BufferPool::Touch(Shard& shard, Entry& entry, PageId id) {
+  shard.lru.erase(entry.lru_position);
+  shard.lru.push_front(id);
+  entry.lru_position = shard.lru.begin();
+}
+
+void BufferPool::InsertAndMaybeEvict(Shard& shard, PageId id,
+                                     const Page& page) {
+  if (shard.entries.size() >= shard.capacity) {
+    const PageId victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    ++shard.stats.evictions;
+  }
+  shard.lru.push_front(id);
+  shard.entries[id] = Entry{page, shard.lru.begin()};
 }
 
 Status BufferPool::Read(PageId id, Page* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    ++stats_.hits;
-    Touch(it->second, id);
+  Shard& shard = shards_[ShardOf(id)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    ++shard.stats.hits;
+    Touch(shard, it->second, id);
     *out = it->second.page;
     return Status::Ok();
   }
-  ++stats_.misses;
-  TSQ_RETURN_IF_ERROR(file_->Read(id, out));
-  InsertAndMaybeEvict(id, *out);
+
+  auto flight = shard.in_flight.find(id);
+  if (flight != shard.in_flight.end()) {
+    // Another thread is already reading this page; wait for its result
+    // instead of issuing a duplicate physical read.
+    std::shared_ptr<InFlightRead> read = flight->second;
+    ++shard.stats.coalesced;
+    lock.unlock();
+    std::unique_lock<std::mutex> wait_lock(read->mu);
+    read->cv.wait(wait_lock, [&read] { return read->done; });
+    if (!read->status.ok()) return read->status;
+    *out = read->page;
+    return Status::Ok();
+  }
+
+  // Leader: register the in-flight read, then drop the shard lock for the
+  // duration of the physical read so other pages in this shard stay
+  // servable (and the simulated latency spins of concurrent misses overlap).
+  auto read = std::make_shared<InFlightRead>();
+  shard.in_flight.emplace(id, read);
+  ++shard.stats.misses;
+  lock.unlock();
+
+  Status status = file_->Read(id, &read->page);
+
+  lock.lock();
+  shard.in_flight.erase(id);
+  // A Write (or Clear) that ran while the read was in flight supersedes the
+  // bytes we just read; admit the page only if nothing newer exists.
+  if (status.ok() && !read->superseded &&
+      shard.entries.find(id) == shard.entries.end()) {
+    InsertAndMaybeEvict(shard, id, read->page);
+  }
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> publish(read->mu);
+    read->done = true;
+    read->status = status;
+  }
+  read->cv.notify_all();
+
+  if (!status.ok()) return status;
+  *out = read->page;
   return Status::Ok();
 }
 
 Status BufferPool::Write(PageId id, const Page& page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
   TSQ_RETURN_IF_ERROR(file_->Write(id, page));
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
+  auto flight = shard.in_flight.find(id);
+  if (flight != shard.in_flight.end()) {
+    flight->second->superseded = true;
+  }
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
     it->second.page = page;
-    Touch(it->second, id);
+    Touch(shard, it->second, id);
   } else {
-    InsertAndMaybeEvict(id, page);
+    InsertAndMaybeEvict(shard, id, page);
   }
   return Status::Ok();
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+    for (auto& [id, read] : shard.in_flight) {
+      read->superseded = true;
+    }
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.coalesced += shard.stats.coalesced;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = BufferPoolStats{};
+  }
+}
+
+std::size_t BufferPool::cached_pages() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace tsq::storage

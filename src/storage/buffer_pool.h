@@ -1,10 +1,13 @@
 #ifndef TSQ_STORAGE_BUFFER_POOL_H_
 #define TSQ_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page_file.h"
@@ -12,14 +15,20 @@
 namespace tsq::storage {
 
 /// Cache statistics. `misses` equals the number of physical page reads the
-/// pool issued against the backing file.
+/// pool issued against the backing file (including reads that then failed,
+/// so under the PageFile convention of counting successful I/Os only,
+/// `misses >= file reads attributable to the pool`). `coalesced` counts
+/// reads that joined another thread's in-flight miss on the same page and
+/// therefore cost no physical read of their own; every pool Read is exactly
+/// one of hit, miss or coalesced.
 struct BufferPoolStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t coalesced = 0;
 };
 
-/// A simple LRU buffer pool over a PageFile.
+/// A sharded LRU buffer pool over a PageFile.
 ///
 /// Executors can run either directly against the PageFile (cold reads, the
 /// accounting the paper's experiments use) or through a pool to study how
@@ -27,15 +36,39 @@ struct BufferPoolStats {
 /// workload; writes go through the pool and are written back immediately
 /// (write-through), keeping recovery concerns out of scope.
 ///
-/// Thread safety: every public method takes an internal mutex (even reads
-/// mutate LRU order), so concurrent query threads may share one pool. The
-/// mutex is held across the backing-file read on a miss, which serializes
-/// misses — a single LRU list cannot admit two pages race-free anyway;
-/// sharding the pool by page id is the planned lock-splitting step.
+/// Thread safety and sharding: the pool is split into `shard_count()` shards
+/// keyed by `PageId % shard_count()` (page ids are allocated densely, so
+/// modulo striping spreads a dense working set perfectly evenly and a pool
+/// sized to the file never evicts); each shard has its own mutex, LRU list,
+/// entry map and counters, so concurrent readers of different pages rarely
+/// contend. On a hit only the owning shard's mutex is taken (reads mutate
+/// LRU order). On a miss the shard lock is *dropped* while the backing-file
+/// read (and its simulated latency spin) is in flight; an in-flight table
+/// per shard coalesces concurrent misses on the same page into one physical
+/// read — followers block on the leader's result instead of issuing their
+/// own. Lock order is strictly shard mutex -> PageFile mutex (via
+/// PageFile::Read/Write); no code path acquires a shard mutex while holding
+/// the file mutex or another shard's mutex, except Clear()/stats()/
+/// cached_pages()/ResetStats() which take shard mutexes one at a time in
+/// index order.
+///
+/// A Write that lands while a read of the same page is in flight marks the
+/// in-flight read superseded: the leader then discards its (older) page
+/// instead of clobbering the fresher cached copy. Followers of that read
+/// still observe the pre-write page, which is linearizable — their read
+/// began before the write completed.
 class BufferPool {
  public:
-  /// Creates a pool holding at most `capacity` pages. Requires capacity >= 1.
-  BufferPool(PageFile* file, std::size_t capacity);
+  /// Default shard count (capped by `capacity` so that the per-shard
+  /// capacities always sum to exactly `capacity`).
+  static constexpr std::size_t kDefaultShards = 8;
+
+  /// Creates a pool holding at most `capacity` pages total, split over
+  /// `shards` shards (0 = kDefaultShards). The effective shard count is
+  /// clamped to [1, capacity] and `capacity` is distributed as evenly as
+  /// possible (shards differ by at most one page). Requires capacity >= 1.
+  explicit BufferPool(PageFile* file, std::size_t capacity,
+                      std::size_t shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -47,24 +80,27 @@ class BufferPool {
   Status Write(PageId id, const Page& page);
 
   /// Drops every cached page (e.g. between benchmark queries to model a cold
-  /// cache).
+  /// cache). Reads in flight when Clear runs are marked superseded so they
+  /// do not repopulate the pool behind it; for exact accounting, call it
+  /// with no concurrent readers.
   void Clear();
 
-  /// Snapshot of the counters.
-  BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = BufferPoolStats{};
-  }
+  /// Snapshot of the counters, aggregated over all shards (each shard is
+  /// locked in turn; the total is not a consistent cut under concurrent
+  /// I/O).
+  BufferPoolStats stats() const;
+  void ResetStats();
 
-  std::size_t cached_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
-  }
+  std::size_t cached_pages() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Capacity of shard `s` (the per-shard capacities sum to capacity()).
+  std::size_t shard_capacity(std::size_t s) const {
+    return shards_[s].capacity;
+  }
+  /// The shard `id` maps to — deterministic, exposed for tests that need to
+  /// construct same-shard or distinct-shard page sets.
+  std::size_t ShardOf(PageId id) const;
 
  private:
   struct Entry {
@@ -72,15 +108,33 @@ class BufferPool {
     std::list<PageId>::iterator lru_position;
   };
 
-  void Touch(Entry& entry, PageId id);
-  void InsertAndMaybeEvict(PageId id, const Page& page);
+  /// One thread's pending physical read, shared with coalesced followers.
+  /// `done`/`status`/`page` are published under `mu` + `cv`; `superseded` is
+  /// only touched under the owning shard's mutex.
+  struct InFlightRead {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    Page page;
+    bool superseded = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;  // guards entries, lru, in_flight, stats
+    std::size_t capacity = 0;
+    std::unordered_map<PageId, Entry> entries;
+    std::list<PageId> lru;  // front = most recently used
+    std::unordered_map<PageId, std::shared_ptr<InFlightRead>> in_flight;
+    BufferPoolStats stats;
+  };
+
+  static void Touch(Shard& shard, Entry& entry, PageId id);
+  static void InsertAndMaybeEvict(Shard& shard, PageId id, const Page& page);
 
   PageFile* file_;
   const std::size_t capacity_;
-  mutable std::mutex mu_;  // guards entries_, lru_ and stats_
-  std::unordered_map<PageId, Entry> entries_;
-  std::list<PageId> lru_;  // front = most recently used
-  BufferPoolStats stats_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace tsq::storage

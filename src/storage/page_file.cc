@@ -41,7 +41,6 @@ PageId PageFile::Allocate() {
 }
 
 Status PageFile::Read(PageId id, Page* out) {
-  reads_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t delay = read_delay_nanos();
   if (delay > 0) {
     // Spin outside the lock: concurrent readers pay their simulated
@@ -55,7 +54,6 @@ Status PageFile::Read(PageId id, Page* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (id >= pages_.size()) {
-      reads_.fetch_sub(1, std::memory_order_relaxed);
       return Status::OutOfRange(PageIdMessage("read", id, pages_.size()));
     }
     const Page& stored = pages_[id];
@@ -65,6 +63,7 @@ Status PageFile::Read(PageId id, Page* out) {
     }
     *out = stored;
   }
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -73,14 +72,19 @@ Status PageFile::Write(PageId id, const Page& page) {
   if (id >= pages_.size()) {
     return Status::OutOfRange(PageIdMessage("write", id, pages_.size()));
   }
-  writes_.fetch_add(1, std::memory_order_relaxed);
   pages_[id] = page;
   checksums_[id] = Checksum(page);
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 namespace {
-constexpr std::uint64_t kPageFileMagic = 0x545351504147u;  // "TSQPAG"
+// Format v1 ("TSQPAG") stored raw pages only; LoadFrom recomputed checksums
+// from whatever bytes it read, so on-disk corruption round-tripped as valid.
+// v2 ("TSQPG2") persists the per-page checksums so loads verify against the
+// values computed when the pages were written.
+constexpr std::uint64_t kPageFileMagicV1 = 0x545351504147u;     // "TSQPAG"
+constexpr std::uint64_t kPageFileMagicV2 = 0x325347505153u;     // "TSQPG2"
 }  // namespace
 
 Status PageFile::SaveTo(const std::string& path) const {
@@ -88,9 +92,12 @@ Status PageFile::SaveTo(const std::string& path) const {
   if (!out) return Status::IoError("cannot open for writing: " + path);
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t count = pages_.size();
-  out.write(reinterpret_cast<const char*>(&kPageFileMagic),
-            sizeof kPageFileMagic);
+  out.write(reinterpret_cast<const char*>(&kPageFileMagicV2),
+            sizeof kPageFileMagicV2);
   out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const std::uint64_t checksum : checksums_) {
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  }
   for (const Page& page : pages_) {
     out.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
   }
@@ -106,20 +113,36 @@ Status PageFile::LoadFrom(const std::string& path) {
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || magic != kPageFileMagic) {
+  if (!in || (magic != kPageFileMagicV2 && magic != kPageFileMagicV1)) {
     return Status::Corruption("not a tsq page file: " + path);
+  }
+  if (magic == kPageFileMagicV1) {
+    return Status::Corruption(
+        "unsupported page file format v1 (no persisted checksums): " + path);
+  }
+  std::vector<std::uint64_t> checksums(count);
+  for (std::uint64_t& checksum : checksums) {
+    in.read(reinterpret_cast<char*>(&checksum), sizeof checksum);
+    if (!in) return Status::Corruption("truncated page file: " + path);
   }
   std::vector<Page> pages(count);
   for (Page& page : pages) {
     in.read(reinterpret_cast<char*>(page.bytes.data()), kPageSize);
     if (!in) return Status::Corruption("truncated page file: " + path);
   }
+  // Verify against the *persisted* checksums before committing anything:
+  // bytes corrupted at rest no longer re-bless themselves on load.
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    if (Checksum(pages[i]) != checksums[i]) {
+      return Status::Corruption(
+          PageIdMessage("checksum mismatch on load", static_cast<PageId>(i),
+                        pages.size()) +
+          " in " + path);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   pages_ = std::move(pages);
-  checksums_.resize(pages_.size());
-  for (std::size_t i = 0; i < pages_.size(); ++i) {
-    checksums_[i] = Checksum(pages_[i]);
-  }
+  checksums_ = std::move(checksums);
   ResetStats();
   return Status::Ok();
 }

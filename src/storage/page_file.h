@@ -27,6 +27,11 @@ struct Page {
 /// Counters exposed by the page file. The paper's experiments report "number
 /// of disk accesses"; `reads` is that number for whatever structure lives in
 /// this file.
+///
+/// Counting convention: only *successful* I/Os are counted, everywhere. A
+/// Read that fails (OutOfRange or Corruption) and a Write that fails
+/// (OutOfRange) leave the counters untouched, so `reads`/`writes` equal the
+/// number of pages actually served/stored.
 struct IoStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -101,11 +106,16 @@ class PageFile {
   /// checksum, so the next Read reports corruption.
   Status CorruptForTesting(PageId id, std::size_t byte_offset);
 
-  /// Writes every page to `path` (binary: magic, page count, raw pages).
+  /// Writes every page to `path` (format v2, binary: magic, page count, the
+  /// per-page checksums, then the raw pages). Persisting the checksums is
+  /// what lets LoadFrom detect bytes corrupted at rest.
   Status SaveTo(const std::string& path) const;
 
-  /// Replaces this file's contents with the pages stored at `path`
-  /// (checksums recomputed; counters reset).
+  /// Replaces this file's contents with the pages stored at `path` after
+  /// verifying every page against its *persisted* checksum (counters reset).
+  /// Returns Corruption — without modifying this file — when a checksum does
+  /// not match, when the file is truncated, or for the legacy v1 format
+  /// (which carried no checksums and cannot be verified).
   Status LoadFrom(const std::string& path);
 
  private:

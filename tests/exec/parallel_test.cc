@@ -85,6 +85,25 @@ TEST(ParallelForTest, ReturnsLowestFailingTaskAndStillRunsAll) {
   }
 }
 
+TEST(ParallelForTest, LargeFanOutReportsLowestFailure) {
+  // A million-item fan-out: errors are captured in a single slot, not an
+  // O(count) status array, and the lowest failing index still wins even
+  // when a later task fails first in wall-clock order.
+  constexpr std::size_t kCount = 1'000'000;
+  std::atomic<std::size_t> ran{0};
+  const Status status =
+      ParallelFor(8, kCount, [&ran](std::size_t i) -> Status {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 123'456 || i == 900'000) {
+          return Status::Internal("task " + std::to_string(i));
+        }
+        return Status::Ok();
+      });
+  EXPECT_EQ(ran.load(), kCount);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("task 123456"), std::string::npos);
+}
+
 TEST(ChunkTest, BoundsPartitionTheRange) {
   for (const std::size_t count : {std::size_t{0}, std::size_t{1},
                                   std::size_t{255}, std::size_t{256},

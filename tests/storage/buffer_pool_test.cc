@@ -1,5 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "gtest/gtest.h"
 
 namespace tsq::storage {
@@ -33,7 +37,8 @@ TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
     const PageId id = file.Allocate();
     ASSERT_TRUE(file.Write(id, MakePage(static_cast<std::uint8_t>(i))).ok());
   }
-  BufferPool pool(&file, 2);
+  // One shard: a single global LRU order, so the eviction sequence is exact.
+  BufferPool pool(&file, 2, 1);
   Page page;
   ASSERT_TRUE(pool.Read(0, &page).ok());
   ASSERT_TRUE(pool.Read(1, &page).ok());
@@ -93,6 +98,177 @@ TEST(BufferPoolTest, CapacityRespected) {
     ASSERT_TRUE(pool.Read(id, &page).ok());
     EXPECT_LE(pool.cached_pages(), 3u);
   }
+}
+
+TEST(ShardedBufferPoolTest, ShardCapacitiesSumToTotal) {
+  PageFile file;
+  file.Allocate();
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{8}, std::size_t{17}}) {
+    for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{4}, std::size_t{64}}) {
+      BufferPool pool(&file, capacity, shards);
+      EXPECT_GE(pool.shard_count(), 1u);
+      EXPECT_LE(pool.shard_count(), capacity);
+      std::size_t total = 0;
+      for (std::size_t s = 0; s < pool.shard_count(); ++s) {
+        EXPECT_GE(pool.shard_capacity(s), 1u);
+        total += pool.shard_capacity(s);
+      }
+      EXPECT_EQ(total, capacity);
+    }
+  }
+}
+
+TEST(ShardedBufferPoolTest, PerShardCapacityEnforced) {
+  PageFile file;
+  for (int i = 0; i < 64; ++i) file.Allocate();
+  BufferPool pool(&file, 8, 4);
+  ASSERT_EQ(pool.shard_count(), 4u);
+  // Collect three pages that map to the same shard; its capacity is 2, so
+  // the third read must evict within that shard even though the pool as a
+  // whole is nowhere near full.
+  const std::size_t target = pool.ShardOf(0);
+  std::vector<PageId> same_shard;
+  for (PageId id = 0; id < 64 && same_shard.size() < 3; ++id) {
+    if (pool.ShardOf(id) == target) same_shard.push_back(id);
+  }
+  ASSERT_EQ(same_shard.size(), 3u);
+  Page page;
+  for (const PageId id : same_shard) {
+    ASSERT_TRUE(pool.Read(id, &page).ok());
+  }
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.cached_pages(), 2u);
+  // The evicted page was the least recently used of that shard.
+  ASSERT_TRUE(pool.Read(same_shard[0], &page).ok());
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST(ShardedBufferPoolTest, StatsTotalsInvariantAcrossShardCounts) {
+  // With capacity >= working set no shard ever evicts, so the aggregated
+  // hit/miss totals must be identical whatever the shard count.
+  PageFile file;
+  constexpr PageId kPages = 16;
+  for (PageId id = 0; id < kPages; ++id) {
+    file.Allocate();
+    ASSERT_TRUE(file.Write(id, MakePage(static_cast<std::uint8_t>(id))).ok());
+  }
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    file.ResetStats();
+    BufferPool pool(&file, kPages, shards);
+    Page page;
+    for (int round = 0; round < 3; ++round) {
+      for (PageId id = 0; id < kPages; ++id) {
+        ASSERT_TRUE(pool.Read(id, &page).ok());
+        EXPECT_EQ(page.bytes[0], static_cast<std::uint8_t>(id));
+      }
+    }
+    const BufferPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.misses, kPages) << "shards=" << shards;
+    EXPECT_EQ(stats.hits, 2u * kPages) << "shards=" << shards;
+    EXPECT_EQ(stats.evictions, 0u) << "shards=" << shards;
+    EXPECT_EQ(stats.coalesced, 0u) << "shards=" << shards;
+    EXPECT_EQ(file.stats().reads, kPages) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedBufferPoolTest, CoalescesConcurrentMissesOnOnePage) {
+  PageFile file;
+  const PageId id = file.Allocate();
+  ASSERT_TRUE(file.Write(id, MakePage(42)).ok());
+  file.ResetStats();
+  // A wide read-latency window so every thread arrives while the leader's
+  // physical read is still in flight (or after it completed — either way
+  // exactly one physical read may happen).
+  file.set_read_delay_nanos(5'000'000);  // 5ms
+
+  BufferPool pool(&file, 8, 4);
+  constexpr std::size_t kThreads = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Page page;
+      if (!pool.Read(id, &page).ok() || page.bytes[0] != 42) {
+        bad.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(file.stats().reads, 1u);  // one physical read, not eight
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+}
+
+TEST(ShardedBufferPoolTest, EightThreadHammerReadsEachPageOnce) {
+  // 8 threads x 16 pages, capacity covering everything: coalescing plus
+  // caching must keep the physical read count at exactly one per page, and
+  // every read must observe the right bytes.
+  PageFile file;
+  constexpr PageId kPages = 16;
+  for (PageId id = 0; id < kPages; ++id) {
+    file.Allocate();
+    ASSERT_TRUE(file.Write(id, MakePage(static_cast<std::uint8_t>(id))).ok());
+  }
+  file.ResetStats();
+  file.set_read_delay_nanos(100'000);  // 100us to widen the miss window
+
+  BufferPool pool(&file, kPages, 4);
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 4;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Page page;
+      for (int round = 0; round < kRounds; ++round) {
+        for (PageId i = 0; i < kPages; ++i) {
+          const PageId id = (i + static_cast<PageId>(t)) % kPages;
+          if (!pool.Read(id, &page).ok() ||
+              page.bytes[0] != static_cast<std::uint8_t>(id)) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(file.stats().reads, kPages);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, kPages);
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.misses,
+            kThreads * kRounds * kPages);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedBufferPoolTest, CoalescedReadersSeeLeaderErrors) {
+  PageFile file;
+  file.Allocate();
+  file.set_read_delay_nanos(1'000'000);  // 1ms
+  BufferPool pool(&file, 4, 1);
+  constexpr std::size_t kThreads = 4;
+  std::atomic<int> out_of_range{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Page page;
+      if (pool.Read(77, &page).code() == StatusCode::kOutOfRange) {
+        out_of_range.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every reader — leader and coalesced followers alike — gets the error,
+  // and the failed page is never admitted to the cache.
+  EXPECT_EQ(out_of_range.load(), static_cast<int>(kThreads));
+  EXPECT_EQ(pool.cached_pages(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -161,6 +162,96 @@ TEST_F(PageFilePersistenceTest, RejectsGarbageAndTruncation) {
 
   EXPECT_EQ(loaded.LoadFrom("/nonexistent/nope.bin").code(),
             StatusCode::kIoError);
+}
+
+TEST(PageFileTest, FailedIosLeaveCountersUntouched) {
+  // Convention: only successful I/Os count. Neither a failed Read
+  // (OutOfRange, Corruption) nor a failed Write (OutOfRange) moves the
+  // counters.
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  file.ResetStats();
+
+  EXPECT_EQ(file.Read(99, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(file.Write(99, page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(file.stats().reads, 0u);
+  EXPECT_EQ(file.stats().writes, 0u);
+
+  ASSERT_TRUE(file.CorruptForTesting(id, 5).ok());
+  EXPECT_EQ(file.Read(id, &page).code(), StatusCode::kCorruption);
+  EXPECT_EQ(file.stats().reads, 0u);
+
+  // A successful read after healing counts exactly once.
+  ASSERT_TRUE(file.Write(id, page).ok());
+  ASSERT_TRUE(file.Read(id, &page).ok());
+  EXPECT_EQ(file.stats().reads, 1u);
+  EXPECT_EQ(file.stats().writes, 1u);
+}
+
+TEST_F(PageFilePersistenceTest, CorruptionSurvivesSaveAndIsReportedOnLoad) {
+  // CorruptForTesting leaves the stored checksum stale; SaveTo persists the
+  // checksums, so LoadFrom must flag the corrupted page instead of
+  // recomputing a "valid" checksum from the corrupted bytes.
+  PageFile file;
+  const PageId id = file.Allocate();
+  Page page;
+  page.bytes[11] = 23;
+  ASSERT_TRUE(file.Write(id, page).ok());
+  ASSERT_TRUE(file.CorruptForTesting(id, 11).ok());
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+
+  PageFile loaded;
+  EXPECT_EQ(loaded.LoadFrom(path_).code(), StatusCode::kCorruption);
+  EXPECT_EQ(loaded.page_count(), 0u);  // a failed load commits nothing
+}
+
+TEST_F(PageFilePersistenceTest, OnDiskCorruptionIsReportedOnLoad) {
+  PageFile file;
+  for (int i = 0; i < 3; ++i) {
+    const PageId id = file.Allocate();
+    Page page;
+    page.bytes[0] = static_cast<std::uint8_t>(40 + i);
+    ASSERT_TRUE(file.Write(id, page).ok());
+  }
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+
+  // Flip one byte in the middle page's on-disk image (header is
+  // magic + count + 3 checksums = 5 * 8 bytes).
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(5 * 8 + kPageSize + 100, std::ios::beg);
+    f.put(static_cast<char>(0xEE));
+  }
+  PageFile loaded;
+  const Status status = loaded.LoadFrom(path_);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("page 1"), std::string::npos);
+
+  // An untampered copy still loads and verifies.
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+  EXPECT_TRUE(loaded.LoadFrom(path_).ok());
+  EXPECT_EQ(loaded.page_count(), 3u);
+}
+
+TEST_F(PageFilePersistenceTest, RejectsLegacyV1Format) {
+  // A v1 file (old magic, no checksum block) cannot be verified; loading it
+  // must fail closed rather than re-blessing whatever bytes are present.
+  constexpr std::uint64_t kV1Magic = 0x545351504147u;
+  const std::uint64_t count = 1;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&kV1Magic), sizeof kV1Magic);
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    const std::vector<char> zeros(kPageSize, 0);
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  PageFile loaded;
+  const Status status = loaded.LoadFrom(path_);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("v1"), std::string::npos);
 }
 
 TEST(PageFileTest, CorruptForTestingValidatesArguments) {
