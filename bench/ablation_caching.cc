@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
   const std::size_t pool_shards = bench::ParsePoolShardsFlag(argc, argv);
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Ablation: index buffer pool (cold vs. warm traversals)\n");
   std::printf("(1068 stocks, MA 5..20, rho = 0.96, %zu queries/point)\n\n",
               bench::QueryReps());
@@ -61,11 +63,13 @@ int main(int argc, char** argv) {
                             static_cast<double>(bench::QueryReps()),
                         0),
                     hit_rate});
+      last_trace = m.last_trace_json;
     }
   }
   engine.EnableIndexBufferPool(0);
   table.Print();
   table.WriteCsv("ablation_caching");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: without a pool, physical == logical; with a pool "
               "covering the tree,\nST-index's physical reads collapse while "
               "its logical accesses stay ~|T| x MT-index's.\n");

@@ -10,9 +10,11 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Ablation: retained DFT coefficients and mean/std dimensions\n");
   std::printf("(1068 stocks, MA 5..20, rho = 0.96, %zu queries/point)\n\n",
               bench::QueryReps());
@@ -42,10 +44,12 @@ int main() {
                     bench::FormatDouble(m.millis),
                     bench::FormatDouble(m.disk_accesses, 0),
                     bench::FormatDouble(m.candidates, 0)});
+      last_trace = m.last_trace_json;
     }
   }
   table.Print();
   table.WriteCsv("ablation_coefficients");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: more coefficients cut candidates with diminishing "
               "returns; the paper's\nchoice (2 coefficients) already captures "
               "most of the filter power on stock-like data.\n");

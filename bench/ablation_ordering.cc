@@ -10,9 +10,11 @@
 #include "transform/builders.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Ablation: ordered transformations + binary search "
               "(scale factors 2..100)\n");
   std::printf("(1068 stocks, epsilon = 40, %zu queries/point)\n\n",
@@ -38,10 +40,12 @@ int main() {
                     bench::FormatDouble(m.millis),
                     bench::FormatDouble(m.comparisons, 0),
                     bench::FormatDouble(m.output_size, 1)});
+      last_trace = m.last_trace_json;
     }
   }
   table.Print();
   table.WriteCsv("ablation_ordering");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: comparisons collapse from |T| per sequence to "
               "~log|T| (+ one per match);\nno ordering exists for moving "
               "averages (Lemmas 3-4), so this only applies to scale-like "

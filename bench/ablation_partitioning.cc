@@ -12,9 +12,11 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Ablation: partitioning strategies (two-cluster workload)\n");
   std::printf("(1068 stocks, MA 6..29 + inverted => |T| = 48, rho = 0.96, "
               "%zu queries/point)\n\n",
@@ -78,9 +80,11 @@ int main() {
                   bench::FormatDouble(m.disk_accesses, 0),
                   bench::FormatDouble(m.candidates, 0),
                   bench::FormatDouble(m.cost, 0)});
+    last_trace = m.last_trace_json;
   }
   table.Print();
   table.WriteCsv("ablation_partitioning");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: gap-spanning rectangles inflate candidates; "
               "cluster-aware packing matches\nthe good contiguous sizes "
               "without needing to know them in advance.\n");

@@ -12,9 +12,11 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Ablation: symmetry-property distance doubling\n");
   std::printf("(1068 stocks, MA 5..20, rho thresholds swept, "
               "%zu queries/point)\n\n",
@@ -42,10 +44,12 @@ int main() {
                     bench::FormatDouble(m.disk_accesses, 0),
                     bench::FormatDouble(m.candidates, 0),
                     bench::FormatDouble(m.output_size, 1)});
+      last_trace = m.last_trace_json;
     }
   }
   table.Print();
   table.WriteCsv("ablation_symmetry");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: with the doubling on, noticeably fewer candidates "
               "and disk accesses\nat every threshold (the thesis' >2x filter "
               "improvement), identical output sizes.\n");

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/cost_model.h"
+#include "core/explain.h"
 #include "transform/builders.h"
 #include "ts/normal_form.h"
 
@@ -104,6 +105,30 @@ std::size_t ParsePoolShardsFlag(int argc, char** argv) {
   return 0;
 }
 
+std::string ParseTraceJsonFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-json=", 0) == 0) {
+      std::string path = arg.substr(13);
+      if (!path.empty()) return path;
+      std::printf("ignoring empty %s\n", arg.c_str());
+    }
+  }
+  return "";
+}
+
+void WriteTraceJson(const std::string& path, const std::string& json) {
+  if (path.empty() || json.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  out << json << '\n';
+  out.flush();
+  if (!out) {
+    std::printf("warning: could not write trace to %s\n", path.c_str());
+    return;
+  }
+  std::printf("trace written to %s\n", path.c_str());
+}
+
 std::string FormatDouble(double value, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
@@ -166,6 +191,7 @@ QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
     m.comparisons += static_cast<double>(stats.comparisons);
     m.output_size += static_cast<double>(stats.output_size);
     m.cost += core::CostEq20(result->group_stats, leaf_capacity);
+    m.last_trace_json = core::ExplainJson(*result);
     m.last_group_stats = std::move(result->group_stats);
   }
   const double d = static_cast<double>(reps);

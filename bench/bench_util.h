@@ -51,6 +51,8 @@ struct QueryMeasurement {
   double output_size = 0.0;
   /// Per-rectangle counters of the *last* query (for the cost function).
   std::vector<core::GroupRunStats> last_group_stats;
+  /// ExplainJson document of the *last* query (--trace-json output).
+  std::string last_trace_json;
   /// Eq. 20 cost averaged over all queries.
   double cost = 0.0;
 };
@@ -71,6 +73,14 @@ std::size_t ParseThreadsFlag(int argc, char** argv);
 /// Parses a `--pool-shards=N` argument selecting the buffer-pool shard
 /// count (0 = the pool's default). Returns 0 when absent or malformed.
 std::size_t ParsePoolShardsFlag(int argc, char** argv);
+
+/// Parses a `--trace-json=<path>` argument: the file the bench writes the
+/// ExplainJson document of its last measured query to. Empty when absent.
+std::string ParseTraceJsonFlag(int argc, char** argv);
+
+/// Writes `json` to `path` (no-op when either is empty); prints where the
+/// trace went, or a warning when the file cannot be written.
+void WriteTraceJson(const std::string& path, const std::string& json);
 
 /// Calibrates the simulated per-page latency so that one full-sequence
 /// comparison costs `cmp_to_da_ratio` of one page read — the paper's

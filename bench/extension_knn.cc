@@ -8,13 +8,16 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
+#include "core/explain.h"
 #include "transform/builders.h"
 #include "ts/generate.h"
 #include "ts/normal_form.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
   std::printf("Extension: k-NN under multiple transformations\n");
 
   ts::StockMarketConfig config;
@@ -54,6 +57,7 @@ int main() {
         }
         candidates += static_cast<double>(mt->stats().candidates);
         nodes += static_cast<double>(mt->stats().index_nodes_accessed);
+        last_trace = core::ExplainJson(*mt);
       }
       const double d = static_cast<double>(queries);
       table.AddRow({std::to_string(k), std::to_string(transforms),
@@ -65,6 +69,7 @@ int main() {
   }
   table.Print();
   table.WriteCsv("extension_knn");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected: the transformed-MBR bound refines only a small "
               "fraction of the data set\nfor small k, degrading gracefully "
               "as k and the transformation spread grow.\n");

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes = {500, 1000, 2000, 4000, 8000, 12000};
   if (bench::FastMode()) sizes = {500, 1000, 2000};
   const std::size_t threads = bench::ParseThreadsFlag(argc, argv);
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
 
   std::printf("Figure 5: time per query vs. number of sequences\n");
   std::printf("(synthetic random walks, |T| = 16 moving averages 10..25, "
@@ -67,9 +69,11 @@ int main(int argc, char** argv) {
                   bench::FormatDouble(st.disk_accesses, 0),
                   bench::FormatDouble(mt.disk_accesses, 0),
                   bench::FormatDouble(mt.output_size, 1)});
+    last_trace = mt.last_trace_json;
   }
   table.Print();
   table.WriteCsv("fig5_scale_sequences");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected shape (paper Fig. 5): MT-index below both "
               "competitors at every size,\nsequential scan linear in the "
               "number of sequences.\n");

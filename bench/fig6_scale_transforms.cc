@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> counts = {1, 2, 4, 8, 12, 16, 20, 25, 30};
   if (bench::FastMode()) counts = {1, 4, 8};
   const std::size_t threads = bench::ParseThreadsFlag(argc, argv);
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
 
   std::printf("Figure 6: time per query vs. number of transformations\n");
   std::printf("(1068 stocks x 128 days, MA 5..4+k, rho = 0.96, "
@@ -58,9 +60,11 @@ int main(int argc, char** argv) {
                   bench::FormatDouble(st.disk_accesses, 0),
                   bench::FormatDouble(mt.disk_accesses, 0),
                   bench::FormatDouble(mt.output_size, 1)});
+    last_trace = mt.last_trace_json;
   }
   table.Print();
   table.WriteCsv("fig6_scale_transforms");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected shape (paper Fig. 6): flat sequential scan, "
               "linear ST-index,\nMT-index below both across the sweep.\n");
   return 0;

@@ -18,9 +18,11 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
 
   std::printf("Figure 8: varying transformations per MBR\n");
   std::printf("(1068 stocks, MA 6..29 => |T| = 24, rho = 0.96, "
@@ -67,6 +69,7 @@ int main() {
                     bench::FormatDouble(m.cost, 0),
                     bench::FormatDouble(m.candidates, 0),
                     bench::FormatDouble(m.output_size, 1)});
+      last_trace = m.last_trace_json;
     }
     std::printf("rho = %.2f: best running time at %zu transformations per "
                 "MBR\n",
@@ -74,6 +77,7 @@ int main() {
   }
   table.Print();
   table.WriteCsv("fig8_mbr_packing");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("Expected shape (paper Fig. 8): disk accesses fall "
               "monotonically as rectangles merge;\nrunning time and the "
               "cost function bottom out at moderate packing, not at the "

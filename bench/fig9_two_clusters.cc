@@ -16,9 +16,11 @@
 #include "ts/distance.h"
 #include "ts/generate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsq;
   const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+  std::string last_trace;
 
   std::printf("Figure 9: two transformation clusters (MA 6..29 + inverted)\n");
   std::printf("(|T| = 48; equal contiguous partitions vs. cluster-aware; "
@@ -80,9 +82,11 @@ int main() {
                   bench::FormatDouble(m.millis),
                   bench::FormatDouble(m.disk_accesses, 0),
                   bench::FormatDouble(m.candidates, 0)});
+    last_trace = m.last_trace_json;
   }
   table.Print();
   table.WriteCsv("fig9_two_clusters");
+  bench::WriteTraceJson(trace_path, last_trace);
   std::printf("\nExpected shape (paper Fig. 9): bumps in time and disk "
               "accesses where a rectangle\nspans the inter-cluster gap "
               "(16+ per MBR with contiguous packing); the cluster-aware\n"

@@ -61,6 +61,10 @@ void RunQueryWithAllAlgorithms(const SimilarityEngine& engine) {
     if (++shown == 5) break;
   }
   if (shown == 0) std::printf("  (only the query matched itself)\n");
+
+  // Where did the time go? Every result carries a per-phase trace.
+  std::printf("\nExplain (MT-index):\n%s",
+              tsq::core::Explain(*result).c_str());
 }
 
 void ShowFigure3Decomposition() {

@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace tsq {
+
+std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace tsq

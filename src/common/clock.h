@@ -1,0 +1,15 @@
+#ifndef TSQ_COMMON_CLOCK_H_
+#define TSQ_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace tsq {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch. The single
+/// time source for every timer in the system (Stopwatch, query-phase
+/// tracing), so all durations are mutually comparable.
+std::uint64_t MonotonicNanos();
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_CLOCK_H_

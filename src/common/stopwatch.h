@@ -1,29 +1,34 @@
 #ifndef TSQ_COMMON_STOPWATCH_H_
 #define TSQ_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/clock.h"
 
 namespace tsq {
 
-/// Wall-clock stopwatch for benchmark harnesses.
+/// Wall-clock stopwatch for benchmark harnesses, on the same monotonic
+/// time source (MonotonicNanos) as the query-phase traces.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(MonotonicNanos()) {}
 
   /// Restarts the watch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = MonotonicNanos(); }
+
+  /// Nanoseconds elapsed since construction or last Reset().
+  std::uint64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
 
   /// Seconds elapsed since construction or last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Milliseconds elapsed since construction or last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace tsq

@@ -4,11 +4,31 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace tsq::core {
 
 namespace {
 constexpr int kMetaVersion = 1;
+
+// Engine-level instruments, resolved once (registry pointers are stable for
+// the life of the process).
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* query_errors;
+  obs::Histogram* query_nanos;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return EngineMetrics{registry.counter("engine.queries"),
+                           registry.counter("engine.query_errors"),
+                           registry.histogram("engine.query_nanos")};
+    }();
+    return metrics;
+  }
+};
 }  // namespace
 
 SimilarityEngine::SimilarityEngine(std::vector<ts::Series> series,
@@ -40,27 +60,48 @@ const QueryStats& QueryResult::stats() const {
       value);
 }
 
+const obs::QueryTrace& QueryResult::trace() const {
+  return std::visit(
+      [](const auto& result) -> const obs::QueryTrace& {
+        return result.trace;
+      },
+      value);
+}
+
 Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
                                               const ExecOptions& options) const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  const std::uint64_t start = MonotonicNanos();
+  metrics.queries->Increment();
   QueryResult out;
   if (const auto* range = std::get_if<RangeQuerySpec>(&spec)) {
     Result<RangeQueryResult> result = RunRangeQuery(
         *dataset_, *index_, *range, options,
         options.collect_group_stats ? &out.group_stats : nullptr);
-    if (!result.ok()) return result.status();
+    if (!result.ok()) {
+      metrics.query_errors->Increment();
+      return result.status();
+    }
     out.value = std::move(*result);
   } else if (const auto* knn = std::get_if<KnnQuerySpec>(&spec)) {
     Result<KnnQueryResult> result =
         RunKnnQuery(*dataset_, *index_, *knn, options);
-    if (!result.ok()) return result.status();
+    if (!result.ok()) {
+      metrics.query_errors->Increment();
+      return result.status();
+    }
     out.value = std::move(*result);
   } else {
     Result<JoinQueryResult> result =
         RunJoinQuery(*dataset_, *index_, std::get<JoinQuerySpec>(spec),
                      options);
-    if (!result.ok()) return result.status();
+    if (!result.ok()) {
+      metrics.query_errors->Increment();
+      return result.status();
+    }
     out.value = std::move(*result);
   }
+  metrics.query_nanos->Observe(MonotonicNanos() - start);
   return out;
 }
 
@@ -81,8 +122,16 @@ Result<KnnQueryResult> SimilarityEngine::Knn(const KnnQuerySpec& spec,
 }
 
 void SimilarityEngine::ResetIoStats() {
+  // Each reset goes through the same atomics the hot paths update, so a
+  // concurrent reader never sees a torn value — but a query running *across*
+  // the reset would be attributed partly to the old epoch and partly to the
+  // new one, which is why the thread-safety contract excludes that
+  // interleaving (see engine.h and docs/ARCHITECTURE.md).
   dataset_->ResetRecordIo();
   index_->ResetIndexIo();
+  if (storage::BufferPool* pool = index_->buffer_pool()) {
+    pool->ResetStats();
+  }
 }
 
 void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {

@@ -30,6 +30,9 @@ struct QueryResult {
   /// The execution counters, whatever the query type.
   const QueryStats& stats() const;
 
+  /// The per-phase execution trace, whatever the query type.
+  const obs::QueryTrace& trace() const;
+
   /// Typed views; nullptr when the result is of another type.
   const RangeQueryResult* range() const {
     return std::get_if<RangeQueryResult>(&value);
@@ -110,7 +113,15 @@ class SimilarityEngine {
   Result<KnnQueryResult> Knn(const KnnQuerySpec& spec,
                              Algorithm algorithm = Algorithm::kMtIndex) const;
 
-  /// Resets every I/O counter (between benchmark queries).
+  /// Resets every I/O counter — record store, index page file and, when one
+  /// is attached, the index buffer pool — between benchmark queries.
+  ///
+  /// Thread-safety: each counter is reset through the same atomics the read
+  /// paths update, so calling this concurrently with Execute() is free of
+  /// data races — but it is still excluded by the thread-safety contract
+  /// (docs/ARCHITECTURE.md): a query in flight across the reset would have
+  /// its I/O split between the two epochs, making both epochs' numbers
+  /// meaningless. Quiesce queries first, then reset.
   void ResetIoStats();
 
   /// Makes every page read cost `nanos` nanoseconds of (spinning) latency,

@@ -5,8 +5,10 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "core/polar_bounds.h"
 #include "exec/parallel.h"
+#include "obs/trace.h"
 #include "rstar/join.h"
 #include "transform/transform_mbr.h"
 #include "ts/distance.h"
@@ -30,11 +32,18 @@ Status ValidateSpec(const Dataset& dataset, const JoinQuerySpec& spec) {
           "transformation length does not match dataset: " + t.label());
     }
   }
-  if (spec.mode == JoinMode::kDistance && spec.epsilon < 0.0) {
-    return Status::InvalidArgument("negative distance threshold");
+  // Negated comparisons so NaN thresholds are rejected too: a NaN epsilon or
+  // correlation would make every predicate false while silently reading the
+  // whole relation.
+  if (spec.mode == JoinMode::kDistance && !(spec.epsilon >= 0.0)) {
+    return Status::InvalidArgument("negative or NaN distance threshold");
   }
-  if (spec.mode == JoinMode::kCorrelation && spec.slack <= 0.0) {
-    return Status::InvalidArgument("non-positive filter slack");
+  if (spec.mode == JoinMode::kCorrelation &&
+      !std::isfinite(spec.min_correlation)) {
+    return Status::InvalidArgument("non-finite correlation threshold");
+  }
+  if (spec.mode == JoinMode::kCorrelation && !(spec.slack > 0.0)) {
+    return Status::InvalidArgument("non-positive or NaN filter slack");
   }
   return Status::Ok();
 }
@@ -105,34 +114,55 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const SequenceIndex& index,
                                      const JoinQuerySpec& spec,
                                      const ExecOptions& options) {
+  const std::uint64_t query_start = MonotonicNanos();
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   JoinQueryResult result;
   QueryStats& stats = result.stats;
+  obs::QueryTrace& trace = result.trace;
+  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.num_threads = options.num_threads;
+  trace.at(obs::Phase::kPlan)
+      .AddTask(MonotonicNanos() - query_start, spec.transforms.size());
 
   if (options.algorithm == Algorithm::kSequentialScan) {
     // A scan join touches every record anyway, so prefetch all spectra once
     // (slices write disjoint slots) and make the pairwise phase pure
     // compute, fanned out over fixed-size slices of the outer id.
+    struct PrefetchPart {
+      std::uint64_t record_pages = 0;  // pages read by this slice's fetches
+      std::uint64_t fetched = 0;
+      std::uint64_t nanos = 0;
+    };
     std::vector<std::vector<dft::Complex>> spectra(dataset.size());
     const std::size_t slices = exec::ChunkCount(dataset.size(), kScanChunk);
+    std::vector<PrefetchPart> prefetch(slices);
     TSQ_RETURN_IF_ERROR(exec::ParallelFor(
         options.num_threads, slices, [&](std::size_t task) -> Status {
           const exec::ChunkRange slice =
               exec::ChunkBounds(dataset.size(), kScanChunk, task);
+          PrefetchPart& part = prefetch[task];
+          const std::uint64_t start = MonotonicNanos();
           for (std::size_t i = slice.first; i < slice.last; ++i) {
             if (dataset.removed(i)) continue;
             Result<std::vector<dft::Complex>> spectrum =
-                dataset.FetchSpectrum(i);
+                dataset.FetchSpectrum(i, &part.record_pages);
             if (!spectrum.ok()) return spectrum.status();
             spectra[i] = std::move(*spectrum);
+            ++part.fetched;
           }
+          part.nanos = MonotonicNanos() - start;
           return Status::Ok();
         }));
+    for (const PrefetchPart& part : prefetch) {
+      stats.record_pages_read += part.record_pages;
+      trace.at(obs::Phase::kCandidateFetch).AddTask(part.nanos, part.fetched);
+    }
 
     struct ScanPart {
       std::vector<JoinMatch> matches;
       QueryStats stats;
+      std::uint64_t nanos = 0;
     };
     std::vector<ScanPart> parts(slices);
     TSQ_RETURN_IF_ERROR(exec::ParallelFor(
@@ -140,6 +170,7 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
           const exec::ChunkRange slice =
               exec::ChunkBounds(dataset.size(), kScanChunk, task);
           ScanPart& part = parts[task];
+          const std::uint64_t start = MonotonicNanos();
           for (std::size_t a = slice.first; a < slice.last; ++a) {
             if (dataset.removed(a)) continue;
             for (std::size_t b = a + 1; b < dataset.size(); ++b) {
@@ -155,15 +186,21 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
               }
             }
           }
+          part.nanos = MonotonicNanos() - start;
           return Status::Ok();
         }));
+    const std::uint64_t merge_start = MonotonicNanos();
     for (ScanPart& part : parts) {
       result.matches.insert(result.matches.end(), part.matches.begin(),
                             part.matches.end());
       stats += part.stats;
+      trace.at(obs::Phase::kVerification)
+          .AddTask(part.nanos, part.stats.comparisons);
     }
-    stats.record_pages_read = dataset.record_pages();
     stats.output_size = result.matches.size();
+    trace.at(obs::Phase::kMerge)
+        .AddTask(MonotonicNanos() - merge_start, result.matches.size());
+    trace.total_nanos = MonotonicNanos() - query_start;
     return result;
   }
 
@@ -193,11 +230,13 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
     std::vector<std::pair<std::size_t, std::size_t>> pairs;
     rstar::SearchStats left;
     rstar::SearchStats right;
+    std::uint64_t nanos = 0;
   };
   std::vector<GroupPass> passes(partition.size());
   TSQ_RETURN_IF_ERROR(exec::ParallelFor(
       options.num_threads, partition.size(), [&](std::size_t g) -> Status {
         GroupPass& pass = passes[g];
+        const std::uint64_t start = MonotonicNanos();
         std::vector<transform::FeatureTransform> group_fts;
         group_fts.reserve(partition[g].size());
         for (const std::size_t t : partition[g]) {
@@ -209,7 +248,7 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
           return mbr.Apply(r);
         };
         join_options.right_map = join_options.left_map;
-        return rstar::SpatialJoin(
+        const Status join_status = rstar::SpatialJoin(
             index.tree(), index.tree(),
             [&](const rstar::Rect& a, const rstar::Rect& b) {
               return RectPairSquaredDistanceLowerBound(a, b, layout) <=
@@ -219,6 +258,8 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
               if (a.id < b.id) pass.pairs.emplace_back(a.id, b.id);
             },
             &pass.left, &pass.right, join_options);
+        pass.nanos = MonotonicNanos() - start;
+        return join_status;
       }));
 
   // Phase B — verify candidate pairs in fixed-size chunks, group-major.
@@ -242,6 +283,9 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
     std::vector<JoinMatch> matches;
     QueryStats stats;                // comparisons only
     std::uint64_t record_pages = 0;  // pages read by this task's fetches
+    std::uint64_t fetched = 0;       // distinct spectra fetched by this task
+    std::uint64_t fetch_nanos = 0;
+    std::uint64_t verify_nanos = 0;
   };
   std::vector<VerifyPart> parts(tasks.size());
   TSQ_RETURN_IF_ERROR(exec::ParallelFor(
@@ -259,15 +303,18 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                 dataset.FetchSpectrum(id, &part.record_pages);
             if (!spectrum.ok()) return spectrum.status();
             it = fetched.emplace(id, std::move(*spectrum)).first;
+            ++part.fetched;
           }
           return &it->second;
         };
         for (std::size_t c = task.range.first; c < task.range.last; ++c) {
           const auto& [a, b] = pass.pairs[c];
+          const std::uint64_t fetch_start = MonotonicNanos();
           Result<const std::vector<dft::Complex>*> xa = fetch(a);
           if (!xa.ok()) return xa.status();
           Result<const std::vector<dft::Complex>*> xb = fetch(b);
           if (!xb.ok()) return xb.status();
+          const std::uint64_t verify_start = MonotonicNanos();
           for (const std::size_t t : group) {
             ++part.stats.comparisons;
             double value = 0.0;
@@ -275,15 +322,22 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
               part.matches.push_back(JoinMatch{a, b, t, value});
             }
           }
+          part.fetch_nanos += verify_start - fetch_start;
+          part.verify_nanos += MonotonicNanos() - verify_start;
         }
         return Status::Ok();
       }));
 
+  const std::uint64_t merge_start = MonotonicNanos();
   for (VerifyPart& part : parts) {
     result.matches.insert(result.matches.end(), part.matches.begin(),
                           part.matches.end());
     stats += part.stats;
     stats.record_pages_read += part.record_pages;
+    trace.at(obs::Phase::kCandidateFetch)
+        .AddTask(part.fetch_nanos, part.fetched);
+    trace.at(obs::Phase::kVerification)
+        .AddTask(part.verify_nanos, part.stats.comparisons);
   }
   for (const GroupPass& pass : passes) {
     ++stats.traversals;
@@ -292,8 +346,14 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
     stats.index_leaves_accessed +=
         pass.left.leaf_nodes_accessed + pass.right.leaf_nodes_accessed;
     stats.candidates += pass.pairs.size();
+    trace.at(obs::Phase::kIndexTraversal)
+        .AddTask(pass.nanos,
+                 pass.left.nodes_accessed + pass.right.nodes_accessed);
   }
   stats.output_size = result.matches.size();
+  trace.at(obs::Phase::kMerge)
+      .AddTask(MonotonicNanos() - merge_start, result.matches.size());
+  trace.total_nanos = MonotonicNanos() - query_start;
   return result;
 }
 

@@ -49,6 +49,7 @@ struct JoinMatch {
 struct JoinQueryResult {
   std::vector<JoinMatch> matches;
   QueryStats stats;
+  obs::QueryTrace trace;
 };
 
 /// Runs the self-join with the chosen algorithm. kSequentialScan evaluates

@@ -5,9 +5,11 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "core/feature.h"
 #include "core/polar_bounds.h"
 #include "exec/parallel.h"
+#include "obs/trace.h"
 #include "transform/transform_mbr.h"
 #include "ts/normal_form.h"
 
@@ -19,9 +21,29 @@ namespace {
 // (and hence the merged output) never depends on num_threads.
 constexpr std::size_t kScanChunk = 256;
 
+// Distance-ascending order with series-id tie-break. Unlike a raw
+// `a.distance < b.distance` on doubles, this is a strict weak ordering even
+// when NaN distances slip in (a NaN compares last, ties within NaN broken by
+// id) — sorting with the naive comparator is undefined behaviour the moment
+// one distance is NaN.
+bool KnnMatchOrder(const KnnMatch& a, const KnnMatch& b) {
+  const bool a_nan = std::isnan(a.distance);
+  const bool b_nan = std::isnan(b.distance);
+  if (a_nan != b_nan) return b_nan;  // every number sorts before NaN
+  if (!a_nan && a.distance != b.distance) return a.distance < b.distance;
+  return a.series_id < b.series_id;
+}
+
 Status ValidateSpec(const Dataset& dataset, const KnnQuerySpec& spec) {
   if (spec.query.size() != dataset.length()) {
     return Status::InvalidArgument("query length does not match dataset");
+  }
+  // A non-finite query value makes every distance NaN (a "nearest" order no
+  // longer exists), so reject it up front rather than sort garbage.
+  for (const double value : spec.query) {
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("query contains non-finite values");
+    }
   }
   if (spec.transforms.empty()) {
     return Status::InvalidArgument("no transformations in query");
@@ -74,10 +96,7 @@ std::vector<KnnMatch> BruteForceKnnQuery(const Dataset& dataset,
         BestTransform(spec, dataset.spectrum(i), query_spectrum, nullptr);
     all.push_back(KnnMatch{i, t, std::sqrt(d2)});
   }
-  std::sort(all.begin(), all.end(), [](const KnnMatch& a, const KnnMatch& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.series_id < b.series_id;
-  });
+  std::sort(all.begin(), all.end(), KnnMatchOrder);
   if (all.size() > spec.k) all.resize(spec.k);
   return all;
 }
@@ -86,6 +105,7 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                                    const SequenceIndex& index,
                                    const KnnQuerySpec& spec,
                                    const ExecOptions& options) {
+  const std::uint64_t query_start = MonotonicNanos();
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   const ts::NormalForm query_normal = ts::Normalize(spec.query);
@@ -97,6 +117,11 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
 
   KnnQueryResult result;
   QueryStats& stats = result.stats;
+  obs::QueryTrace& trace = result.trace;
+  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.num_threads = options.num_threads;
+  trace.at(obs::Phase::kPlan)
+      .AddTask(MonotonicNanos() - query_start, spec.transforms.size());
 
   if (options.algorithm == Algorithm::kSequentialScan) {
     // One task per fixed-size slice; each evaluates its sequences exactly,
@@ -105,6 +130,9 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
     struct ScanPart {
       std::vector<KnnMatch> matches;
       QueryStats stats;
+      std::uint64_t record_pages = 0;
+      std::uint64_t fetch_nanos = 0;
+      std::uint64_t verify_nanos = 0;
     };
     const std::size_t slices = exec::ChunkCount(dataset.size(), kScanChunk);
     std::vector<ScanPart> parts(slices);
@@ -115,30 +143,38 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
           ScanPart& part = parts[task];
           for (std::size_t i = slice.first; i < slice.last; ++i) {
             if (dataset.removed(i)) continue;
+            const std::uint64_t fetch_start = MonotonicNanos();
             Result<std::vector<dft::Complex>> spectrum =
-                dataset.FetchSpectrum(i);
+                dataset.FetchSpectrum(i, &part.record_pages);
             if (!spectrum.ok()) return spectrum.status();
+            ++part.stats.candidates;
+            const std::uint64_t verify_start = MonotonicNanos();
             const auto [d2, t] =
                 BestTransform(spec, *spectrum, query_spectrum, &part.stats);
             part.matches.push_back(KnnMatch{i, t, std::sqrt(d2)});
+            part.fetch_nanos += verify_start - fetch_start;
+            part.verify_nanos += MonotonicNanos() - verify_start;
           }
           return Status::Ok();
         }));
+    const std::uint64_t merge_start = MonotonicNanos();
     std::vector<KnnMatch> all;
     for (ScanPart& part : parts) {
       all.insert(all.end(), part.matches.begin(), part.matches.end());
       stats += part.stats;
+      stats.record_pages_read += part.record_pages;
+      trace.at(obs::Phase::kCandidateFetch)
+          .AddTask(part.fetch_nanos, part.stats.candidates);
+      trace.at(obs::Phase::kVerification)
+          .AddTask(part.verify_nanos, part.stats.comparisons);
     }
-    std::sort(all.begin(), all.end(),
-              [](const KnnMatch& a, const KnnMatch& b) {
-                if (a.distance != b.distance) return a.distance < b.distance;
-                return a.series_id < b.series_id;
-              });
+    std::sort(all.begin(), all.end(), KnnMatchOrder);
     if (all.size() > spec.k) all.resize(spec.k);
     result.matches = std::move(all);
-    stats.record_pages_read = dataset.record_pages();
-    stats.candidates = dataset.active_size();
     stats.output_size = result.matches.size();
+    trace.at(obs::Phase::kMerge)
+        .AddTask(MonotonicNanos() - merge_start, result.matches.size());
+    trace.total_nanos = MonotonicNanos() - query_start;
     return result;
   }
 
@@ -210,25 +246,39 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   }
 
   rstar::SearchStats search_stats;
+  // The best-first loop is serial, so phase times are accumulated locally
+  // and reported as one task each.
+  std::uint64_t traversal_nanos = 0;
+  std::uint64_t fetch_nanos = 0;
+  std::uint64_t verify_nanos = 0;
+  std::uint64_t merge_nanos = 0;
   while (!queue.empty() && result.matches.size() < spec.k) {
     const Item item = queue.top();
     queue.pop();
     switch (item.kind) {
-      case Kind::kExact:
+      case Kind::kExact: {
+        const std::uint64_t start = MonotonicNanos();
         result.matches.push_back(
             KnnMatch{item.id, item.transform_index, std::sqrt(item.key)});
+        merge_nanos += MonotonicNanos() - start;
         break;
+      }
       case Kind::kEntry: {
+        const std::uint64_t fetch_start = MonotonicNanos();
         Result<std::vector<dft::Complex>> spectrum =
             dataset.FetchSpectrum(item.id, &stats.record_pages_read);
         if (!spectrum.ok()) return spectrum.status();
         ++stats.candidates;
+        const std::uint64_t verify_start = MonotonicNanos();
         const auto [d2, t] =
             BestTransform(spec, *spectrum, query_spectrum, &stats);
         queue.push(Item{d2, Kind::kExact, item.id, t});
+        fetch_nanos += verify_start - fetch_start;
+        verify_nanos += MonotonicNanos() - verify_start;
         break;
       }
       case Kind::kPage: {
+        const std::uint64_t start = MonotonicNanos();
         rstar::RStarTree::NodeView view;
         TSQ_RETURN_IF_ERROR(
             index.tree().ReadNodeView(item.id, &view, &search_stats));
@@ -237,6 +287,7 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                           view.is_leaf ? Kind::kEntry : Kind::kPage, entry.id,
                           0});
         }
+        traversal_nanos += MonotonicNanos() - start;
         break;
       }
     }
@@ -245,6 +296,12 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   stats.index_leaves_accessed = search_stats.leaf_nodes_accessed;
   stats.traversals = 1;
   stats.output_size = result.matches.size();
+  trace.at(obs::Phase::kIndexTraversal)
+      .AddTask(traversal_nanos, stats.index_nodes_accessed);
+  trace.at(obs::Phase::kCandidateFetch).AddTask(fetch_nanos, stats.candidates);
+  trace.at(obs::Phase::kVerification).AddTask(verify_nanos, stats.comparisons);
+  trace.at(obs::Phase::kMerge).AddTask(merge_nanos, result.matches.size());
+  trace.total_nanos = MonotonicNanos() - query_start;
   return result;
 }
 

@@ -35,6 +35,7 @@ struct KnnMatch {
 struct KnnQueryResult {
   std::vector<KnnMatch> matches;  // ascending by distance
   QueryStats stats;
+  obs::QueryTrace trace;
 };
 
 /// Best-first (Hjaltason-Samet) k-NN over the R*-tree, pruning with the

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "transform/partition.h"
 #include "transform/spectral_transform.h"
 #include "ts/series.h"
@@ -116,13 +117,15 @@ struct QueryStats {
   }
 
   QueryStats& operator+=(const QueryStats& other);
+  bool operator==(const QueryStats&) const = default;
 };
 
 /// Result of a range query: qualifying pairs (in no particular order) plus
-/// the per-query execution counters.
+/// the per-query execution counters and phase trace.
 struct RangeQueryResult {
   std::vector<Match> matches;
   QueryStats stats;
+  obs::QueryTrace trace;
 };
 
 /// Per-rectangle counters, kept so the cost function Ck of Eq. 20 can be

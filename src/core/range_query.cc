@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/clock.h"
+#include "obs/trace.h"
 #include "exec/parallel.h"
 #include "transform/ordering.h"
 #include "transform/transform_mbr.h"
@@ -90,8 +92,10 @@ Status ValidateSpec(const Dataset& dataset, const RangeQuerySpec& spec) {
   if (spec.transforms.empty()) {
     return Status::InvalidArgument("no transformations in query");
   }
-  if (spec.epsilon < 0.0) {
-    return Status::InvalidArgument("negative distance threshold");
+  // The negated form also rejects a NaN epsilon, which would otherwise
+  // silently match nothing.
+  if (!(spec.epsilon >= 0.0)) {
+    return Status::InvalidArgument("negative or NaN distance threshold");
   }
   if (spec.query_transform.has_value() &&
       spec.query_transform->length() != dataset.length()) {
@@ -167,9 +171,17 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        const RangeQuerySpec& spec,
                                        const ExecOptions& options,
                                        std::vector<GroupRunStats>* group_stats) {
+  const std::uint64_t query_start = MonotonicNanos();
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   if (group_stats != nullptr) group_stats->clear();
 
+  RangeQueryResult result;
+  QueryStats& stats = result.stats;
+  obs::QueryTrace& trace = result.trace;
+  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.num_threads = options.num_threads;
+
+  std::uint64_t plan_start = MonotonicNanos();
   const transform::FeatureLayout& layout = dataset.layout();
   const ts::NormalForm query_normal = ts::Normalize(spec.query);
   std::vector<dft::Complex> query_spectrum =
@@ -189,19 +201,23 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     chain = transform::DominanceChain(spec.transforms);
   }
 
-  RangeQueryResult result;
-  QueryStats& stats = result.stats;
-
   if (options.algorithm == Algorithm::kSequentialScan) {
     std::vector<std::size_t> all(spec.transforms.size());
     for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
     const bool ordered = spec.use_ordering && OrderGroupByChain(chain, &all);
+    trace.at(obs::Phase::kPlan)
+        .AddTask(MonotonicNanos() - plan_start, spec.transforms.size());
 
     // One task per fixed-size slice of the relation; each task accumulates
-    // its own matches and counters, merged below in slice order.
+    // its own matches and counters (pages via the FetchSpectrum out-param —
+    // buffer hits, tombstones and multi-page records are all accounted as
+    // they actually happen), merged below in slice order.
     struct ScanPart {
       std::vector<Match> matches;
       QueryStats stats;
+      std::uint64_t record_pages = 0;
+      std::uint64_t fetch_nanos = 0;
+      std::uint64_t verify_nanos = 0;
     };
     const std::size_t tasks = exec::ChunkCount(dataset.size(), kScanChunk);
     std::vector<ScanPart> parts(tasks);
@@ -212,24 +228,34 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
           ScanPart& part = parts[task];
           for (std::size_t i = slice.first; i < slice.last; ++i) {
             if (dataset.removed(i)) continue;
+            const std::uint64_t fetch_start = MonotonicNanos();
             Result<std::vector<dft::Complex>> spectrum =
-                dataset.FetchSpectrum(i);
+                dataset.FetchSpectrum(i, &part.record_pages);
+            const std::uint64_t fetch_end = MonotonicNanos();
+            part.fetch_nanos += fetch_end - fetch_start;
             if (!spectrum.ok()) return spectrum.status();
+            ++part.stats.candidates;  // sequences actually evaluated
             VerifyCandidate(spec, *spectrum, query_spectrum, all, ordered, i,
                             &part.matches, &part.stats);
+            part.verify_nanos += MonotonicNanos() - fetch_end;
           }
           return Status::Ok();
         }));
+    const std::uint64_t merge_start = MonotonicNanos();
     for (ScanPart& part : parts) {
       result.matches.insert(result.matches.end(), part.matches.begin(),
                             part.matches.end());
       stats += part.stats;
+      stats.record_pages_read += part.record_pages;
+      trace.at(obs::Phase::kCandidateFetch)
+          .AddTask(part.fetch_nanos, part.stats.candidates);
+      trace.at(obs::Phase::kVerification)
+          .AddTask(part.verify_nanos, part.stats.comparisons);
     }
-    // A sequential scan reads every table page exactly once, regardless of
-    // how individual fetches above were counted.
-    stats.record_pages_read = dataset.record_pages();
-    stats.candidates = dataset.active_size();
     stats.output_size = result.matches.size();
+    trace.at(obs::Phase::kMerge)
+        .AddTask(MonotonicNanos() - merge_start, result.matches.size());
+    trace.total_nanos = MonotonicNanos() - query_start;
     return result;
   }
 
@@ -249,6 +275,8 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
   for (const transform::SpectralTransform& t : spec.transforms) {
     feature_transforms.push_back(t.ToFeatureTransform(layout));
   }
+  trace.at(obs::Phase::kPlan)
+      .AddTask(MonotonicNanos() - plan_start, spec.transforms.size());
 
   // Phase A — one task per transformation rectangle: build the group MBR and
   // query region, run the index traversal (Algorithm 1, steps 3-4), keep the
@@ -258,11 +286,13 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     bool ordered = false;
     std::vector<rstar::Entry> candidates;
     rstar::SearchStats search;
+    std::uint64_t nanos = 0;
   };
   std::vector<GroupPass> passes(partition.size());
   TSQ_RETURN_IF_ERROR(exec::ParallelFor(
       options.num_threads, partition.size(), [&](std::size_t g) -> Status {
         GroupPass& pass = passes[g];
+        const std::uint64_t task_start = MonotonicNanos();
         pass.group = partition[g];
         pass.ordered =
             spec.use_ordering && OrderGroupByChain(chain, &pass.group);
@@ -283,11 +313,13 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                 ? std::span<const transform::FeatureTransform>(group_fts)
                 : std::span<const transform::FeatureTransform>(identity),
             spec.epsilon, layout);
-        return index.tree().Search(
+        Status status = index.tree().Search(
             [&](const rstar::Rect& rect) {
               return mbr.AppliedIntersects(rect, query_region);
             },
             &pass.candidates, &pass.search);
+        pass.nanos = MonotonicNanos() - task_start;
+        return status;
       }));
 
   // Phase B — post-processing (step 5): fetch each candidate's full record
@@ -311,6 +343,9 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     std::vector<Match> matches;
     QueryStats stats;                 // comparisons only
     std::uint64_t record_pages = 0;   // pages read by this task's fetches
+    std::uint64_t fetch_nanos = 0;
+    std::uint64_t verify_nanos = 0;
+    std::uint64_t fetched = 0;        // candidates fetched by this task
   };
   std::vector<VerifyPart> parts(tasks.size());
   TSQ_RETURN_IF_ERROR(exec::ParallelFor(
@@ -320,16 +355,22 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
         VerifyPart& part = parts[ti];
         for (std::size_t c = task.range.first; c < task.range.last; ++c) {
           const rstar::Entry& entry = pass.candidates[c];
+          const std::uint64_t fetch_start = MonotonicNanos();
           Result<std::vector<dft::Complex>> spectrum =
               dataset.FetchSpectrum(entry.id, &part.record_pages);
+          const std::uint64_t fetch_end = MonotonicNanos();
+          part.fetch_nanos += fetch_end - fetch_start;
           if (!spectrum.ok()) return spectrum.status();
+          ++part.fetched;
           VerifyCandidate(spec, *spectrum, query_spectrum, pass.group,
                           pass.ordered, entry.id, &part.matches, &part.stats);
+          part.verify_nanos += MonotonicNanos() - fetch_end;
         }
         return Status::Ok();
       }));
 
   // Deterministic merge: task order is group-major chunk order.
+  const std::uint64_t merge_start = MonotonicNanos();
   std::vector<std::uint64_t> group_record_reads(passes.size(), 0);
   for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
     VerifyPart& part = parts[ti];
@@ -338,6 +379,10 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     stats += part.stats;
     stats.record_pages_read += part.record_pages;
     group_record_reads[tasks[ti].group_index] += part.record_pages;
+    trace.at(obs::Phase::kCandidateFetch)
+        .AddTask(part.fetch_nanos, part.fetched);
+    trace.at(obs::Phase::kVerification)
+        .AddTask(part.verify_nanos, part.stats.comparisons);
   }
   for (std::size_t g = 0; g < passes.size(); ++g) {
     const GroupPass& pass = passes[g];
@@ -345,6 +390,8 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     stats.index_nodes_accessed += pass.search.nodes_accessed;
     stats.index_leaves_accessed += pass.search.leaf_nodes_accessed;
     stats.candidates += pass.candidates.size();
+    trace.at(obs::Phase::kIndexTraversal)
+        .AddTask(pass.nanos, pass.search.nodes_accessed);
     if (group_stats != nullptr) {
       group_stats->push_back(GroupRunStats{
           pass.search.nodes_accessed + group_record_reads[g],
@@ -353,6 +400,9 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     }
   }
   stats.output_size = result.matches.size();
+  trace.at(obs::Phase::kMerge)
+      .AddTask(MonotonicNanos() - merge_start, result.matches.size());
+  trace.total_nanos = MonotonicNanos() - query_start;
   return result;
 }
 

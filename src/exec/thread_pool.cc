@@ -1,6 +1,31 @@
 #include "exec/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace tsq::exec {
+
+namespace {
+// Pool instruments, shared by every pool in the process (pools are
+// per-query-scoped, so per-instance instruments would churn the registry).
+struct PoolMetrics {
+  obs::Counter* workers_started;
+  obs::Counter* tasks_run;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_depth_on_submit;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry.counter("exec.pool.workers_started"),
+          registry.counter("exec.pool.tasks_run"),
+          registry.gauge("exec.pool.queue_depth"),
+          registry.histogram("exec.pool.queue_depth_on_submit")};
+    }();
+    return metrics;
+  }
+};
+}  // namespace
 
 std::size_t EffectiveThreads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -10,6 +35,7 @@ std::size_t EffectiveThreads(std::size_t requested) {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t count = EffectiveThreads(num_threads);
+  PoolMetrics::Get().workers_started->Increment(count);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -28,14 +54,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();  // depth seen by this submission, pre-enqueue
     queue_.push_back(std::move(task));
   }
+  metrics.queue_depth_on_submit->Observe(depth);
+  metrics.queue_depth->Add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     std::function<void()> task;
     {
@@ -47,7 +79,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    metrics.queue_depth->Add(-1);
     task();
+    metrics.tasks_run->Increment();
   }
 }
 

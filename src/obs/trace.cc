@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tsq::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPlan:
+      return "plan";
+    case Phase::kIndexTraversal:
+      return "index-traversal";
+    case Phase::kCandidateFetch:
+      return "candidate-fetch";
+    case Phase::kVerification:
+      return "verification";
+    case Phase::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+void PhaseStats::AddTask(std::uint64_t task_nanos, std::uint64_t item_count) {
+  nanos += task_nanos;
+  max_task_nanos = std::max(max_task_nanos, task_nanos);
+  ++tasks;
+  items += item_count;
+}
+
+void PhaseStats::Merge(const PhaseStats& other) {
+  nanos += other.nanos;
+  max_task_nanos = std::max(max_task_nanos, other.max_task_nanos);
+  tasks += other.tasks;
+  items += other.items;
+}
+
+std::string QueryTrace::DeterministicSignature() const {
+  std::ostringstream os;
+  os << algorithm;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    os << ';' << PhaseName(static_cast<Phase>(p))
+       << " tasks=" << phases[p].tasks << " items=" << phases[p].items;
+  }
+  return os.str();
+}
+
+std::string FormatTrace(const QueryTrace& trace) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "%s, %zu thread(s), total %.3f ms\n",
+                trace.algorithm.c_str(), trace.num_threads,
+                static_cast<double>(trace.total_nanos) * 1e-6);
+  os << line;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseStats& phase = trace.phases[p];
+    if (phase.empty()) continue;
+    std::snprintf(line, sizeof line,
+                  "  %-16s %9.3f ms  (tasks %llu, max %.3f ms, items %llu)\n",
+                  PhaseName(static_cast<Phase>(p)),
+                  static_cast<double>(phase.nanos) * 1e-6,
+                  static_cast<unsigned long long>(phase.tasks),
+                  static_cast<double>(phase.max_task_nanos) * 1e-6,
+                  static_cast<unsigned long long>(phase.items));
+    os << line;
+  }
+  return os.str();
+}
+
+std::string TraceToJson(const QueryTrace& trace) {
+  std::ostringstream os;
+  os << "{\"algorithm\":\"" << trace.algorithm << "\""
+     << ",\"num_threads\":" << trace.num_threads
+     << ",\"total_nanos\":" << trace.total_nanos << ",\"phases\":[";
+  bool first = true;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseStats& phase = trace.phases[p];
+    if (phase.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"phase\":\"" << PhaseName(static_cast<Phase>(p)) << "\""
+       << ",\"nanos\":" << phase.nanos
+       << ",\"max_task_nanos\":" << phase.max_task_nanos
+       << ",\"tasks\":" << phase.tasks << ",\"items\":" << phase.items << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace tsq::obs

@@ -474,23 +474,6 @@ Status RStarTree::RestoreForLoad(storage::PageId root, std::size_t height,
 
 namespace {
 
-// Splits `count` items into groups of at most `max_group` with balanced
-// sizes (all groups within one of each other), returned as end indices.
-std::vector<std::size_t> BalancedChunks(std::size_t count,
-                                        std::size_t max_group) {
-  const std::size_t groups = (count + max_group - 1) / max_group;
-  std::vector<std::size_t> ends;
-  ends.reserve(groups);
-  std::size_t produced = 0;
-  for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t remaining = count - produced;
-    const std::size_t size = (remaining + (groups - g) - 1) / (groups - g);
-    produced += size;
-    ends.push_back(produced);
-  }
-  return ends;
-}
-
 // Splits `count` items into full groups of `capacity`, except that a short
 // remainder below `min_fill` borrows from the previous group so every group
 // respects the fill invariant. Returned as end indices.

@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tsq::storage {
+
+namespace {
+// Process-wide counters summed over every pool; the per-shard stats_ stay
+// the per-instance (resettable) numbers benchmarks read through stats().
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* coalesced;
+  obs::Counter* evictions;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{registry.counter("storage.buffer_pool.hits"),
+                         registry.counter("storage.buffer_pool.misses"),
+                         registry.counter("storage.buffer_pool.coalesced"),
+                         registry.counter("storage.buffer_pool.evictions")};
+    }();
+    return metrics;
+  }
+};
+}  // namespace
 
 BufferPool::BufferPool(PageFile* file, std::size_t capacity,
                        std::size_t shards)
@@ -45,6 +68,7 @@ void BufferPool::InsertAndMaybeEvict(Shard& shard, PageId id,
     shard.lru.pop_back();
     shard.entries.erase(victim);
     ++shard.stats.evictions;
+    PoolMetrics::Get().evictions->Increment();
   }
   shard.lru.push_front(id);
   shard.entries[id] = Entry{page, shard.lru.begin()};
@@ -56,6 +80,7 @@ Status BufferPool::Read(PageId id, Page* out) {
   auto it = shard.entries.find(id);
   if (it != shard.entries.end()) {
     ++shard.stats.hits;
+    PoolMetrics::Get().hits->Increment();
     Touch(shard, it->second, id);
     *out = it->second.page;
     return Status::Ok();
@@ -67,6 +92,7 @@ Status BufferPool::Read(PageId id, Page* out) {
     // instead of issuing a duplicate physical read.
     std::shared_ptr<InFlightRead> read = flight->second;
     ++shard.stats.coalesced;
+    PoolMetrics::Get().coalesced->Increment();
     lock.unlock();
     std::unique_lock<std::mutex> wait_lock(read->mu);
     read->cv.wait(wait_lock, [&read] { return read->done; });
@@ -81,6 +107,7 @@ Status BufferPool::Read(PageId id, Page* out) {
   auto read = std::make_shared<InFlightRead>();
   shard.in_flight.emplace(id, read);
   ++shard.stats.misses;
+  PoolMetrics::Get().misses->Increment();
   lock.unlock();
 
   Status status = file_->Read(id, &read->page);

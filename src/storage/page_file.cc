@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace tsq::storage {
 
 namespace {
@@ -14,6 +16,26 @@ std::string PageIdMessage(const char* what, PageId id, std::size_t count) {
   msg << what << ": page " << id << " (file has " << count << " pages)";
   return msg.str();
 }
+
+// Process-wide counters summed over every PageFile; the per-instance atomics
+// remain the benchmark-facing numbers (they are resettable per epoch), the
+// global ones feed MetricsRegistry::RenderText/Json. Only successful I/Os
+// count, matching the per-instance counters.
+struct PageFileMetrics {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* allocations;
+
+  static const PageFileMetrics& Get() {
+    static const PageFileMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PageFileMetrics{registry.counter("storage.page_file.reads"),
+                             registry.counter("storage.page_file.writes"),
+                             registry.counter("storage.page_file.allocations")};
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -37,6 +59,7 @@ PageId PageFile::Allocate() {
   pages_.emplace_back();
   checksums_.push_back(Checksum(pages_.back()));
   allocations_.fetch_add(1, std::memory_order_relaxed);
+  PageFileMetrics::Get().allocations->Increment();
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -64,6 +87,7 @@ Status PageFile::Read(PageId id, Page* out) {
     *out = stored;
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
+  PageFileMetrics::Get().reads->Increment();
   return Status::Ok();
 }
 
@@ -75,6 +99,7 @@ Status PageFile::Write(PageId id, const Page& page) {
   pages_[id] = page;
   checksums_[id] = Checksum(page);
   writes_.fetch_add(1, std::memory_order_relaxed);
+  PageFileMetrics::Get().writes->Increment();
   return Status::Ok();
 }
 

@@ -19,8 +19,11 @@
 #include "common/status.h"       // Status, Result<T>
 #include "core/cost_model.h"     // Eq. 18-20 cost model
 #include "core/engine.h"         // SimilarityEngine, QuerySpec, QueryResult
+#include "core/explain.h"        // Explain / ExplainJson over a QueryResult
 #include "core/query.h"          // Algorithm, ExecOptions, specs and stats
 #include "exec/parallel.h"       // ParallelFor (used by custom drivers)
+#include "obs/metrics.h"         // process-wide MetricsRegistry
+#include "obs/trace.h"           // QueryTrace, FormatTrace, TraceToJson
 #include "lang/compiler.h"       // textual query language -> QuerySpec
 #include "subseq/subsequence_index.h"  // Section 5 subsequence queries
 #include "transform/builders.h"  // MovingAverageRange, TimeShiftRange, ...

@@ -1,5 +1,7 @@
 #include "core/join_query.h"
 
+#include <limits>
+
 #include "test_util.h"
 #include "gtest/gtest.h"
 #include "transform/builders.h"
@@ -172,6 +174,29 @@ TEST(JoinQueryTest, InvalidSpecsRejected) {
             StatusCode::kInvalidArgument);
   spec.mode = JoinMode::kCorrelation;
   spec.slack = 0.0;
+  EXPECT_EQ(RunJoinQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // NaN thresholds must be rejected, not silently evaluate to "no pair
+  // qualifies" after reading the whole relation.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  spec.mode = JoinMode::kDistance;
+  spec.epsilon = nan;
+  EXPECT_EQ(RunJoinQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  spec.mode = JoinMode::kCorrelation;
+  spec.slack = 1.0;
+  spec.min_correlation = nan;
+  EXPECT_EQ(RunJoinQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  spec.min_correlation = 0.9;
+  spec.slack = nan;
   EXPECT_EQ(RunJoinQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
                 .status()
                 .code(),

@@ -1,5 +1,8 @@
 #include "core/knn_query.h"
 
+#include <cmath>
+#include <limits>
+
 #include "test_util.h"
 #include "gtest/gtest.h"
 #include "transform/builders.h"
@@ -194,6 +197,56 @@ TEST(KnnQueryTest, InvalidSpecsRejected) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+// Regression: a NaN (or infinite) query value makes every distance NaN, and
+// sorting NaN distances with a naive `a < b` comparator is undefined
+// behaviour (no strict weak ordering). The spec must be rejected up front,
+// on every algorithm, instead of feeding NaN keys to the sort.
+TEST(KnnQueryTest, NonFiniteQueryRejected) {
+  Workload w = MakeWorkload(testutil::RandomWalks(20, 64, 16));
+  KnnQuerySpec spec;
+  spec.k = 3;
+  spec.transforms = transform::MovingAverageRange(64, 1, 4);
+  for (const double poison : {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    spec.query = ts::Series(64, 1.0);
+    spec.query[17] = poison;
+    for (Algorithm algorithm :
+         {Algorithm::kSequentialScan, Algorithm::kStIndex,
+          Algorithm::kMtIndex}) {
+      EXPECT_EQ(RunKnnQuery(*w.dataset, *w.index, spec, algorithm)
+                    .status()
+                    .code(),
+                StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+// Exact distance ties must break by series id, so results are deterministic
+// whatever sort implementation or thread count produced them.
+TEST(KnnQueryTest, TiesBreakByseriesId) {
+  // Two identical copies of every series: each pair ties exactly.
+  auto series = testutil::RandomWalks(10, 64, 17);
+  auto twin = series;
+  series.insert(series.end(), twin.begin(), twin.end());
+  Workload w = MakeWorkload(std::move(series));
+  KnnQuerySpec spec;
+  spec.query = ts::Denormalize(w.dataset->normal(3));
+  spec.k = 4;
+  spec.transforms = transform::MovingAverageRange(64, 1, 3);
+  auto result =
+      RunKnnQuery(*w.dataset, *w.index, spec, Algorithm::kSequentialScan);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->matches.size(); ++i) {
+    const KnnMatch& prev = result->matches[i - 1];
+    const KnnMatch& cur = result->matches[i];
+    EXPECT_TRUE(prev.distance < cur.distance ||
+                (prev.distance == cur.distance &&
+                 prev.series_id < cur.series_id))
+        << "rank " << i;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "core/range_query.h"
 
+#include <limits>
+
 #include "test_util.h"
 #include "gtest/gtest.h"
 #include "transform/builders.h"
@@ -195,12 +197,18 @@ TEST(RangeQueryTest, StatsAccounting) {
   Workload w = MakeWorkload(testutil::Stocks(200, 128, 12));
   const RangeQuerySpec spec = MovingAverageSpec(w, 0, 10, 25);
 
+  w.dataset->ResetRecordIo();
   auto seq =
       RunRangeQuery(*w.dataset, *w.index, spec, Algorithm::kSequentialScan);
   ASSERT_TRUE(seq.ok());
   EXPECT_EQ(seq->stats.index_nodes_accessed, 0u);
-  EXPECT_EQ(seq->stats.record_pages_read, w.dataset->record_pages());
-  EXPECT_EQ(seq->stats.candidates, w.dataset->size());
+  // The scan's record_pages_read counts the pages its fetches actually
+  // touched: exactly the physical reads issued, and at least one full pass
+  // over the record file (records straddling a page boundary are counted
+  // once per fetch that touches them, so the sum can exceed record_pages()).
+  EXPECT_EQ(seq->stats.record_pages_read, w.dataset->record_io().reads);
+  EXPECT_GE(seq->stats.record_pages_read, w.dataset->record_pages());
+  EXPECT_EQ(seq->stats.candidates, w.dataset->active_size());
   EXPECT_EQ(seq->stats.comparisons,
             w.dataset->size() * spec.transforms.size());
 
@@ -244,6 +252,13 @@ TEST(RangeQueryTest, InvalidSpecsRejected) {
 
   spec.transforms = transform::MovingAverageRange(64, 1, 4);
   spec.epsilon = -1.0;
+  EXPECT_EQ(RunRangeQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A NaN threshold makes every comparison false; reject it like a negative.
+  spec.epsilon = std::numeric_limits<double>::quiet_NaN();
   EXPECT_EQ(RunRangeQuery(*w.dataset, *w.index, spec, Algorithm::kMtIndex)
                 .status()
                 .code(),

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tsq::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  g.Add(-12);
+  EXPECT_EQ(g.value(), -5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, CountSumMeanExact) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Observe(10);
+  h.Observe(20);
+  h.Observe(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, Log2Bucketing) {
+  Histogram h;
+  // bucket(v) = bit_width(v): 0→0, 1→1, 2,3→2, 4..7→3, 1024..2047→11.
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1024);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(std::bit_width(std::uint64_t{1024})), 1u);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    total += h.bucket_count(b);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("test.counter");
+  Counter* b = registry.counter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(5);
+  EXPECT_EQ(b->value(), 5u);
+  Gauge* g = registry.gauge("test.gauge");
+  EXPECT_EQ(registry.gauge("test.gauge"), g);
+  Histogram* h = registry.histogram("test.histogram");
+  EXPECT_EQ(registry.histogram("test.histogram"), h);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("reset.counter");
+  Gauge* g = registry.gauge("reset.gauge");
+  Histogram* h = registry.histogram("reset.histogram");
+  c->Increment(7);
+  g->Set(-2);
+  h->Observe(100);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  // Same pointers still registered.
+  EXPECT_EQ(registry.counter("reset.counter"), c);
+}
+
+TEST(MetricsRegistryTest, RenderTextSortedWithValues) {
+  MetricsRegistry registry;
+  registry.counter("b.second")->Increment(2);
+  registry.counter("a.first")->Increment(1);
+  registry.gauge("c.depth")->Set(3);
+  const std::string text = registry.RenderText();
+  const std::size_t first = text.find("a.first");
+  const std::size_t second = text.find("b.second");
+  const std::size_t depth = text.find("c.depth");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(depth, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, depth);
+}
+
+TEST(MetricsRegistryTest, RenderJsonWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("json.count")->Increment(4);
+  registry.histogram("json.hist")->Observe(17);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.count\":4"), std::string::npos);
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingletonAndPopulatedByEngineUse) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+  // Instruments created through Global() persist across call sites.
+  Counter* c = a.counter("global.test.counter");
+  c->Increment();
+  EXPECT_EQ(b.counter("global.test.counter")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.counter("contended.counter");
+      for (int i = 0; i < 1000; ++i) c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), 8000u);
+}
+
+}  // namespace
+}  // namespace tsq::obs
