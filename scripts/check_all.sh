@@ -4,9 +4,11 @@
 #   1. tier-1: configure with -DTSQ_WERROR=ON (library + test sources
 #      warning-clean; bench targets are -Werror unconditionally), build
 #      everything including the bench drivers, run the whole ctest suite;
-#   2. scripts/tsan_exec_tests.sh — data-race gate over the executor and
+#   2. scripts/fuzz_smoke.sh — fixed-seed differential fuzz against the
+#      brute-force oracle, fault injection included;
+#   3. scripts/tsan_exec_tests.sh — data-race gate over the executor and
 #      the sharded buffer pool;
-#   3. scripts/asan_storage_tests.sh — lifetime/UB gate over the same.
+#   4. scripts/asan_storage_tests.sh — lifetime/UB gate over the same.
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build-check)
 # The sanitizer stages use their own build trees (build-tsan, build-asan).
@@ -15,15 +17,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 
-echo "==> [1/3] tier-1 build (-DTSQ_WERROR=ON) + ctest"
+echo "==> [1/4] tier-1 build (-DTSQ_WERROR=ON) + ctest"
 cmake -B "$BUILD_DIR" -S . -DTSQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "==> [2/3] ThreadSanitizer: exec + storage tests"
+echo "==> [2/4] differential fuzz smoke (fixed seeds, oracle-checked)"
+scripts/fuzz_smoke.sh "$BUILD_DIR"
+
+echo "==> [3/4] ThreadSanitizer: exec + storage tests"
 scripts/tsan_exec_tests.sh
 
-echo "==> [3/3] Address/UB sanitizer: storage + exec tests"
+echo "==> [4/4] Address/UB sanitizer: storage + exec tests"
 scripts/asan_storage_tests.sh
 
 echo "==> all checks passed"

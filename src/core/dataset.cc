@@ -102,7 +102,11 @@ Result<std::unique_ptr<Dataset>> Dataset::LoadFrom(
 
 Result<std::vector<dft::Complex>> Dataset::FetchSpectrum(
     std::size_t i, std::uint64_t* pages_read) const {
-  TSQ_CHECK_LT(i, record_ids_.size());
+  // Not a CHECK: the id can come from disk-resident index leaf entries, so
+  // a corrupted leaf must surface as a Status through Execute(), not abort.
+  if (i >= record_ids_.size()) {
+    return Status::OutOfRange("no such sequence id: " + std::to_string(i));
+  }
   Result<ts::Series> record = records_->GetSeries(record_ids_[i], pages_read);
   if (!record.ok()) return record.status();
   if (record->size() != 2 * length_) {

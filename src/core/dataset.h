@@ -81,6 +81,14 @@ class Dataset {
     record_file_.set_read_delay_nanos(nanos);
   }
 
+  /// Installs (nullptr removes) a fault-injection hook on the record page
+  /// file; every record fetch — sequential scan and candidate verification
+  /// alike — passes through it. Not safe concurrently with queries; keep
+  /// the hook alive until removed.
+  void SetReadFaultHook(storage::FaultHook* hook) {
+    record_file_.SetFaultHook(hook);
+  }
+
   // --- persistence (used by SimilarityEngine::SaveTo / LoadFrom) ----------
 
   /// Writes the record pages to `path`.

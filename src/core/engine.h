@@ -134,6 +134,18 @@ class SimilarityEngine {
   /// SequenceIndex::EnableBufferPool. Not safe concurrently with Execute().
   void EnableIndexBufferPool(std::size_t pages, std::size_t shards = 0);
 
+  /// Installs (nullptr removes) one fault-injection hook on every storage
+  /// layer a query reads through: the record page file, the index page file
+  /// and — now or whenever one is attached later — the index buffer pool.
+  /// With a hook installed, Execute() either returns the exact fault-free
+  /// result or a non-OK Status; it never crashes or silently drops matches.
+  /// Not safe concurrently with Execute(); keep the hook alive until
+  /// removed.
+  void SetReadFaultHook(storage::FaultHook* hook) {
+    dataset_->SetReadFaultHook(hook);
+    index_->SetReadFaultHook(hook);
+  }
+
   /// The index buffer pool, nullptr when none is attached. This replaces the
   /// old mutable_index() escape hatch, which let callers restructure the
   /// index behind the engine's back — a data race once queries run on worker

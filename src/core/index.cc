@@ -53,7 +53,15 @@ void SequenceIndex::EnableBufferPool(std::size_t pages, std::size_t shards) {
     return;
   }
   pool_ = std::make_unique<storage::BufferPool>(&index_file_, pages, shards);
+  // A hook installed before the pool existed covers the new pool too.
+  pool_->SetFaultHook(fault_hook_);
   tree_->SetBufferPool(pool_.get());
+}
+
+void SequenceIndex::SetReadFaultHook(storage::FaultHook* hook) {
+  fault_hook_ = hook;
+  index_file_.SetFaultHook(hook);
+  if (pool_) pool_->SetFaultHook(hook);
 }
 
 double SequenceIndex::AverageLeafCapacity() const {

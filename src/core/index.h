@@ -59,6 +59,13 @@ class SequenceIndex {
   const storage::BufferPool* buffer_pool() const { return pool_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
 
+  /// Installs (nullptr removes) a fault-injection hook on the index page
+  /// file and, when one is attached, the index buffer pool. The hook is
+  /// remembered, so EnableBufferPool re-installs it on a newly created pool.
+  /// Not safe concurrently with Execute(); keep the hook alive until
+  /// removed.
+  void SetReadFaultHook(storage::FaultHook* hook);
+
   /// Average number of entries per leaf node (CA_leaf in the cost model,
   /// Eq. 18).
   double AverageLeafCapacity() const;
@@ -71,6 +78,7 @@ class SequenceIndex {
   mutable storage::PageFile index_file_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<rstar::RStarTree> tree_;
+  storage::FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace tsq::core

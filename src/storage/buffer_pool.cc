@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -75,6 +76,31 @@ void BufferPool::InsertAndMaybeEvict(Shard& shard, PageId id,
 }
 
 Status BufferPool::Read(PageId id, Page* out) {
+  if (FaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    const FaultDecision fault = hook->OnRead(id);
+    if (fault.delay_nanos > 0) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::nanoseconds(fault.delay_nanos);
+      while (std::chrono::steady_clock::now() < until) {
+        // Simulated cache-layer latency, paid outside every lock.
+      }
+    }
+    // The hook runs before the shard lock: an injected failure models an
+    // error in the caching layer itself (it can hit cached pages too) and
+    // by construction leaves the shard's entries/LRU/in-flight state and
+    // the backing file untouched.
+    switch (fault.action) {
+      case FaultDecision::Action::kNone:
+        break;
+      case FaultDecision::Action::kFail:
+        return fault.status.ok() ? Status::IoError("injected pool fault")
+                                 : fault.status;
+      case FaultDecision::Action::kCorruptBytes:
+        return Status::Corruption("injected corruption in buffer pool read");
+      case FaultDecision::Action::kShortRead:
+        return Status::IoError("injected short read in buffer pool read");
+    }
+  }
   Shard& shard = shards_[ShardOf(id)];
   std::unique_lock<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(id);

@@ -1,6 +1,7 @@
 #ifndef TSQ_STORAGE_BUFFER_POOL_H_
 #define TSQ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <list>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/fault_injection.h"
 #include "storage/page_file.h"
 
 namespace tsq::storage {
@@ -102,6 +104,17 @@ class BufferPool {
   /// construct same-shard or distinct-shard page sets.
   std::size_t ShardOf(PageId id) const;
 
+  /// Installs (or, with nullptr, removes) a fault-injection hook consulted
+  /// at the top of every pool Read, before the shard lock is taken — so an
+  /// injected failure models an error in the caching layer itself (hits
+  /// included) and always leaves the shard's entries, LRU and in-flight
+  /// table untouched. Misses additionally pass through the backing file's
+  /// own hook, if one is installed there. The caller must keep the hook
+  /// alive until it is uninstalled and in-flight reads have drained.
+  void SetFaultHook(FaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
+  }
+
  private:
   struct Entry {
     Page page;
@@ -135,6 +148,7 @@ class BufferPool {
   PageFile* file_;
   const std::size_t capacity_;
   std::vector<Shard> shards_;
+  std::atomic<FaultHook*> fault_hook_{nullptr};
 };
 
 }  // namespace tsq::storage

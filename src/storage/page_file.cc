@@ -1,5 +1,6 @@
 #include "storage/page_file.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -64,7 +65,11 @@ PageId PageFile::Allocate() {
 }
 
 Status PageFile::Read(PageId id, Page* out) {
-  const std::uint64_t delay = read_delay_nanos();
+  FaultDecision fault;
+  if (FaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    fault = hook->OnRead(id);
+  }
+  const std::uint64_t delay = read_delay_nanos() + fault.delay_nanos;
   if (delay > 0) {
     // Spin outside the lock: concurrent readers pay their simulated
     // latencies in parallel, like requests in flight on independent disks.
@@ -74,17 +79,35 @@ Status PageFile::Read(PageId id, Page* out) {
       // Models the fixed per-page cost of a (cached-era) disk access.
     }
   }
+  if (fault.action == FaultDecision::Action::kFail) {
+    // Failed I/Os are never counted; the hook's status stands in for the
+    // device error verbatim.
+    return fault.status.ok()
+               ? Status::IoError(PageIdMessage("injected fault", id, 0))
+               : fault.status;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (id >= pages_.size()) {
       return Status::OutOfRange(PageIdMessage("read", id, pages_.size()));
     }
     const Page& stored = pages_[id];
-    if (Checksum(stored) != checksums_[id]) {
+    // Faults mutate the page *as delivered*, not the stored copy, and then
+    // go through the normal verification below: corruption and torn reads
+    // are caught by the same checksum machinery a real mismatch would hit.
+    Page delivered = stored;
+    if (fault.action == FaultDecision::Action::kCorruptBytes) {
+      delivered.bytes[fault.byte_offset % kPageSize] ^= 0xFF;
+    } else if (fault.action == FaultDecision::Action::kShortRead &&
+               fault.valid_bytes < kPageSize) {
+      std::fill(delivered.bytes.begin() + fault.valid_bytes,
+                delivered.bytes.end(), std::uint8_t{0});
+    }
+    if (Checksum(delivered) != checksums_[id]) {
       return Status::Corruption(PageIdMessage("checksum mismatch", id,
                                               pages_.size()));
     }
-    *out = stored;
+    *out = delivered;
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
   PageFileMetrics::Get().reads->Increment();

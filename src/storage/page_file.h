@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/fault_injection.h"
 
 namespace tsq::storage {
 
@@ -106,6 +107,16 @@ class PageFile {
   /// checksum, so the next Read reports corruption.
   Status CorruptForTesting(PageId id, std::size_t byte_offset);
 
+  /// Installs (or, with nullptr, removes) a fault-injection hook consulted
+  /// at the top of every Read. kFail decisions return the hook's status
+  /// without counting the read; kCorruptBytes/kShortRead mutate the page as
+  /// delivered and let the normal checksum verification detect the damage,
+  /// so the stored copy stays intact. The caller must keep the hook alive
+  /// until it is uninstalled and in-flight reads have drained.
+  void SetFaultHook(FaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
+  }
+
   /// Writes every page to `path` (format v2, binary: magic, page count, the
   /// per-page checksums, then the raw pages). Persisting the checksums is
   /// what lets LoadFrom detect bytes corrupted at rest.
@@ -128,6 +139,7 @@ class PageFile {
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> read_delay_nanos_{0};
+  std::atomic<FaultHook*> fault_hook_{nullptr};
 };
 
 }  // namespace tsq::storage

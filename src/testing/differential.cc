@@ -1,0 +1,303 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/join_query.h"
+#include "core/range_query.h"
+#include "testing/fault_policy.h"
+
+namespace tsq::testing {
+
+namespace {
+
+bool Close(double a, double b, double tol) {
+  return std::fabs(a - b) <=
+         tol * (1.0 + std::max(std::fabs(a), std::fabs(b)));
+}
+
+std::string DescribeConfig(core::Algorithm algorithm, std::size_t threads,
+                           bool pool_on) {
+  std::ostringstream out;
+  out << core::AlgorithmName(algorithm) << "/" << threads << "t/"
+      << (pool_on ? "pool" : "no-pool");
+  return out.str();
+}
+
+std::string CompareRange(const std::vector<core::Match>& expected,
+                         std::vector<core::Match> got, double tol) {
+  core::SortMatches(&got);
+  if (expected.size() != got.size()) {
+    std::ostringstream out;
+    out << "range match count: oracle " << expected.size() << ", engine "
+        << got.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const core::Match& e = expected[i];
+    const core::Match& g = got[i];
+    if (e.series_id != g.series_id || e.transform_index != g.transform_index ||
+        !Close(e.distance, g.distance, tol)) {
+      std::ostringstream out;
+      out << "range match " << i << ": oracle (series " << e.series_id
+          << ", t" << e.transform_index << ", D=" << e.distance
+          << ") vs engine (series " << g.series_id << ", t"
+          << g.transform_index << ", D=" << g.distance << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CompareKnn(const std::vector<core::KnnMatch>& expected,
+                       const std::vector<core::KnnMatch>& got, double tol) {
+  if (expected.size() != got.size()) {
+    std::ostringstream out;
+    out << "knn result count: oracle " << expected.size() << ", engine "
+        << got.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // transform_index is deliberately not compared: unitary transformations
+    // (e.g. time shifts under kBoth) produce mathematically equal distances,
+    // so the argmin transformation is floating-point noise.
+    if (expected[i].series_id != got[i].series_id ||
+        !Close(expected[i].distance, got[i].distance, tol)) {
+      std::ostringstream out;
+      out << "knn rank " << i << ": oracle (series " << expected[i].series_id
+          << ", D=" << expected[i].distance << ") vs engine (series "
+          << got[i].series_id << ", D=" << got[i].distance << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CompareJoin(const std::vector<core::JoinMatch>& expected,
+                        std::vector<core::JoinMatch> got, double tol,
+                        bool subset_ok) {
+  core::SortJoinMatches(&got);
+  if (subset_ok) {
+    // Indexed correlation joins may miss pairs (documented filter property);
+    // every pair they do report must be a correct oracle pair.
+    std::unordered_map<std::uint64_t, double> oracle_pairs;
+    oracle_pairs.reserve(expected.size() * 2);
+    const auto key = [](const core::JoinMatch& m) {
+      return (static_cast<std::uint64_t>(m.a) << 40) ^
+             (static_cast<std::uint64_t>(m.b) << 16) ^
+             static_cast<std::uint64_t>(m.transform_index);
+    };
+    for (const core::JoinMatch& m : expected) oracle_pairs[key(m)] = m.value;
+    for (const core::JoinMatch& m : got) {
+      auto it = oracle_pairs.find(key(m));
+      if (it == oracle_pairs.end()) {
+        std::ostringstream out;
+        out << "join pair (" << m.a << ", " << m.b << ", t"
+            << m.transform_index << ") reported but not an oracle match";
+        return out.str();
+      }
+      if (!Close(it->second, m.value, tol)) {
+        std::ostringstream out;
+        out << "join pair (" << m.a << ", " << m.b << ", t"
+            << m.transform_index << ") value: oracle " << it->second
+            << ", engine " << m.value;
+        return out.str();
+      }
+    }
+    return "";
+  }
+  if (expected.size() != got.size()) {
+    std::ostringstream out;
+    out << "join match count: oracle " << expected.size() << ", engine "
+        << got.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const core::JoinMatch& e = expected[i];
+    const core::JoinMatch& g = got[i];
+    if (e.a != g.a || e.b != g.b || e.transform_index != g.transform_index ||
+        !Close(e.value, g.value, tol)) {
+      std::ostringstream out;
+      out << "join match " << i << ": oracle (" << e.a << ", " << e.b << ", t"
+          << e.transform_index << ", v=" << e.value << ") vs engine (" << g.a
+          << ", " << g.b << ", t" << g.transform_index << ", v=" << g.value
+          << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+DifferentialRunner::DifferentialRunner(std::uint64_t seed)
+    : generator_(seed),
+      engine_(WorkloadGenerator(seed).MakeSeries()),
+      oracle_(engine_.dataset()) {}
+
+CaseOutcome DifferentialRunner::RunCase(std::size_t index,
+                                        const DiffConfig& config) {
+  const WorkloadCase work = generator_.MakeCase(index, engine_, oracle_);
+  CaseOutcome outcome;
+  outcome.description = work.description;
+
+  // The oracle's verdict, computed once per case.
+  std::vector<core::Match> expected_range;
+  std::vector<core::KnnMatch> expected_knn;
+  std::vector<core::JoinMatch> expected_join;
+  bool correlation_join = false;
+  if (const auto* range = std::get_if<core::RangeQuerySpec>(&work.spec)) {
+    expected_range = oracle_.Range(*range);
+  } else if (const auto* knn = std::get_if<core::KnnQuerySpec>(&work.spec)) {
+    expected_knn = oracle_.Knn(*knn);
+  } else {
+    const auto& join = std::get<core::JoinQuerySpec>(work.spec);
+    expected_join = oracle_.Join(join);
+    correlation_join = join.mode == core::JoinMode::kCorrelation;
+  }
+
+  const auto check = [&](const core::QueryResult& result,
+                         core::Algorithm algorithm) -> std::string {
+    if (const auto* range = result.range()) {
+      return CompareRange(expected_range, range->matches, config.tolerance);
+    }
+    if (const auto* knn = result.knn()) {
+      return CompareKnn(expected_knn, knn->matches, config.tolerance);
+    }
+    const bool subset_ok =
+        correlation_join && algorithm != core::Algorithm::kSequentialScan;
+    return CompareJoin(expected_join, result.join()->matches,
+                       config.tolerance, subset_ok);
+  };
+
+  const auto fail = [&](const std::string& what) {
+    if (outcome.passed) {
+      outcome.passed = false;
+      outcome.failure = what;
+    }
+  };
+
+  static constexpr core::Algorithm kAlgorithms[] = {
+      core::Algorithm::kSequentialScan, core::Algorithm::kStIndex,
+      core::Algorithm::kMtIndex};
+  static constexpr std::size_t kThreadCounts[] = {1, 4, 8};
+
+  // Fault-free sweep over the whole configuration cube.
+  for (const bool pool_on : {false, true}) {
+    engine_.EnableIndexBufferPool(pool_on ? config.pool_pages : 0,
+                                  config.pool_shards);
+    for (const core::Algorithm algorithm : kAlgorithms) {
+      for (const std::size_t threads : kThreadCounts) {
+        core::ExecOptions options;
+        options.algorithm = algorithm;
+        options.num_threads = threads;
+        const Result<core::QueryResult> result =
+            engine_.Execute(work.spec, options);
+        ++outcome.runs;
+        if (!result.ok()) {
+          fail("unexpected error status under " +
+               DescribeConfig(algorithm, threads, pool_on) + ": " +
+               result.status().ToString());
+          continue;
+        }
+        const std::string diff = check(*result, algorithm);
+        if (!diff.empty()) {
+          fail("divergence under " +
+               DescribeConfig(algorithm, threads, pool_on) + ": " + diff);
+        }
+      }
+    }
+  }
+  engine_.EnableIndexBufferPool(0);
+  if (!outcome.passed || !config.with_faults) return outcome;
+
+  // Fault sweep: under every policy each run must either match the oracle
+  // exactly or surface a non-OK Status — and a clean rerun right after must
+  // match, proving the fault left the pool/file state intact.
+  const std::vector<FaultPolicyConfig> policies = [] {
+    std::vector<FaultPolicyConfig> list;
+    FaultPolicyConfig p;
+    p.fail_nth_read = 1;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_nth_read = 5;
+    p.failure_code = StatusCode::kCorruption;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_nth_read = 33;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_every_k = 7;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.corrupt_nth_read = 3;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.short_nth_read = 2;
+    p.short_read_bytes = 512;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.delay_nanos = 2000;  // latency only: the run must *match*
+    list.push_back(p);
+    return list;
+  }();
+
+  struct FaultRunConfig {
+    core::Algorithm algorithm;
+    std::size_t threads;
+    bool pool_on;
+  };
+  static constexpr FaultRunConfig kFaultRuns[] = {
+      {core::Algorithm::kMtIndex, 4, true},
+      {core::Algorithm::kSequentialScan, 4, false},
+  };
+
+  for (const FaultPolicyConfig& policy_config : policies) {
+    for (const FaultRunConfig& run : kFaultRuns) {
+      engine_.EnableIndexBufferPool(run.pool_on ? config.pool_pages : 0,
+                                    config.pool_shards);
+      core::ExecOptions options;
+      options.algorithm = run.algorithm;
+      options.num_threads = run.threads;
+
+      FaultPolicy policy(policy_config);
+      engine_.SetReadFaultHook(&policy);
+      const Result<core::QueryResult> faulted =
+          engine_.Execute(work.spec, options);
+      engine_.SetReadFaultHook(nullptr);
+      ++outcome.fault_runs;
+      const std::string config_text =
+          DescribeConfig(run.algorithm, run.threads, run.pool_on) +
+          " under " + policy.Describe();
+      if (!faulted.ok()) {
+        ++outcome.fault_errors;
+      } else {
+        const std::string diff = check(*faulted, run.algorithm);
+        if (!diff.empty()) {
+          fail("fault run neither matched nor errored (" + config_text +
+               "): " + diff);
+        }
+      }
+
+      // Clean rerun: storage and pool state must have survived the fault.
+      const Result<core::QueryResult> clean =
+          engine_.Execute(work.spec, options);
+      if (!clean.ok()) {
+        fail("clean rerun after " + config_text + " failed: " +
+             clean.status().ToString());
+      } else {
+        const std::string diff = check(*clean, run.algorithm);
+        if (!diff.empty()) {
+          fail("clean rerun after " + config_text + " diverged: " + diff);
+        }
+      }
+      engine_.EnableIndexBufferPool(0);
+      if (!outcome.passed) return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tsq::testing

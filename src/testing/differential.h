@@ -1,0 +1,67 @@
+#ifndef TSQ_TESTING_DIFFERENTIAL_H_
+#define TSQ_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "testing/oracle.h"
+#include "testing/workload_generator.h"
+
+namespace tsq::testing {
+
+/// Knobs of one differential sweep.
+struct DiffConfig {
+  /// Also run the fault sweep: under every FaultPolicy the engine must
+  /// either return the exact fault-free result or a non-OK Status, and a
+  /// clean rerun afterwards must still match (storage state intact).
+  bool with_faults = true;
+  /// Relative tolerance for comparing distances / correlations; match
+  /// membership itself is exact (thresholds are boundary-free by
+  /// construction).
+  double tolerance = 1e-6;
+  /// Index buffer pool used for the pool-on half of the sweep. Deliberately
+  /// tiny so eviction and the coalescing miss path are exercised.
+  std::size_t pool_pages = 8;
+  std::size_t pool_shards = 2;
+};
+
+/// Outcome of one case's sweep.
+struct CaseOutcome {
+  bool passed = true;
+  /// Engine executions compared against the oracle.
+  std::size_t runs = 0;
+  /// Executions performed with a fault policy installed.
+  std::size_t fault_runs = 0;
+  /// Of those, how many surfaced a non-OK Status (the rest matched).
+  std::size_t fault_errors = 0;
+  /// First divergence, self-contained enough to debug from ("config=...,
+  /// expected N matches, got M, first diff ...").
+  std::string failure;
+  std::string description;  // the generated case
+};
+
+/// Runs generated cases through the full configuration cube
+/// {scan, ST-index, MT-index} x {1, 4, 8} threads x {pool off, pool on}
+/// and checks every result against the Oracle; optionally repeats a slice
+/// of the cube under each FaultPolicy. One runner per seed: it owns the
+/// seed's dataset, engine and oracle.
+class DifferentialRunner {
+ public:
+  explicit DifferentialRunner(std::uint64_t seed);
+
+  CaseOutcome RunCase(std::size_t index, const DiffConfig& config = DiffConfig());
+
+  const WorkloadGenerator& generator() const { return generator_; }
+  core::SimilarityEngine& engine() { return engine_; }
+  const Oracle& oracle() const { return oracle_; }
+
+ private:
+  WorkloadGenerator generator_;
+  core::SimilarityEngine engine_;
+  Oracle oracle_;
+};
+
+}  // namespace tsq::testing
+
+#endif  // TSQ_TESTING_DIFFERENTIAL_H_

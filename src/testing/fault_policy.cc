@@ -1,0 +1,121 @@
+#include "testing/fault_policy.h"
+
+#include <sstream>
+
+#include "storage/page_file.h"
+
+namespace tsq::testing {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+FaultPolicy::FaultPolicy(FaultPolicyConfig config) : config_(config) {}
+
+Status FaultPolicy::MakeFailure(std::uint32_t page_id,
+                                std::uint64_t ordinal) const {
+  std::ostringstream msg;
+  msg << "injected fault: read #" << ordinal << " of page " << page_id;
+  switch (config_.failure_code) {
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg.str());
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(msg.str());
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(msg.str());
+    case StatusCode::kInternal:
+      return Status::Internal(msg.str());
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg.str());
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg.str());
+    case StatusCode::kOk:
+    case StatusCode::kIoError:
+      break;
+  }
+  return Status::IoError(msg.str());
+}
+
+storage::FaultDecision FaultPolicy::OnRead(std::uint32_t page_id) {
+  const std::uint64_t n = reads_.fetch_add(1, std::memory_order_relaxed) + 1;
+  storage::FaultDecision decision;
+  decision.delay_nanos = config_.delay_nanos;
+  const bool fail = (config_.fail_nth_read != 0 && n == config_.fail_nth_read) ||
+                    (config_.fail_every_k != 0 && n % config_.fail_every_k == 0);
+  if (fail) {
+    decision.action = storage::FaultDecision::Action::kFail;
+    decision.status = MakeFailure(page_id, n);
+  } else if (config_.corrupt_nth_read != 0 && n == config_.corrupt_nth_read) {
+    decision.action = storage::FaultDecision::Action::kCorruptBytes;
+    // Vary the flipped byte with the page id so different pages tear
+    // differently; any offset defeats the checksum equally.
+    decision.byte_offset = (static_cast<std::size_t>(page_id) * 97 + 13) %
+                           storage::kPageSize;
+  } else if (config_.short_nth_read != 0 && n == config_.short_nth_read) {
+    decision.action = storage::FaultDecision::Action::kShortRead;
+    decision.valid_bytes = config_.short_read_bytes;
+  }
+  if (decision.action != storage::FaultDecision::Action::kNone) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void FaultPolicy::Reset() {
+  reads_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+}
+
+std::string FaultPolicy::Describe() const {
+  std::ostringstream out;
+  const char* sep = "";
+  if (config_.fail_nth_read != 0) {
+    out << sep << "fail-nth(" << config_.fail_nth_read << ", "
+        << CodeName(config_.failure_code) << ")";
+    sep = " + ";
+  }
+  if (config_.fail_every_k != 0) {
+    out << sep << "fail-every(" << config_.fail_every_k << ", "
+        << CodeName(config_.failure_code) << ")";
+    sep = " + ";
+  }
+  if (config_.corrupt_nth_read != 0) {
+    out << sep << "corrupt-nth(" << config_.corrupt_nth_read << ")";
+    sep = " + ";
+  }
+  if (config_.short_nth_read != 0) {
+    out << sep << "short-nth(" << config_.short_nth_read << ", "
+        << config_.short_read_bytes << "B)";
+    sep = " + ";
+  }
+  if (config_.delay_nanos != 0) {
+    out << sep << "delay(" << config_.delay_nanos << "ns)";
+    sep = " + ";
+  }
+  if (*sep == '\0') out << "no-faults";
+  return out.str();
+}
+
+}  // namespace tsq::testing

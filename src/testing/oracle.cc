@@ -1,0 +1,209 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+#include "core/join_query.h"
+#include "core/knn_query.h"
+#include "core/range_query.h"
+#include "ts/normal_form.h"
+
+namespace tsq::testing {
+
+Oracle::Oracle(const core::Dataset& dataset)
+    : dataset_(&dataset), plan_(dataset.length()) {
+  spectra_.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    spectra_.push_back(plan_.Forward(dataset.normal(i).values));
+  }
+}
+
+std::vector<dft::Complex> Oracle::QuerySpectrum(
+    const ts::Series& query,
+    const std::optional<transform::SpectralTransform>& query_transform) const {
+  TSQ_CHECK_EQ(query.size(), dataset_->length());
+  const ts::NormalForm normal = ts::Normalize(query);
+  std::vector<dft::Complex> spectrum = plan_.Forward(normal.values);
+  if (query_transform.has_value()) {
+    TSQ_CHECK_EQ(query_transform->length(), spectrum.size());
+    for (std::size_t f = 0; f < spectrum.size(); ++f) {
+      spectrum[f] *= query_transform->multiplier(f);
+    }
+  }
+  return spectrum;
+}
+
+double Oracle::Distance2(const transform::SpectralTransform& t,
+                         core::TransformTarget target,
+                         std::span<const dft::Complex> x,
+                         std::span<const dft::Complex> q) const {
+  // Eq. 12, evaluated directly in the frequency domain (the DFT is unitary,
+  // so Parseval needs no extra factors):
+  //   kBoth:     D^2 = sum_f |M_f|^2 |X_f - Q_f|^2
+  //   kDataOnly: D^2 = sum_f |M_f X_f - Q_f|^2
+  double d2 = 0.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    if (target == core::TransformTarget::kBoth) {
+      d2 += std::norm(t.multiplier(f)) * std::norm(x[f] - q[f]);
+    } else {
+      d2 += std::norm(t.multiplier(f) * x[f] - q[f]);
+    }
+  }
+  return d2;
+}
+
+double Oracle::Correlation(const transform::SpectralTransform& t,
+                           std::span<const dft::Complex> x,
+                           std::span<const dft::Complex> y) const {
+  // Both transformed sequences are zero-mean (normal forms have X_0 = 0 and
+  // the multiplier keeps it zero), so with U = M.*X, V = M.*Y:
+  //   rho = (n-1)/n * sum_f Re(U_f conj(V_f)) / (sigma_u * sigma_v),
+  //   (n-1) sigma^2 = sum_f |U_f|^2.
+  const std::size_t n = x.size();
+  double dot = 0.0;
+  double energy_u = 0.0;
+  double energy_v = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    const double gain = std::norm(t.multiplier(f));
+    dot += gain * (x[f] * std::conj(y[f])).real();
+    energy_u += gain * std::norm(x[f]);
+    energy_v += gain * std::norm(y[f]);
+  }
+  if (energy_u <= 0.0 || energy_v <= 0.0) return 0.0;
+  return (static_cast<double>(n) - 1.0) * dot /
+         (static_cast<double>(n) * std::sqrt(energy_u * energy_v));
+}
+
+std::vector<core::Match> Oracle::Range(
+    const core::RangeQuerySpec& spec) const {
+  const std::vector<dft::Complex> query =
+      QuerySpectrum(spec.query, spec.query_transform);
+  const double eps2 = spec.epsilon * spec.epsilon;
+  std::vector<core::Match> matches;
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    if (dataset_->removed(i)) continue;
+    for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+      const double d2 =
+          Distance2(spec.transforms[t], spec.target, spectra_[i], query);
+      if (d2 < eps2) matches.push_back(core::Match{i, t, std::sqrt(d2)});
+    }
+  }
+  core::SortMatches(&matches);
+  return matches;
+}
+
+std::vector<double> Oracle::RangeDistances(
+    const core::RangeQuerySpec& spec) const {
+  const std::vector<dft::Complex> query =
+      QuerySpectrum(spec.query, spec.query_transform);
+  std::vector<double> distances;
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    if (dataset_->removed(i)) continue;
+    for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+      distances.push_back(std::sqrt(
+          Distance2(spec.transforms[t], spec.target, spectra_[i], query)));
+    }
+  }
+  std::sort(distances.begin(), distances.end());
+  return distances;
+}
+
+std::vector<core::KnnMatch> Oracle::Knn(const core::KnnQuerySpec& spec) const {
+  const std::vector<dft::Complex> query =
+      QuerySpectrum(spec.query, spec.query_transform);
+  std::vector<core::KnnMatch> all;
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    if (dataset_->removed(i)) continue;
+    // Strict < keeps the first argmin transformation, matching the engine.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_t = 0;
+    for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+      const double d2 =
+          Distance2(spec.transforms[t], spec.target, spectra_[i], query);
+      if (d2 < best) {
+        best = d2;
+        best_t = t;
+      }
+    }
+    all.push_back(core::KnnMatch{i, best_t, std::sqrt(best)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const core::KnnMatch& a, const core::KnnMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.series_id < b.series_id;
+            });
+  if (all.size() > spec.k) all.resize(spec.k);
+  return all;
+}
+
+std::vector<double> Oracle::KnnDistanceCurve(
+    const core::KnnQuerySpec& spec) const {
+  core::KnnQuerySpec unbounded = spec;
+  unbounded.k = dataset_->size();
+  const std::vector<core::KnnMatch> all = Knn(unbounded);
+  std::vector<double> curve;
+  curve.reserve(all.size());
+  for (const core::KnnMatch& m : all) curve.push_back(m.distance);
+  return curve;
+}
+
+std::vector<core::JoinMatch> Oracle::Join(
+    const core::JoinQuerySpec& spec) const {
+  const double eps2 = spec.epsilon * spec.epsilon;
+  std::vector<core::JoinMatch> matches;
+  for (std::size_t a = 0; a < dataset_->size(); ++a) {
+    if (dataset_->removed(a)) continue;
+    for (std::size_t b = a + 1; b < dataset_->size(); ++b) {
+      if (dataset_->removed(b)) continue;
+      for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+        if (spec.mode == core::JoinMode::kDistance) {
+          const double d2 =
+              Distance2(spec.transforms[t], core::TransformTarget::kBoth,
+                        spectra_[a], spectra_[b]);
+          if (d2 < eps2) {
+            matches.push_back(core::JoinMatch{a, b, t, std::sqrt(d2)});
+          }
+        } else {
+          const double rho =
+              Correlation(spec.transforms[t], spectra_[a], spectra_[b]);
+          if (rho >= spec.min_correlation) {
+            matches.push_back(core::JoinMatch{a, b, t, rho});
+          }
+        }
+      }
+    }
+  }
+  core::SortJoinMatches(&matches);
+  return matches;
+}
+
+std::vector<double> Oracle::JoinValues(const core::JoinQuerySpec& spec) const {
+  std::vector<double> values;
+  for (std::size_t a = 0; a < dataset_->size(); ++a) {
+    if (dataset_->removed(a)) continue;
+    for (std::size_t b = a + 1; b < dataset_->size(); ++b) {
+      if (dataset_->removed(b)) continue;
+      for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
+        if (spec.mode == core::JoinMode::kDistance) {
+          values.push_back(std::sqrt(
+              Distance2(spec.transforms[t], core::TransformTarget::kBoth,
+                        spectra_[a], spectra_[b])));
+        } else {
+          values.push_back(
+              Correlation(spec.transforms[t], spectra_[a], spectra_[b]));
+        }
+      }
+    }
+  }
+  if (spec.mode == core::JoinMode::kDistance) {
+    std::sort(values.begin(), values.end());
+  } else {
+    std::sort(values.begin(), values.end(), std::greater<double>());
+  }
+  return values;
+}
+
+}  // namespace tsq::testing

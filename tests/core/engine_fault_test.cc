@@ -1,0 +1,246 @@
+// Engine-level fault audit: with a fault hook installed on every storage
+// layer, Execute() must surface storage errors as a non-OK Status — never
+// crash, never return silently wrong results — and a clean rerun right after
+// must reproduce the fault-free baseline (pool and page-file state intact).
+
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "testing/fault_policy.h"
+#include "transform/builders.h"
+
+namespace tsq::core {
+namespace {
+
+using tsq::testing::FaultPolicy;
+using tsq::testing::FaultPolicyConfig;
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  EngineFaultTest() : series_(testutil::Stocks(24, 16, 7)), engine_(series_) {}
+
+  RangeQuerySpec RangeSpec() const {
+    RangeQuerySpec spec;
+    spec.query = series_[0];
+    spec.transforms = transform::MovingAverageRange(16, 1, 6);
+    spec.epsilon = 1.5;
+    return spec;
+  }
+
+  KnnQuerySpec KnnSpec() const {
+    KnnQuerySpec spec;
+    spec.query = series_[1];
+    spec.transforms = transform::MovingAverageRange(16, 1, 4);
+    spec.k = 3;
+    return spec;
+  }
+
+  JoinQuerySpec JoinSpec() const {
+    JoinQuerySpec spec;
+    spec.transforms = transform::MovingAverageRange(16, 2, 3);
+    spec.epsilon = 1.0;
+    return spec;
+  }
+
+  std::vector<QuerySpec> AllSpecs() const {
+    return {RangeSpec(), KnnSpec(), JoinSpec()};
+  }
+
+  static bool SameResult(const QueryResult& a, const QueryResult& b) {
+    if (const auto* range = a.range()) {
+      auto lhs = range->matches;
+      auto rhs = b.range()->matches;
+      SortMatches(&lhs);
+      SortMatches(&rhs);
+      return lhs == rhs;
+    }
+    if (const auto* knn = a.knn()) {
+      const auto& lhs = knn->matches;
+      const auto& rhs = b.knn()->matches;
+      if (lhs.size() != rhs.size()) return false;
+      for (std::size_t i = 0; i < lhs.size(); ++i) {
+        if (lhs[i].series_id != rhs[i].series_id ||
+            lhs[i].distance != rhs[i].distance) {
+          return false;
+        }
+      }
+      return true;
+    }
+    auto lhs = a.join()->matches;
+    auto rhs = b.join()->matches;
+    SortJoinMatches(&lhs);
+    SortJoinMatches(&rhs);
+    if (lhs.size() != rhs.size()) return false;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      if (lhs[i].a != rhs[i].a || lhs[i].b != rhs[i].b ||
+          lhs[i].transform_index != rhs[i].transform_index ||
+          lhs[i].value != rhs[i].value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<ts::Series> series_;
+  SimilarityEngine engine_;
+};
+
+constexpr Algorithm kAlgorithms[] = {
+    Algorithm::kSequentialScan, Algorithm::kStIndex, Algorithm::kMtIndex};
+
+TEST_F(EngineFaultTest, FirstReadFailureSurfacesOnEveryAlgorithmAndQuery) {
+  for (const QuerySpec& spec : AllSpecs()) {
+    for (const Algorithm algorithm : kAlgorithms) {
+      ExecOptions options;
+      options.algorithm = algorithm;
+      const auto baseline = engine_.Execute(spec, options);
+      ASSERT_TRUE(baseline.ok());
+
+      FaultPolicyConfig config;
+      config.fail_nth_read = 1;
+      FaultPolicy policy(config);
+      engine_.SetReadFaultHook(&policy);
+      const auto faulted = engine_.Execute(spec, options);
+      engine_.SetReadFaultHook(nullptr);
+      ASSERT_FALSE(faulted.ok())
+          << "algorithm " << AlgorithmName(algorithm)
+          << " swallowed an injected first-read failure";
+      EXPECT_EQ(faulted.status().code(), StatusCode::kIoError);
+      EXPECT_GE(policy.faults_injected(), 1u);
+
+      const auto rerun = engine_.Execute(spec, options);
+      ASSERT_TRUE(rerun.ok());
+      EXPECT_TRUE(SameResult(*baseline, *rerun));
+    }
+  }
+}
+
+TEST_F(EngineFaultTest, MidQueryFailureSurfacesUnderParallelExecution) {
+  for (const QuerySpec& spec : AllSpecs()) {
+    for (const Algorithm algorithm : kAlgorithms) {
+      ExecOptions options;
+      options.algorithm = algorithm;
+      options.num_threads = 4;
+      FaultPolicyConfig config;
+      config.fail_every_k = 5;
+      config.failure_code = StatusCode::kInternal;
+      FaultPolicy policy(config);
+      engine_.SetReadFaultHook(&policy);
+      const auto faulted = engine_.Execute(spec, options);
+      engine_.SetReadFaultHook(nullptr);
+      // A tiny query can legitimately finish in fewer than 5 reads; the
+      // contract is error-or-exact, never a silently wrong result.
+      if (policy.faults_injected() > 0) {
+        ASSERT_FALSE(faulted.ok());
+        EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+      } else {
+        EXPECT_TRUE(faulted.ok());
+      }
+    }
+  }
+}
+
+TEST_F(EngineFaultTest, ChecksumCorruptionMidQueryReturnsCorruption) {
+  ExecOptions options;
+  options.algorithm = Algorithm::kMtIndex;
+  const QuerySpec spec = RangeSpec();
+  const auto baseline = engine_.Execute(spec, options);
+  ASSERT_TRUE(baseline.ok());
+
+  FaultPolicyConfig config;
+  config.corrupt_nth_read = 2;
+  FaultPolicy policy(config);
+  engine_.SetReadFaultHook(&policy);
+  const auto faulted = engine_.Execute(spec, options);
+  engine_.SetReadFaultHook(nullptr);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kCorruption);
+
+  // The corruption touched only the delivered copy; storage stays healthy.
+  const auto rerun = engine_.Execute(spec, options);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_TRUE(SameResult(*baseline, *rerun));
+}
+
+TEST_F(EngineFaultTest, ShortReadMidQueryReturnsErrorWithIntactPool) {
+  engine_.EnableIndexBufferPool(8, 2);
+  ExecOptions options;
+  options.algorithm = Algorithm::kMtIndex;
+  options.num_threads = 4;
+  const QuerySpec spec = KnnSpec();
+  const auto baseline = engine_.Execute(spec, options);
+  ASSERT_TRUE(baseline.ok());
+
+  FaultPolicyConfig config;
+  config.short_nth_read = 3;
+  FaultPolicy policy(config);
+  engine_.SetReadFaultHook(&policy);
+  const auto faulted = engine_.Execute(spec, options);
+  engine_.SetReadFaultHook(nullptr);
+  ASSERT_FALSE(faulted.ok());
+
+  // The pool must still work after the fault: the in-flight entry of the
+  // failed read was cleaned up, nothing wrong was cached.
+  const auto rerun = engine_.Execute(spec, options);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_TRUE(SameResult(*baseline, *rerun));
+  engine_.EnableIndexBufferPool(0);
+}
+
+TEST_F(EngineFaultTest, PoolLevelFaultsSurfaceAndPoolSurvives) {
+  engine_.EnableIndexBufferPool(8, 2);
+  ExecOptions options;
+  options.algorithm = Algorithm::kMtIndex;
+  const QuerySpec spec = RangeSpec();
+  const auto baseline = engine_.Execute(spec, options);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_NE(engine_.index_buffer_pool(), nullptr);
+
+  for (int nth = 1; nth <= 4; ++nth) {
+    FaultPolicyConfig config;
+    config.fail_nth_read = static_cast<std::uint64_t>(nth);
+    FaultPolicy policy(config);
+    engine_.SetReadFaultHook(&policy);
+    const auto faulted = engine_.Execute(spec, options);
+    engine_.SetReadFaultHook(nullptr);
+    ASSERT_FALSE(faulted.ok()) << "nth=" << nth;
+
+    const auto rerun = engine_.Execute(spec, options);
+    ASSERT_TRUE(rerun.ok()) << "nth=" << nth;
+    EXPECT_TRUE(SameResult(*baseline, *rerun)) << "nth=" << nth;
+  }
+  engine_.EnableIndexBufferPool(0);
+}
+
+TEST_F(EngineFaultTest, HookInstalledBeforePoolIsInheritedByPool) {
+  FaultPolicyConfig config;
+  config.fail_every_k = 1;
+  FaultPolicy policy(config);
+  engine_.SetReadFaultHook(&policy);
+  // The pool is created *after* the hook: EnableIndexBufferPool must
+  // re-install it on the new pool.
+  engine_.EnableIndexBufferPool(8);
+  ExecOptions options;
+  options.algorithm = Algorithm::kStIndex;
+  const auto faulted = engine_.Execute(RangeSpec(), options);
+  EXPECT_FALSE(faulted.ok());
+  engine_.SetReadFaultHook(nullptr);
+  engine_.EnableIndexBufferPool(0);
+}
+
+TEST_F(EngineFaultTest, FetchSpectrumOutOfRangeIsStatusNotDeath) {
+  // A corrupted index leaf can hand the verifier an arbitrary sequence id;
+  // that must come back as a Status, not a CHECK abort.
+  const Dataset& dataset = engine_.dataset();
+  const auto result = dataset.FetchSpectrum(dataset.size());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  const auto far = dataset.FetchSpectrum(1u << 20);
+  ASSERT_FALSE(far.ok());
+  EXPECT_EQ(far.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace tsq::core

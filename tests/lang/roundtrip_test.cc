@@ -1,0 +1,161 @@
+// Lang round-trip: every query the workload generator emits as text must
+// parse + compile into exactly the spec it built programmatically — same
+// transforms (multiplier for multiplier), same thresholds, same options —
+// and execute identically. This pins the generator, the grammar and the
+// compiler to one another.
+
+#include <complex>
+#include <cstddef>
+#include <variant>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "lang/compiler.h"
+#include "testing/differential.h"
+#include "testing/oracle.h"
+#include "testing/workload_generator.h"
+
+namespace tsq::lang {
+namespace {
+
+using tsq::testing::Oracle;
+using tsq::testing::WorkloadCase;
+using tsq::testing::WorkloadGenerator;
+
+void ExpectSameTransforms(
+    const std::vector<transform::SpectralTransform>& expected,
+    const std::vector<transform::SpectralTransform>& got,
+    const std::string& text) {
+  ASSERT_EQ(expected.size(), got.size()) << text;
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    ASSERT_EQ(expected[t].length(), got[t].length()) << text;
+    for (std::size_t f = 0; f < expected[t].length(); ++f) {
+      // Exact: the generator mirrors the compiler's expansion arithmetic.
+      ASSERT_EQ(expected[t].multiplier(f), got[t].multiplier(f))
+          << text << " (transform " << t << ", frequency " << f << ")";
+    }
+  }
+}
+
+void ExpectSameQuery(const ts::Series& expected, const ts::Series& got,
+                     const std::string& text) {
+  ASSERT_EQ(expected.size(), got.size()) << text;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], got[i]) << text << " (sample " << i << ")";
+  }
+}
+
+void ExpectSameSpec(const core::QuerySpec& expected,
+                    const core::QuerySpec& got, const std::string& text) {
+  ASSERT_EQ(expected.index(), got.index()) << text;
+  if (const auto* range = std::get_if<core::RangeQuerySpec>(&expected)) {
+    const auto& compiled = std::get<core::RangeQuerySpec>(got);
+    ExpectSameQuery(range->query, compiled.query, text);
+    EXPECT_EQ(range->epsilon, compiled.epsilon) << text;
+    ExpectSameTransforms(range->transforms, compiled.transforms, text);
+    EXPECT_EQ(range->partition, compiled.partition) << text;
+    EXPECT_EQ(range->use_ordering, compiled.use_ordering) << text;
+    EXPECT_EQ(range->target, compiled.target) << text;
+    ASSERT_EQ(range->query_transform.has_value(),
+              compiled.query_transform.has_value())
+        << text;
+    if (range->query_transform.has_value()) {
+      ExpectSameTransforms({*range->query_transform},
+                           {*compiled.query_transform}, text);
+    }
+  } else if (const auto* knn = std::get_if<core::KnnQuerySpec>(&expected)) {
+    const auto& compiled = std::get<core::KnnQuerySpec>(got);
+    ExpectSameQuery(knn->query, compiled.query, text);
+    EXPECT_EQ(knn->k, compiled.k) << text;
+    ExpectSameTransforms(knn->transforms, compiled.transforms, text);
+    EXPECT_EQ(knn->partition, compiled.partition) << text;
+    EXPECT_EQ(knn->target, compiled.target) << text;
+    ASSERT_EQ(knn->query_transform.has_value(),
+              compiled.query_transform.has_value())
+        << text;
+    if (knn->query_transform.has_value()) {
+      ExpectSameTransforms({*knn->query_transform},
+                           {*compiled.query_transform}, text);
+    }
+  } else {
+    const auto& join = std::get<core::JoinQuerySpec>(expected);
+    const auto& compiled = std::get<core::JoinQuerySpec>(got);
+    EXPECT_EQ(join.mode, compiled.mode) << text;
+    EXPECT_EQ(join.min_correlation, compiled.min_correlation) << text;
+    EXPECT_EQ(join.epsilon, compiled.epsilon) << text;
+    ExpectSameTransforms(join.transforms, compiled.transforms, text);
+    EXPECT_EQ(join.partition, compiled.partition) << text;
+  }
+}
+
+TEST(LangRoundTripTest, GeneratedTextCompilesToTheGeneratedSpec) {
+  // >= 100 seeds, one case of each query kind per seed.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    WorkloadGenerator generator(seed);
+    core::SimilarityEngine engine(generator.MakeSeries());
+    const Oracle oracle(engine.dataset());
+    for (std::size_t index = 0; index < 3; ++index) {
+      const WorkloadCase work = generator.MakeCase(index, engine, oracle);
+      const auto compiled = CompileQuery(work.lang_text, engine);
+      ASSERT_TRUE(compiled.ok())
+          << "seed " << seed << " case " << index << ": \"" << work.lang_text
+          << "\": " << compiled.status().ToString();
+      ExpectSameSpec(work.spec, compiled->spec,
+                     "seed " + std::to_string(seed) + " case " +
+                         std::to_string(index) + ": " + work.lang_text);
+    }
+  }
+}
+
+TEST(LangRoundTripTest, CompiledTextExecutesIdenticallyToTheSpec) {
+  // Execution-level spot check on a seed subset: byte-identical matches.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadGenerator generator(seed);
+    core::SimilarityEngine engine(generator.MakeSeries());
+    const Oracle oracle(engine.dataset());
+    for (std::size_t index = 0; index < 3; ++index) {
+      const WorkloadCase work = generator.MakeCase(index, engine, oracle);
+      const auto compiled = CompileQuery(work.lang_text, engine);
+      ASSERT_TRUE(compiled.ok()) << work.lang_text;
+
+      core::ExecOptions options;
+      options.algorithm = core::Algorithm::kSequentialScan;
+      const auto from_spec = engine.Execute(work.spec, options);
+      const auto from_text = engine.Execute(compiled->spec, options);
+      ASSERT_TRUE(from_spec.ok()) << work.lang_text;
+      ASSERT_TRUE(from_text.ok()) << work.lang_text;
+
+      if (const auto* range = from_spec->range()) {
+        EXPECT_EQ(range->matches, from_text->range()->matches)
+            << work.lang_text;
+      } else if (const auto* knn = from_spec->knn()) {
+        const auto& lhs = knn->matches;
+        const auto& rhs = from_text->knn()->matches;
+        ASSERT_EQ(lhs.size(), rhs.size()) << work.lang_text;
+        for (std::size_t i = 0; i < lhs.size(); ++i) {
+          EXPECT_EQ(lhs[i].series_id, rhs[i].series_id) << work.lang_text;
+          EXPECT_EQ(lhs[i].distance, rhs[i].distance) << work.lang_text;
+        }
+      } else {
+        EXPECT_EQ(from_spec->join()->matches, from_text->join()->matches)
+            << work.lang_text;
+      }
+    }
+  }
+}
+
+TEST(LangRoundTripTest, ThresholdPrintingRoundTripsExactDoubles) {
+  // %.17g must survive the lexer bit-for-bit, including awkward values.
+  core::SimilarityEngine engine(
+      WorkloadGenerator(3).MakeSeries());
+  const double epsilon = 0.12345678901234567;
+  const auto compiled = CompileQuery(
+      "find similar to series 0 under mv(1..2) within distance "
+      "0.12345678901234567",
+      engine);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(std::get<core::RangeQuerySpec>(compiled->spec).epsilon, epsilon);
+}
+
+}  // namespace
+}  // namespace tsq::lang

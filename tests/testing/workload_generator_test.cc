@@ -1,0 +1,142 @@
+#include "testing/workload_generator.h"
+
+#include <cmath>
+#include <set>
+#include <variant>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "testing/differential.h"
+#include "testing/oracle.h"
+
+namespace tsq::testing {
+namespace {
+
+class WorkloadGeneratorTest : public ::testing::Test {
+ protected:
+  WorkloadGeneratorTest()
+      : generator_(11), engine_(generator_.MakeSeries()),
+        oracle_(engine_.dataset()) {}
+
+  WorkloadGenerator generator_;
+  core::SimilarityEngine engine_;
+  Oracle oracle_;
+};
+
+TEST_F(WorkloadGeneratorTest, DatasetIsDeterministicInTheSeed) {
+  const auto a = WorkloadGenerator(11).MakeSeries();
+  const auto b = WorkloadGenerator(11).MakeSeries();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Different seeds vary the recipe (size or length or values).
+  const auto c = WorkloadGenerator(12).MakeSeries();
+  EXPECT_TRUE(a.size() != c.size() || a[0].size() != c[0].size() ||
+              a[0] != c[0]);
+}
+
+TEST_F(WorkloadGeneratorTest, CasesAreDeterministicInSeedAndIndex) {
+  for (std::size_t index = 0; index < 6; ++index) {
+    const WorkloadCase once = generator_.MakeCase(index, engine_, oracle_);
+    const WorkloadCase twice = generator_.MakeCase(index, engine_, oracle_);
+    EXPECT_EQ(once.lang_text, twice.lang_text);
+    EXPECT_EQ(once.description, twice.description);
+    EXPECT_EQ(once.spec.index(), twice.spec.index());
+  }
+}
+
+TEST_F(WorkloadGeneratorTest, CyclesThroughAllThreeQueryKinds) {
+  std::set<std::size_t> kinds;
+  for (std::size_t index = 0; index < 6; ++index) {
+    kinds.insert(generator_.MakeCase(index, engine_, oracle_).spec.index());
+  }
+  EXPECT_EQ(kinds.size(), 3u);  // range, k-NN and join all appear
+}
+
+TEST_F(WorkloadGeneratorTest, RangeThresholdsAreBoundaryFree) {
+  // The chosen epsilon must sit in a clean gap of the oracle's distance
+  // curve: no candidate distance may be anywhere near the threshold, so
+  // engine-vs-oracle floating-point noise cannot flip a match.
+  for (std::size_t index = 0; index < 30; index += 3) {
+    const WorkloadCase work = generator_.MakeCase(index, engine_, oracle_);
+    const auto* spec = std::get_if<core::RangeQuerySpec>(&work.spec);
+    ASSERT_NE(spec, nullptr);
+    for (const double d : oracle_.RangeDistances(*spec)) {
+      EXPECT_GT(std::fabs(d - spec->epsilon), 1e-9 * (1.0 + spec->epsilon))
+          << work.lang_text;
+    }
+  }
+}
+
+TEST_F(WorkloadGeneratorTest, OracleAgreesWithSequentialScan) {
+  // The oracle is the ground truth of the differential fuzzer; pin it to the
+  // engine's sequential scan (no index, no pruning on either side).
+  core::ExecOptions options;
+  options.algorithm = core::Algorithm::kSequentialScan;
+  for (std::size_t index = 0; index < 9; ++index) {
+    const WorkloadCase work = generator_.MakeCase(index, engine_, oracle_);
+    const auto result = engine_.Execute(work.spec, options);
+    ASSERT_TRUE(result.ok()) << work.lang_text;
+    if (const auto* spec = std::get_if<core::RangeQuerySpec>(&work.spec)) {
+      auto got = result->range()->matches;
+      core::SortMatches(&got);
+      const auto expected = oracle_.Range(*spec);
+      ASSERT_EQ(expected.size(), got.size()) << work.lang_text;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(expected[i].series_id, got[i].series_id) << work.lang_text;
+        EXPECT_EQ(expected[i].transform_index, got[i].transform_index)
+            << work.lang_text;
+        EXPECT_NEAR(expected[i].distance, got[i].distance, 1e-9)
+            << work.lang_text;
+      }
+    } else if (const auto* knn = std::get_if<core::KnnQuerySpec>(&work.spec)) {
+      const auto expected = oracle_.Knn(*knn);
+      const auto& got = result->knn()->matches;
+      ASSERT_EQ(expected.size(), got.size()) << work.lang_text;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(expected[i].series_id, got[i].series_id) << work.lang_text;
+        EXPECT_NEAR(expected[i].distance, got[i].distance, 1e-9)
+            << work.lang_text;
+      }
+    } else {
+      const auto& spec = std::get<core::JoinQuerySpec>(work.spec);
+      auto got = result->join()->matches;
+      core::SortJoinMatches(&got);
+      const auto expected = oracle_.Join(spec);
+      ASSERT_EQ(expected.size(), got.size()) << work.lang_text;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(expected[i].a, got[i].a) << work.lang_text;
+        EXPECT_EQ(expected[i].b, got[i].b) << work.lang_text;
+        EXPECT_EQ(expected[i].transform_index, got[i].transform_index)
+            << work.lang_text;
+        EXPECT_NEAR(expected[i].value, got[i].value, 1e-9) << work.lang_text;
+      }
+    }
+  }
+}
+
+TEST(DifferentialRunnerTest, CleanSweepPassesOnAFreshSeed) {
+  DifferentialRunner runner(42);
+  DiffConfig config;
+  config.with_faults = false;
+  for (std::size_t index = 0; index < 3; ++index) {
+    const CaseOutcome outcome = runner.RunCase(index, config);
+    EXPECT_TRUE(outcome.passed) << outcome.failure;
+    EXPECT_EQ(outcome.runs, 18u);  // 3 algorithms x 3 thread counts x 2 pools
+    EXPECT_EQ(outcome.fault_runs, 0u);
+  }
+}
+
+TEST(DifferentialRunnerTest, FaultSweepInjectsAndSurvives) {
+  DifferentialRunner runner(43);
+  const CaseOutcome outcome = runner.RunCase(0);
+  EXPECT_TRUE(outcome.passed) << outcome.failure;
+  // 7 policies x 2 configurations.
+  EXPECT_EQ(outcome.fault_runs, 14u);
+  // At least the fail-nth(1) policies must have surfaced errors; the delay
+  // policy never errors.
+  EXPECT_GE(outcome.fault_errors, 2u);
+  EXPECT_LT(outcome.fault_errors, outcome.fault_runs);
+}
+
+}  // namespace
+}  // namespace tsq::testing

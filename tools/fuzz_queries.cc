@@ -1,0 +1,142 @@
+// Seeded differential fuzzer: generates deterministic datasets and query
+// workloads, runs them through every execution configuration and checks each
+// result against the brute-force oracle (see src/testing/differential.h).
+//
+//   fuzz_queries --seed=1..50 --iters=200          # the acceptance sweep
+//   fuzz_queries --seed=7 --case=13                # reproduce one failure
+//
+// Every divergence prints a self-contained repro line and the tool exits
+// non-zero.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/differential.h"
+
+namespace {
+
+struct FuzzOptions {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 5;
+  std::size_t iters = 50;
+  bool have_case = false;
+  std::size_t case_index = 0;
+  tsq::testing::DiffConfig diff;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed=N | --seed=A..B] [--iters=N] [--case=K]\n"
+      "          [--with-faults | --no-faults] [--tol=X]\n"
+      "\n"
+      "Runs seeded query workloads through {scan, ST-index, MT-index} x\n"
+      "{1,4,8} threads x {pool on/off} and compares every result against a\n"
+      "brute-force oracle; with faults enabled, also checks that injected\n"
+      "storage errors surface as Status, never as wrong results.\n",
+      argv0);
+}
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      const std::string value = arg.substr(7);
+      const std::size_t dots = value.find("..");
+      if (dots == std::string::npos) {
+        if (!ParseUint(value.c_str(), &options->seed_lo)) return false;
+        options->seed_hi = options->seed_lo;
+      } else {
+        if (!ParseUint(value.substr(0, dots).c_str(), &options->seed_lo) ||
+            !ParseUint(value.substr(dots + 2).c_str(), &options->seed_hi)) {
+          return false;
+        }
+      }
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      std::uint64_t value = 0;
+      if (!ParseUint(arg.c_str() + 8, &value)) return false;
+      options->iters = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--case=", 0) == 0) {
+      std::uint64_t value = 0;
+      if (!ParseUint(arg.c_str() + 7, &value)) return false;
+      options->have_case = true;
+      options->case_index = static_cast<std::size_t>(value);
+    } else if (arg == "--with-faults") {
+      options->diff.with_faults = true;
+    } else if (arg == "--no-faults") {
+      options->diff.with_faults = false;
+    } else if (arg.rfind("--tol=", 0) == 0) {
+      char* end = nullptr;
+      options->diff.tolerance = std::strtod(arg.c_str() + 6, &end);
+      if (end == arg.c_str() + 6 || *end != '\0') return false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->seed_hi < options->seed_lo) {
+    std::fprintf(stderr, "--seed: empty range\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::size_t cases = 0;
+  std::size_t runs = 0;
+  std::size_t fault_runs = 0;
+  std::size_t fault_errors = 0;
+  std::size_t failures = 0;
+
+  for (std::uint64_t seed = options.seed_lo; seed <= options.seed_hi; ++seed) {
+    tsq::testing::DifferentialRunner runner(seed);
+    const std::size_t begin = options.have_case ? options.case_index : 0;
+    const std::size_t end =
+        options.have_case ? options.case_index + 1 : options.iters;
+    for (std::size_t index = begin; index < end; ++index) {
+      const tsq::testing::CaseOutcome outcome =
+          runner.RunCase(index, options.diff);
+      ++cases;
+      runs += outcome.runs;
+      fault_runs += outcome.fault_runs;
+      fault_errors += outcome.fault_errors;
+      if (!outcome.passed) {
+        ++failures;
+        std::fprintf(stderr, "FAIL seed=%llu case=%zu: %s\n",
+                     static_cast<unsigned long long>(seed), index,
+                     outcome.failure.c_str());
+        std::fprintf(stderr, "  query: %s\n", outcome.description.c_str());
+        std::fprintf(stderr, "  repro: fuzz_queries --seed=%llu --case=%zu\n",
+                     static_cast<unsigned long long>(seed), index);
+      }
+    }
+  }
+
+  std::printf(
+      "fuzz_queries: %zu case(s), %zu engine run(s), %zu fault run(s) "
+      "(%zu surfaced errors), %zu failure(s)\n",
+      cases, runs, fault_runs, fault_errors, failures);
+  return failures == 0 ? 0 : 1;
+}
