@@ -168,12 +168,18 @@ QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
                                    core::RangeQuerySpec spec,
                                    core::Algorithm algorithm, Rng& rng,
                                    std::size_t num_threads) {
+  core::ExecOptions options;
+  options.planner.algorithm = algorithm;
+  options.num_threads = num_threads;
+  return MeasureRangeQuery(engine, std::move(spec), options, rng);
+}
+
+QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
+                                   core::RangeQuerySpec spec,
+                                   core::ExecOptions options, Rng& rng) {
   const std::size_t reps = QueryReps();
   QueryMeasurement m;
   const double leaf_capacity = engine.index().AverageLeafCapacity();
-  core::ExecOptions options;
-  options.algorithm = algorithm;
-  options.num_threads = num_threads;
   options.collect_group_stats = true;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const std::size_t query_id = static_cast<std::size_t>(

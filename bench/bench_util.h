@@ -66,6 +66,14 @@ QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
                                    core::Algorithm algorithm, Rng& rng,
                                    std::size_t num_threads = 1);
 
+/// Same measurement under full ExecOptions — the way to put the planner
+/// (Algorithm::kAuto, partitioning strategies, cost-constant overrides) on
+/// the bench. Group-stats collection is forced on so `cost` is always the
+/// measured Eq. 20 value.
+QueryMeasurement MeasureRangeQuery(const core::SimilarityEngine& engine,
+                                   core::RangeQuerySpec spec,
+                                   core::ExecOptions options, Rng& rng);
+
 /// Parses a `--threads=N` argument (0 = one worker per hardware thread).
 /// Returns 1 when the flag is absent or malformed.
 std::size_t ParseThreadsFlag(int argc, char** argv);

@@ -37,18 +37,20 @@ int main(int argc, char** argv) {
       spec.transforms = transform::MovingAverageRange(n, 5, 4 + transforms);
 
       double scan_ms = 0.0, mt_ms = 0.0, candidates = 0.0, nodes = 0.0;
+      core::ExecOptions scan_options;
+      scan_options.planner.algorithm = core::Algorithm::kSequentialScan;
+      core::ExecOptions mt_options;
+      mt_options.planner.algorithm = core::Algorithm::kMtIndex;
       Rng rng(k * 100 + transforms);
       for (std::size_t q = 0; q < queries; ++q) {
         const std::size_t id = static_cast<std::size_t>(rng.UniformInt(
             0, static_cast<std::int64_t>(engine.size()) - 1));
         spec.query = ts::Denormalize(engine.dataset().normal(id));
         Stopwatch watch;
-        const auto scan = engine.Execute(
-            spec, {.algorithm = core::Algorithm::kSequentialScan});
+        const auto scan = engine.Execute(spec, scan_options);
         scan_ms += watch.ElapsedMillis();
         watch.Reset();
-        const auto mt =
-            engine.Execute(spec, {.algorithm = core::Algorithm::kMtIndex});
+        const auto mt = engine.Execute(spec, mt_options);
         mt_ms += watch.ElapsedMillis();
         if (!scan.ok() || !mt.ok()) return 1;
         if (scan->knn()->matches.size() != mt->knn()->matches.size()) {

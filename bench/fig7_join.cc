@@ -47,8 +47,10 @@ int main(int argc, char** argv) {
                                            core::Algorithm::kStIndex,
                                            core::Algorithm::kMtIndex};
     for (int a = 0; a < 3; ++a) {
+      core::ExecOptions options;
+      options.planner.algorithm = algorithms[a];
       Stopwatch watch;
-      const auto result = engine.Execute(spec, {.algorithm = algorithms[a]});
+      const auto result = engine.Execute(spec, options);
       seconds[a] = watch.ElapsedSeconds();
       if (!result.ok()) {
         std::printf("join failed: %s\n", result.status().ToString().c_str());

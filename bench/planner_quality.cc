@@ -1,0 +1,204 @@
+// Planner quality: how close does Algorithm::kAuto come to the best fixed
+// plan on the paper's three headline workloads?
+//
+// For each workload every fixed plan (sequential scan, ST-index, MT-index
+// packed / contiguous k / cluster-aware) is measured, then the planner runs
+// the same queries with kAuto. All plans are scored with one uniform
+// measured cost — disk accesses + 0.4 * comparisons, the paper's Section 5.2
+// cost function on real counters — and the auto row's *regret* is its cost
+// relative to the best fixed plan (0% = the planner matched the best plan).
+//
+// The planner's acceptance bar: regret within 10% on every workload, and on
+// the two-cluster workload (Fig. 9) strictly cheaper than the worst fixed
+// plan — the packed MBR across the gap it must learn to avoid.
+//
+// --trace-json=<path> writes the ExplainJson (planner decision included) of
+// the last auto query.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "transform/builders.h"
+#include "transform/partition.h"
+#include "ts/distance.h"
+#include "ts/generate.h"
+
+namespace {
+
+using namespace tsq;
+
+constexpr double kCmpWeight = 0.4;  // the paper's C_cmp / C_DA
+
+double UniformCost(const bench::QueryMeasurement& m) {
+  return m.disk_accesses + kCmpWeight * m.comparisons;
+}
+
+struct PlanRow {
+  std::string label;
+  bench::QueryMeasurement measurement;
+};
+
+struct WorkloadReport {
+  std::string name;
+  double auto_cost = 0.0;
+  double best_fixed = 0.0;
+  double worst_fixed = 0.0;
+  std::string best_label;
+  std::string auto_trace;
+};
+
+core::ExecOptions AutoOptions() {
+  core::ExecOptions options;  // algorithm already kAuto
+  // Pin the paper's constants: the bench scores with the same weights, so
+  // the planner optimizes exactly the metric the table reports.
+  options.planner.cost_constants_override =
+      core::CostConstants{1.0, kCmpWeight};
+  return options;
+}
+
+WorkloadReport RunWorkload(const std::string& name,
+                           core::SimilarityEngine& engine,
+                           core::RangeQuerySpec spec, std::uint64_t seed,
+                           bench::Table* table) {
+  bench::CalibrateSimulatedDisk(engine);
+  const std::size_t count = spec.transforms.size();
+  std::vector<transform::FeatureTransform> fts;
+  for (const auto& t : spec.transforms) {
+    fts.push_back(t.ToFeatureTransform(engine.dataset().layout()));
+  }
+
+  std::vector<PlanRow> fixed;
+  const auto measure_fixed = [&](const std::string& label,
+                                 core::Algorithm algorithm,
+                                 transform::Partition partition) {
+    spec.partition = std::move(partition);
+    Rng rng(seed);
+    fixed.push_back(
+        {label, bench::MeasureRangeQuery(engine, spec, algorithm, rng)});
+  };
+  measure_fixed("seq-scan", core::Algorithm::kSequentialScan, {});
+  measure_fixed("ST-index", core::Algorithm::kStIndex, {});
+  measure_fixed("MT packed", core::Algorithm::kMtIndex,
+                transform::PartitionAll(count));
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    if (k >= count) continue;
+    measure_fixed("MT contiguous k=" + std::to_string(k),
+                  core::Algorithm::kMtIndex,
+                  transform::PartitionIntoGroups(count, k));
+  }
+  {
+    const transform::Partition clustered =
+        transform::PartitionByClusters(fts, (count + 1) / 2);
+    if (!clustered.empty() && clustered.size() < count) {
+      measure_fixed("MT clustered k=" + std::to_string(clustered.size()),
+                    core::Algorithm::kMtIndex, clustered);
+    }
+  }
+
+  spec.partition.clear();
+  Rng rng(seed);
+  const auto auto_m =
+      bench::MeasureRangeQuery(engine, spec, AutoOptions(), rng);
+
+  WorkloadReport report;
+  report.name = name;
+  report.auto_cost = UniformCost(auto_m);
+  report.auto_trace = auto_m.last_trace_json;
+  report.best_fixed = UniformCost(fixed.front().measurement);
+  report.worst_fixed = report.best_fixed;
+  report.best_label = fixed.front().label;
+  for (const PlanRow& row : fixed) {
+    const double cost = UniformCost(row.measurement);
+    if (cost < report.best_fixed) {
+      report.best_fixed = cost;
+      report.best_label = row.label;
+    }
+    if (cost > report.worst_fixed) report.worst_fixed = cost;
+    table->AddRow({name, row.label,
+                   bench::FormatDouble(row.measurement.millis),
+                   bench::FormatDouble(cost, 0),
+                   bench::FormatDouble(row.measurement.disk_accesses, 0),
+                   bench::FormatDouble(row.measurement.comparisons, 0)});
+  }
+  table->AddRow({name, "auto", bench::FormatDouble(auto_m.millis),
+                 bench::FormatDouble(report.auto_cost, 0),
+                 bench::FormatDouble(auto_m.disk_accesses, 0),
+                 bench::FormatDouble(auto_m.comparisons, 0)});
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = 128;
+  const std::string trace_path = bench::ParseTraceJsonFlag(argc, argv);
+
+  std::printf("Planner quality: kAuto vs. every fixed plan\n");
+  std::printf("(uniform cost = disk accesses + %.1f * comparisons; "
+              "%zu queries/point)\n\n",
+              kCmpWeight, bench::QueryReps());
+
+  bench::Table table({"workload", "plan", "time(ms)", "cost", "disk", "cmp"});
+  std::vector<WorkloadReport> reports;
+
+  {
+    // Fig. 5 shape: random walks, 16 contiguous moving averages.
+    ts::RandomWalkConfig config;
+    config.num_series = bench::FastMode() ? 500 : 2000;
+    config.length = n;
+    config.seed = 51;
+    core::SimilarityEngine engine(ts::GenerateRandomWalks(config));
+    core::RangeQuerySpec spec;
+    spec.transforms = transform::MovingAverageRange(n, 10, 25);
+    spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, n);
+    reports.push_back(RunWorkload("fig5", engine, spec, 51, &table));
+  }
+  {
+    // Fig. 6 shape: the stock market with the full 1..40 window sweep.
+    ts::StockMarketConfig config;
+    if (bench::FastMode()) config.num_series = 300;
+    core::SimilarityEngine engine(ts::GenerateStockMarket(config));
+    core::RangeQuerySpec spec;
+    spec.transforms = transform::MovingAverageRange(n, 1, 40);
+    spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, n);
+    reports.push_back(RunWorkload("fig6", engine, spec, 61, &table));
+  }
+  {
+    // Fig. 9 shape: two transformation clusters (plain + inverted).
+    ts::StockMarketConfig config;
+    if (bench::FastMode()) config.num_series = 300;
+    core::SimilarityEngine engine(ts::GenerateStockMarket(config));
+    core::RangeQuerySpec spec;
+    spec.transforms = transform::MovingAverageRange(n, 6, 29);
+    const auto plain = spec.transforms;
+    for (const auto& t : plain) {
+      spec.transforms.push_back(transform::Inverted(t));
+    }
+    spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, n);
+    reports.push_back(RunWorkload("fig9", engine, spec, 91, &table));
+  }
+
+  table.Print();
+  table.WriteCsv("planner_quality");
+
+  std::printf("\nRegret (auto vs. best fixed plan):\n");
+  bool ok = true;
+  for (const WorkloadReport& r : reports) {
+    const double regret =
+        r.best_fixed > 0.0 ? (r.auto_cost / r.best_fixed - 1.0) * 100.0 : 0.0;
+    const bool within = r.auto_cost <= r.best_fixed * 1.10;
+    const bool beats_worst = r.auto_cost < r.worst_fixed;
+    std::printf("  %-5s auto %.0f vs best %.0f (%s)  regret %+.1f%%  %s%s\n",
+                r.name.c_str(), r.auto_cost, r.best_fixed,
+                r.best_label.c_str(), regret,
+                within ? "within 10%" : "OVER 10%",
+                beats_worst ? "" : "  [does NOT beat worst fixed plan]");
+    ok = ok && within && beats_worst;
+  }
+  bench::WriteTraceJson(trace_path, reports.back().auto_trace);
+  std::printf("\n%s\n", ok ? "planner quality: PASS"
+                           : "planner quality: FAIL (see rows above)");
+  return ok ? 0 : 1;
+}

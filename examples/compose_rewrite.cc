@@ -37,7 +37,7 @@ int main() {
   std::printf("composed set: %zu shifts x %zu windows = %zu transformations\n",
               shifts.size(), mvs.size(), spec.transforms.size());
 
-  const auto flat = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+  const auto flat = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   if (!flat.ok()) {
     std::printf("query failed: %s\n", flat.status().ToString().c_str());
     return 1;
@@ -55,7 +55,7 @@ int main() {
                           tsq::transform::Partition partition) {
     tsq::core::RangeQuerySpec run = spec;
     run.partition = std::move(partition);
-    const auto result = engine.Execute(run, {.algorithm = Algorithm::kMtIndex});
+    const auto result = engine.Execute(run, {.planner = {.algorithm = Algorithm::kMtIndex}});
     if (!result.ok()) return;
     std::printf("%-22s %10zu %12llu %12llu\n", name, run.partition.size(),
                 static_cast<unsigned long long>(result->stats().disk_accesses()),
@@ -94,7 +94,7 @@ int main() {
     scale_spec.use_ordering = use_ordering;
     tsq::Stopwatch watch;
     const auto result = engine.Execute(
-        scale_spec, {.algorithm = Algorithm::kSequentialScan});
+        scale_spec, {.planner = {.algorithm = Algorithm::kSequentialScan}});
     if (!result.ok()) continue;
     std::printf("  %-14s %8llu comparisons (%zu matches, %.1f ms)\n",
                 use_ordering ? "binary search" : "linear sweep",

@@ -58,7 +58,7 @@ int main() {
   }
   spec.epsilon = tsq::ts::CorrelationToDistanceThreshold(0.96, n);
 
-  const auto hedges = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+  const auto hedges = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   if (!hedges.ok()) {
     std::printf("query failed: %s\n", hedges.status().ToString().c_str());
     return 1;
@@ -99,7 +99,7 @@ int main() {
   join.mode = tsq::core::JoinMode::kCorrelation;
   join.min_correlation = 0.99;
   join.transforms = tsq::transform::MovingAverageRange(n, 5, 14);
-  const auto pairs = engine.Execute(join, {.algorithm = Algorithm::kMtIndex});
+  const auto pairs = engine.Execute(join, {.planner = {.algorithm = Algorithm::kMtIndex}});
   if (pairs.ok()) {
     std::size_t distinct = 0;
     std::size_t last_a = SIZE_MAX, last_b = SIZE_MAX;

@@ -1,7 +1,8 @@
 // Quickstart: build a similarity engine over synthetic stock data and run
 // the paper's Query 1 ("find every stock with an m-day moving average
-// similar to the query's") with all three algorithms, plus a look at the
-// transformation-MBR machinery of Figures 3 and 4.
+// similar to the query's") with all three algorithms plus the cost-based
+// planner (the default), and a look at the transformation-MBR machinery of
+// Figures 3 and 4.
 //
 // Build & run:   ./build/examples/quickstart
 
@@ -34,9 +35,11 @@ void RunQueryWithAllAlgorithms(const SimilarityEngine& engine) {
   std::printf("%-10s %10s %12s %12s %12s %10s\n", "algorithm", "time(ms)",
               "disk acc.", "candidates", "comparisons", "matches");
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
-                              Algorithm::kMtIndex}) {
+                              Algorithm::kMtIndex, Algorithm::kAuto}) {
+    tsq::core::ExecOptions options;
+    options.planner.algorithm = algorithm;
     tsq::Stopwatch watch;
-    const auto result = engine.Execute(spec, {.algorithm = algorithm});
+    const auto result = engine.Execute(spec, options);
     if (!result.ok()) {
       std::printf("query failed: %s\n", result.status().ToString().c_str());
       return;
@@ -50,7 +53,8 @@ void RunQueryWithAllAlgorithms(const SimilarityEngine& engine) {
                 static_cast<unsigned long long>(stats.output_size));
   }
 
-  // Show a few matches: which stock, which window, how close.
+  // Show a few matches: which stock, which window, how close. The default
+  // options leave the algorithm at kAuto, so the planner picks the plan.
   const auto result = engine.Execute(spec);
   std::printf("\nSample matches (stock, window, distance):\n");
   std::size_t shown = 0;
@@ -62,9 +66,9 @@ void RunQueryWithAllAlgorithms(const SimilarityEngine& engine) {
   }
   if (shown == 0) std::printf("  (only the query matched itself)\n");
 
-  // Where did the time go? Every result carries a per-phase trace.
-  std::printf("\nExplain (MT-index):\n%s",
-              tsq::core::Explain(*result).c_str());
+  // Where did the time go, and what did the planner decide? Every result
+  // carries a per-phase trace; planned queries add the candidate plans.
+  std::printf("\nExplain (auto):\n%s", tsq::core::Explain(*result).c_str());
 }
 
 void ShowFigure3Decomposition() {

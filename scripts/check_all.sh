@@ -4,11 +4,14 @@
 #   1. tier-1: configure with -DTSQ_WERROR=ON (library + test sources
 #      warning-clean; bench targets are -Werror unconditionally), build
 #      everything including the bench drivers, run the whole ctest suite;
-#   2. scripts/fuzz_smoke.sh — fixed-seed differential fuzz against the
+#   2. the planner gate — the "-L planner" ctest label re-runs the
+#      cost-model/planner regressions on their own, so an estimator
+#      drift shows up as its own stage, not a needle in stage 1;
+#   3. scripts/fuzz_smoke.sh — fixed-seed differential fuzz against the
 #      brute-force oracle, fault injection included;
-#   3. scripts/tsan_exec_tests.sh — data-race gate over the executor and
+#   4. scripts/tsan_exec_tests.sh — data-race gate over the executor and
 #      the sharded buffer pool;
-#   4. scripts/asan_storage_tests.sh — lifetime/UB gate over the same.
+#   5. scripts/asan_storage_tests.sh — lifetime/UB gate over the same.
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build-check)
 # The sanitizer stages use their own build trees (build-tsan, build-asan).
@@ -17,18 +20,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 
-echo "==> [1/4] tier-1 build (-DTSQ_WERROR=ON) + ctest"
+echo "==> [1/5] tier-1 build (-DTSQ_WERROR=ON) + ctest"
 cmake -B "$BUILD_DIR" -S . -DTSQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "==> [2/4] differential fuzz smoke (fixed seeds, oracle-checked)"
+echo "==> [2/5] planner regressions (ctest -L planner)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L planner
+
+echo "==> [3/5] differential fuzz smoke (fixed seeds, oracle-checked)"
 scripts/fuzz_smoke.sh "$BUILD_DIR"
 
-echo "==> [3/4] ThreadSanitizer: exec + storage tests"
+echo "==> [4/5] ThreadSanitizer: exec + storage tests"
 scripts/tsan_exec_tests.sh
 
-echo "==> [4/4] Address/UB sanitizer: storage + exec tests"
+echo "==> [5/5] Address/UB sanitizer: storage + exec tests"
 scripts/asan_storage_tests.sh
 
 echo "==> all checks passed"

@@ -22,6 +22,31 @@ double CostEq20(std::span<const GroupRunStats> groups, double leaf_capacity,
 }
 
 TreeCostEstimator::TreeCostEstimator(const SequenceIndex& index) {
+  const Status status = Init(index);
+  TSQ_CHECK(status.ok()) << status.ToString();
+}
+
+Result<TreeCostEstimator> TreeCostEstimator::Create(
+    const SequenceIndex& index) {
+  TreeCostEstimator estimator;
+  TSQ_RETURN_IF_ERROR(estimator.Init(index));
+  return estimator;
+}
+
+double TreeCostEstimator::indexed_points() const {
+  if (levels_.empty()) return 0.0;
+  return leaf_capacity_ * static_cast<double>(levels_.front().node_count);
+}
+
+double TreeCostEstimator::total_nodes() const {
+  double nodes = 0.0;
+  for (const LevelStats& level : levels_) {
+    nodes += static_cast<double>(level.node_count);
+  }
+  return nodes;
+}
+
+Status TreeCostEstimator::Init(const SequenceIndex& index) {
   const std::size_t dims = index.tree().dimensions();
   const auto root_rect = index.tree().RootRect();
   domain_ = root_rect.has_value() ? *root_rect : rstar::Rect::Empty(dims);
@@ -49,7 +74,7 @@ TreeCostEstimator::TreeCostEstimator(const SequenceIndex& index) {
           level.avg_abs_center[d] += std::fabs(rect.Center(d));
         }
       });
-  TSQ_CHECK(status.ok()) << status.ToString();
+  TSQ_RETURN_IF_ERROR(status);
   for (LevelStats& level : levels_) {
     if (level.node_count == 0) continue;
     for (std::size_t d = 0; d < level.avg_extent.size(); ++d) {
@@ -57,6 +82,7 @@ TreeCostEstimator::TreeCostEstimator(const SequenceIndex& index) {
       level.avg_abs_center[d] /= static_cast<double>(level.node_count);
     }
   }
+  return Status::Ok();
 }
 
 TreeCostEstimator::Estimate TreeCostEstimator::EstimateTraversal(
@@ -66,6 +92,35 @@ TreeCostEstimator::Estimate TreeCostEstimator::EstimateTraversal(
   if (levels_.empty() || group.empty()) return estimate;
   const std::size_t dims = layout.dimensions();
   const transform::TransformMbr mbr(group, layout);
+  // Leaf-level typical values stand in for the (unknown at planning time)
+  // query's features: queries are dataset-like sequences, so the average
+  // absolute leaf-node center is a serviceable |q_d| proxy.
+  const LevelStats& leaf = levels_.front();
+
+  // Per-dimension extent of the query region this group would produce,
+  // mirroring BuildQueryRegion: the spread of the transformed query features
+  // across the group (the mult-/add-MBR applied to a typical query), widened
+  // by the reverse-triangle bound (2 epsilon) on magnitude dimensions and by
+  // the chord bound (2 asin(eps / 2|q_d|) half-width) on angle dimensions.
+  // A negative sentinel marks dimensions the region leaves unbounded.
+  std::vector<double> window(dims, -1.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (layout.include_mean_std &&
+        (d == layout.mean_dimension() || d == layout.stddev_dimension())) {
+      continue;  // the query region is unbounded on these dimensions
+    }
+    const double mult_spread = mbr.mult_high(d) - mbr.mult_low(d);
+    const double add_spread = mbr.add_high(d) - mbr.add_low(d);
+    if (layout.is_angle_dimension(d)) {
+      // The paired magnitude dimension sits right below the angle one.
+      const double radius = std::max(leaf.avg_abs_center[d - 1], 1e-9);
+      const double half_width =
+          2.0 * std::asin(std::min(1.0, 0.5 * epsilon / radius));
+      window[d] = add_spread + 2.0 * half_width;
+    } else {
+      window[d] = mult_spread * leaf.avg_abs_center[d] + 2.0 * epsilon;
+    }
+  }
 
   for (std::size_t level = 0; level < levels_.size(); ++level) {
     const LevelStats& stats = levels_[level];
@@ -74,10 +129,7 @@ TreeCostEstimator::Estimate TreeCostEstimator::EstimateTraversal(
     for (std::size_t d = 0; d < dims; ++d) {
       const double domain = domain_.Extent(d);
       if (domain <= 0.0) continue;  // degenerate dimension filters nothing
-      if (layout.include_mean_std &&
-          (d == layout.mean_dimension() || d == layout.stddev_dimension())) {
-        continue;  // the query region is unbounded on these dimensions
-      }
+      if (window[d] < 0.0) continue;  // unbounded: filters nothing
       // Extent of the average node rectangle after the transformation MBR:
       // the multiplicative interval stretches positions by (Mh - Ml)*|c|
       // and widths by the mid multiplier; the additive interval adds its
@@ -88,17 +140,30 @@ TreeCostEstimator::Estimate TreeCostEstimator::EstimateTraversal(
       const double transformed_extent =
           std::fabs(mult_mid) * stats.avg_extent[d] +
           mult_spread * stats.avg_abs_center[d] + add_spread;
-      // Query window extent along d: 2 epsilon around the transformed query
-      // (the angular window is epsilon-dependent too; 2 epsilon is a
-      // serviceable proxy for ranking partitions).
-      const double window = 2.0 * epsilon;
-      probability *= std::min(1.0, (transformed_extent + window) / domain);
+      probability *=
+          std::min(1.0, (transformed_extent + window[d]) / domain);
     }
     const double accesses =
         static_cast<double>(stats.node_count) * probability;
     estimate.da_all += accesses;
     if (level == 0) estimate.da_leaf += accesses;
   }
+
+  // Per-point hit probability: a leaf *entry* is a point (zero extent); its
+  // transformed image spreads only by the group's mult/add intervals around
+  // the typical feature value.
+  double point_probability = 1.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double domain = domain_.Extent(d);
+    if (domain <= 0.0) continue;
+    if (window[d] < 0.0) continue;
+    const double mult_spread = mbr.mult_high(d) - mbr.mult_low(d);
+    const double add_spread = mbr.add_high(d) - mbr.add_low(d);
+    const double image_extent =
+        mult_spread * leaf.avg_abs_center[d] + add_spread;
+    point_probability *= std::min(1.0, (image_extent + window[d]) / domain);
+  }
+  estimate.hit_fraction = point_probability;
   return estimate;
 }
 
@@ -109,9 +174,15 @@ double EstimateGroupCost(const TreeCostEstimator& estimator,
                          const CostConstants& constants) {
   const TreeCostEstimator::Estimate estimate =
       estimator.EstimateTraversal(group, epsilon, layout);
+  // Eq. 19 with CA_leaf * DA_leaf sharpened to the expected candidate count:
+  // on small trees every leaf page intersects every region and the paper's
+  // leaf-page bound stops discriminating, while the per-point hit fraction
+  // still does.
+  const double candidates =
+      std::min(estimate.hit_fraction * estimator.indexed_points(),
+               estimator.indexed_points());
   return constants.c_da * estimate.da_all +
-         estimator.leaf_capacity() * constants.c_cmp * estimate.da_leaf *
-             static_cast<double>(group.size());
+         constants.c_cmp * candidates * static_cast<double>(group.size());
 }
 
 }  // namespace tsq::core

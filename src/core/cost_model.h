@@ -13,13 +13,8 @@
 
 namespace tsq::core {
 
-/// Constants of the paper's cost function (Section 5.2 uses C_DA = 1 and
-/// C_cmp = 0.4 * C_DA: "a sequence comparison takes as much as 40 percent
-/// the time of a disk access").
-struct CostConstants {
-  double c_da = 1.0;
-  double c_cmp = 0.4;
-};
+// CostConstants lives in core/query.h (ExecOptions::planner carries an
+// override of it).
 
 /// The cost function Ck of Eq. 20 evaluated on *measured* per-rectangle
 /// counters:
@@ -40,15 +35,31 @@ double CostEq20(std::span<const GroupRunStats> groups, double leaf_capacity,
 class TreeCostEstimator {
  public:
   /// Snapshots per-level statistics of the index (reads every node once).
+  /// CHECK-fails when a node read fails; the planner uses Create() instead
+  /// so injected storage faults surface as Status.
   explicit TreeCostEstimator(const SequenceIndex& index);
 
+  /// Fallible snapshot: same statistics, but a node-read error is returned
+  /// instead of aborting.
+  static Result<TreeCostEstimator> Create(const SequenceIndex& index);
+
   /// Expected page accesses of one traversal with the given transformation
-  /// group: `mult_spread`/`add_spread` are the per-dimension extents of the
-  /// group's mult-/add-MBR and `query_extent` the per-dimension extent of
-  /// the query region. Returns {expected DA_all, expected DA_leaf}.
+  /// group: models the executor's real filter — the group's transformation
+  /// MBR applied to the average node rectangle, intersected with a query
+  /// region whose widths follow BuildQueryRegion (reverse-triangle bound on
+  /// magnitudes, chord bound on angles, the group's own feature spread on
+  /// both) around a typical dataset member as the query proxy. Returns
+  /// {expected DA_all, expected DA_leaf}.
   struct Estimate {
     double da_all = 0.0;
     double da_leaf = 0.0;
+    /// Expected fraction of indexed points whose transformed image
+    /// intersects the query region — the candidate selectivity. Node-level
+    /// access counts saturate on small trees (a handful of wide leaves
+    /// intersect every region); the per-point probability keeps
+    /// discriminating there, and candidates drive both the comparison count
+    /// and the record fetches.
+    double hit_fraction = 0.0;
   };
   Estimate EstimateTraversal(
       std::span<const transform::FeatureTransform> group, double epsilon,
@@ -56,7 +67,17 @@ class TreeCostEstimator {
 
   double leaf_capacity() const { return leaf_capacity_; }
 
+  /// Nodes in the snapshot, all levels (the cap of any traversal's DA_all).
+  double total_nodes() const;
+
+  /// Points indexed at the leaf level (leaf count x average capacity) — the
+  /// population `hit_fraction` applies to.
+  double indexed_points() const;
+
  private:
+  TreeCostEstimator() = default;  // for Create
+  Status Init(const SequenceIndex& index);
+
   struct LevelStats {
     std::size_t node_count = 0;
     std::vector<double> avg_extent;   // per dimension

@@ -5,7 +5,9 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "core/cost_model.h"
 #include "obs/metrics.h"
+#include "plan/planner.h"
 
 namespace tsq::core {
 
@@ -35,7 +37,12 @@ SimilarityEngine::SimilarityEngine(std::vector<ts::Series> series,
                                    Options options) {
   dataset_ = std::make_unique<Dataset>(std::move(series), options.layout);
   index_ = std::make_unique<SequenceIndex>(*dataset_, options.tree);
+  planner_ = std::make_unique<plan::Planner>(*dataset_, *index_);
 }
+
+SimilarityEngine::SimilarityEngine() = default;
+
+SimilarityEngine::~SimilarityEngine() = default;
 
 Result<std::size_t> SimilarityEngine::Insert(const ts::Series& series) {
   if (series.size() != dataset_->length()) {
@@ -43,6 +50,7 @@ Result<std::size_t> SimilarityEngine::Insert(const ts::Series& series) {
   }
   const std::size_t id = dataset_->Append(series);
   TSQ_RETURN_IF_ERROR(index_->InsertEntry(id));
+  planner_->BumpEpoch();  // cached plans priced the old tree
   return id;
 }
 
@@ -51,7 +59,9 @@ Status SimilarityEngine::Remove(std::size_t id) {
     return Status::NotFound("no such live sequence");
   }
   TSQ_RETURN_IF_ERROR(index_->RemoveEntry(id));
-  return dataset_->MarkRemoved(id);
+  TSQ_RETURN_IF_ERROR(dataset_->MarkRemoved(id));
+  planner_->BumpEpoch();
+  return Status::Ok();
 }
 
 const QueryStats& QueryResult::stats() const {
@@ -73,19 +83,37 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
   const EngineMetrics& metrics = EngineMetrics::Get();
   const std::uint64_t start = MonotonicNanos();
   metrics.queries->Increment();
+
+  // Resolve kAuto into a concrete plan. A forced algorithm passes through
+  // the planner too, but short-circuits into an unplanned decision there, so
+  // forced execution is byte-identical to the pre-planner behaviour.
+  Result<plan::Planned> planned = std::visit(
+      [&](const auto& s) { return planner_->Plan(s, options.planner); }, spec);
+  if (!planned.ok()) {
+    metrics.query_errors->Increment();
+    return planned.status();
+  }
+  const std::shared_ptr<const plan::PlanDecision> decision =
+      planned->decision;
+  ExecOptions resolved = options;
+  resolved.planner.algorithm = decision->algorithm;
+  const transform::Partition* partition_override =
+      decision->partition.empty() ? nullptr : &decision->partition;
+
   QueryResult out;
   if (const auto* range = std::get_if<RangeQuerySpec>(&spec)) {
     Result<RangeQueryResult> result = RunRangeQuery(
-        *dataset_, *index_, *range, options,
-        options.collect_group_stats ? &out.group_stats : nullptr);
+        *dataset_, *index_, *range, resolved,
+        options.collect_group_stats ? &out.group_stats : nullptr,
+        partition_override);
     if (!result.ok()) {
       metrics.query_errors->Increment();
       return result.status();
     }
     out.value = std::move(*result);
   } else if (const auto* knn = std::get_if<KnnQuerySpec>(&spec)) {
-    Result<KnnQueryResult> result =
-        RunKnnQuery(*dataset_, *index_, *knn, options);
+    Result<KnnQueryResult> result = RunKnnQuery(*dataset_, *index_, *knn,
+                                                resolved, partition_override);
     if (!result.ok()) {
       metrics.query_errors->Increment();
       return result.status();
@@ -94,31 +122,31 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
   } else {
     Result<JoinQueryResult> result =
         RunJoinQuery(*dataset_, *index_, std::get<JoinQuerySpec>(spec),
-                     options);
+                     resolved, partition_override);
     if (!result.ok()) {
       metrics.query_errors->Increment();
       return result.status();
     }
     out.value = std::move(*result);
   }
+
+  if (decision->trace.planned) {
+    obs::QueryTrace& trace = std::visit(
+        [](auto& result) -> obs::QueryTrace& { return result.trace; },
+        out.value);
+    trace.planner = decision->trace;
+    trace.planner.cache_hit = planned->cache_hit;
+    // Actual cost in the estimate's own currency: measured disk accesses
+    // plus weighted comparisons (what the planner's Eq. 18-20 pricing
+    // predicts, with real counters substituted for the analytic terms).
+    const QueryStats& stats = out.stats();
+    trace.planner.actual_cost =
+        decision->constants.c_da * static_cast<double>(stats.disk_accesses()) +
+        decision->constants.c_cmp * static_cast<double>(stats.comparisons);
+  }
+
   metrics.query_nanos->Observe(MonotonicNanos() - start);
   return out;
-}
-
-Result<RangeQueryResult> SimilarityEngine::RangeQuery(
-    const RangeQuerySpec& spec, Algorithm algorithm,
-    std::vector<GroupRunStats>* group_stats) const {
-  return RunRangeQuery(*dataset_, *index_, spec, algorithm, group_stats);
-}
-
-Result<JoinQueryResult> SimilarityEngine::Join(const JoinQuerySpec& spec,
-                                               Algorithm algorithm) const {
-  return RunJoinQuery(*dataset_, *index_, spec, algorithm);
-}
-
-Result<KnnQueryResult> SimilarityEngine::Knn(const KnnQuerySpec& spec,
-                                             Algorithm algorithm) const {
-  return RunKnnQuery(*dataset_, *index_, spec, algorithm);
 }
 
 void SimilarityEngine::ResetIoStats() {
@@ -137,6 +165,8 @@ void SimilarityEngine::ResetIoStats() {
 void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
   dataset_->set_io_delay_nanos(nanos);
   index_->set_io_delay_nanos(nanos);
+  // C_cmp was measured against the old page-read latency.
+  planner_->InvalidateCalibration();
 }
 
 void SimilarityEngine::EnableIndexBufferPool(std::size_t pages,
@@ -235,6 +265,8 @@ Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
       *engine->dataset_, tree_options, prefix + ".index", root, height, size);
   if (!index.ok()) return index.status();
   engine->index_ = std::move(*index);
+  engine->planner_ =
+      std::make_unique<plan::Planner>(*engine->dataset_, *engine->index_);
   return engine;
 }
 

@@ -14,6 +14,10 @@
 #include "core/range_query.h"
 #include "storage/buffer_pool.h"
 
+namespace tsq::plan {
+class Planner;
+}  // namespace tsq::plan
+
 namespace tsq::core {
 
 /// What a query asks, independent of how it is executed — one alternative
@@ -55,9 +59,13 @@ struct QueryResult {
 ///   spec.query = ibm_closes;
 ///   spec.transforms = tsq::transform::MovingAverageRange(n, 1, 40);
 ///   spec.epsilon = tsq::ts::CorrelationToDistanceThreshold(0.96, n);
-///   auto result = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex,
-///                                       .num_threads = 4});
+///   auto result = engine.Execute(spec, {.num_threads = 4});
 ///   for (const auto& match : result->range()->matches) { ... }
+///
+/// The default ExecOptions leave the algorithm at Algorithm::kAuto: the
+/// engine's cost-based planner (src/plan) picks among sequential scan,
+/// ST-index and MT-index partitionings. Force a concrete plan with
+/// {.planner = {.algorithm = Algorithm::kMtIndex}}.
 ///
 /// Execute() is const and safe to call from several threads at once; see
 /// docs/ARCHITECTURE.md ("Thread-safety contract").
@@ -72,6 +80,7 @@ class SimilarityEngine {
   /// builds the index. All series must share one length >= 2.
   explicit SimilarityEngine(std::vector<ts::Series> series,
                             Options options = Options());
+  ~SimilarityEngine();
 
   /// Adds one sequence (record + index entry); returns its id. Requires
   /// series.size() == length().
@@ -88,30 +97,21 @@ class SimilarityEngine {
   std::size_t size() const { return dataset_->active_size(); }
   std::size_t length() const { return dataset_->length(); }
 
-  /// Runs any query. `options` chooses the algorithm, the worker-thread
-  /// count (results and summed stats are identical for every value) and
-  /// whether per-rectangle group stats are collected (range queries).
+  /// Runs any query. `options.planner` chooses the algorithm — the default,
+  /// Algorithm::kAuto, hands the choice to the cost-based planner, whose
+  /// decision (chosen plan, rejected candidates, estimated vs actual cost)
+  /// lands in the result's trace and in Explain()/ExplainJson(). `options`
+  /// also sets the worker-thread count (results and summed stats are
+  /// identical for every value) and whether per-rectangle group stats are
+  /// collected (range queries).
   /// Thread-safe: concurrent Execute() calls on one engine are supported, as
   /// long as no Insert/Remove/EnableIndexBufferPool runs concurrently.
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions()) const;
 
-  /// Query 1 (range query). `group_stats`, when non-null, receives the
-  /// per-rectangle counters for cost-function analysis.
-  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
-  Result<RangeQueryResult> RangeQuery(
-      const RangeQuerySpec& spec, Algorithm algorithm = Algorithm::kMtIndex,
-      std::vector<GroupRunStats>* group_stats = nullptr) const;
-
-  /// Query 2 (similarity self-join).
-  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
-  Result<JoinQueryResult> Join(const JoinQuerySpec& spec,
-                               Algorithm algorithm = Algorithm::kMtIndex) const;
-
-  /// k-nearest neighbours under multiple transformations.
-  [[deprecated("use Execute(QuerySpec, ExecOptions)")]]
-  Result<KnnQueryResult> Knn(const KnnQuerySpec& spec,
-                             Algorithm algorithm = Algorithm::kMtIndex) const;
+  /// The cost-based planner (plan cache, calibrated constants, epoch).
+  /// Mostly for tests and benches; Execute() consults it automatically.
+  plan::Planner& planner() const { return *planner_; }
 
   /// Resets every I/O counter — record store, index page file and, when one
   /// is attached, the index buffer pool — between benchmark queries.
@@ -165,10 +165,11 @@ class SimilarityEngine {
       const std::string& prefix);
 
  private:
-  SimilarityEngine() = default;  // for LoadFrom
+  SimilarityEngine();  // for LoadFrom
 
   std::unique_ptr<Dataset> dataset_;
   std::unique_ptr<SequenceIndex> index_;
+  std::unique_ptr<plan::Planner> planner_;
 };
 
 }  // namespace tsq::core

@@ -113,19 +113,22 @@ std::vector<JoinMatch> BruteForceJoinQuery(const Dataset& dataset,
 Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const SequenceIndex& index,
                                      const JoinQuerySpec& spec,
-                                     const ExecOptions& options) {
+                                     const ExecOptions& options,
+                                     const transform::Partition*
+                                         partition_override) {
   const std::uint64_t query_start = MonotonicNanos();
+  TSQ_RETURN_IF_ERROR(RejectUnresolvedAuto(options));
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   JoinQueryResult result;
   QueryStats& stats = result.stats;
   obs::QueryTrace& trace = result.trace;
-  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.algorithm = AlgorithmName(options.planner.algorithm);
   trace.num_threads = options.num_threads;
   trace.at(obs::Phase::kPlan)
       .AddTask(MonotonicNanos() - query_start, spec.transforms.size());
 
-  if (options.algorithm == Algorithm::kSequentialScan) {
+  if (options.planner.algorithm == Algorithm::kSequentialScan) {
     // A scan join touches every record anyway, so prefetch all spectra once
     // (slices write disjoint slots) and make the pairwise phase pure
     // compute, fanned out over fixed-size slices of the outer id.
@@ -205,8 +208,10 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
   }
 
   transform::Partition partition;
-  if (options.algorithm == Algorithm::kStIndex) {
+  if (options.planner.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
+  } else if (partition_override != nullptr && !partition_override->empty()) {
+    partition = *partition_override;
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
   } else {
@@ -362,7 +367,7 @@ Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const JoinQuerySpec& spec,
                                      Algorithm algorithm) {
   ExecOptions options;
-  options.algorithm = algorithm;
+  options.planner.algorithm = algorithm;
   options.num_threads = 1;
   return RunJoinQuery(dataset, index, spec, options);
 }

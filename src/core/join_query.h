@@ -63,10 +63,14 @@ struct JoinQueryResult {
 /// task per transformation rectangle, then verifies candidate pairs in
 /// fixed-size chunks with per-chunk fetch caches. Matches and summed
 /// QueryStats are identical for every thread count.
+/// `partition_override` (planner-chosen MBR grouping) behaves as in
+/// RunRangeQuery; `options.planner.algorithm` must be concrete.
 Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,
                                      const SequenceIndex& index,
                                      const JoinQuerySpec& spec,
-                                     const ExecOptions& options);
+                                     const ExecOptions& options,
+                                     const transform::Partition*
+                                         partition_override = nullptr);
 
 /// Legacy entry point: algorithm only, single-threaded.
 Result<JoinQueryResult> RunJoinQuery(const Dataset& dataset,

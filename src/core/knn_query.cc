@@ -104,8 +104,11 @@ std::vector<KnnMatch> BruteForceKnnQuery(const Dataset& dataset,
 Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                                    const SequenceIndex& index,
                                    const KnnQuerySpec& spec,
-                                   const ExecOptions& options) {
+                                   const ExecOptions& options,
+                                   const transform::Partition*
+                                       partition_override) {
   const std::uint64_t query_start = MonotonicNanos();
+  TSQ_RETURN_IF_ERROR(RejectUnresolvedAuto(options));
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   const transform::FeatureLayout& layout = dataset.layout();
   const ts::NormalForm query_normal = ts::Normalize(spec.query);
@@ -118,12 +121,12 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   KnnQueryResult result;
   QueryStats& stats = result.stats;
   obs::QueryTrace& trace = result.trace;
-  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.algorithm = AlgorithmName(options.planner.algorithm);
   trace.num_threads = options.num_threads;
   trace.at(obs::Phase::kPlan)
       .AddTask(MonotonicNanos() - query_start, spec.transforms.size());
 
-  if (options.algorithm == Algorithm::kSequentialScan) {
+  if (options.planner.algorithm == Algorithm::kSequentialScan) {
     // One task per fixed-size slice; each evaluates its sequences exactly,
     // then the merged list is sorted and truncated — the same computation
     // the serial scan performs, in the same tie-break order.
@@ -183,8 +186,10 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
       ExtractFeatures(query_normal, query_spectrum, layout);
 
   transform::Partition partition;
-  if (options.algorithm == Algorithm::kStIndex) {
+  if (options.planner.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
+  } else if (partition_override != nullptr && !partition_override->empty()) {
+    partition = *partition_override;
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
   } else {
@@ -310,7 +315,7 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
                                    const KnnQuerySpec& spec,
                                    Algorithm algorithm) {
   ExecOptions options;
-  options.algorithm = algorithm;
+  options.planner.algorithm = algorithm;
   options.num_threads = 1;
   return RunKnnQuery(dataset, index, spec, options);
 }

@@ -1,10 +1,12 @@
 #ifndef TSQ_CORE_QUERY_H_
 #define TSQ_CORE_QUERY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/trace.h"
 #include "transform/partition.h"
 #include "transform/spectral_transform.h"
@@ -12,7 +14,8 @@
 
 namespace tsq::core {
 
-/// The three competitors of the paper's Section 4.
+/// The three competitors of the paper's Section 4, plus the cost-based
+/// choice among them (Section 5).
 enum class Algorithm {
   /// Scan the whole relation, check every transformation against every
   /// sequence.
@@ -23,15 +26,55 @@ enum class Algorithm {
   /// One index traversal per transformation *rectangle* ("Multiple
   /// Transformations at a time") — the paper's contribution.
   kMtIndex,
+  /// Let the engine's planner pick: it enumerates scan, ST and MT plans with
+  /// k in {1..max_rectangles} rectangles per partitioning strategy, costs
+  /// each with Eq. 18-20 against a snapshot of the index, and runs the
+  /// cheapest. Only SimilarityEngine::Execute resolves this value; handing
+  /// it to a raw executor is an error.
+  kAuto,
 };
 
 const char* AlgorithmName(Algorithm algorithm);
 
+/// Constants of the paper's cost function (Section 5.2 uses C_DA = 1 and
+/// C_cmp = 0.4 * C_DA: "a sequence comparison takes as much as 40 percent
+/// the time of a disk access"). The planner calibrates C_cmp per engine from
+/// measured page-read vs comparison latency unless overridden.
+struct CostConstants {
+  double c_da = 1.0;
+  double c_cmp = 0.4;
+};
+
+/// Which MT partitionings the planner may enumerate for kAuto. Ignored when
+/// a concrete algorithm is forced (forced kMtIndex keeps its legacy
+/// behaviour: spec.partition, or one packed rectangle when empty).
+enum class PartitioningStrategy {
+  /// Enumerate everything below and take the cheapest.
+  kAuto,
+  /// Only the single packed rectangle (plain MT-index configuration).
+  kPacked,
+  /// Only contiguous equal splits into k groups (Section 5.2's sweep).
+  kContiguous,
+  /// Only cluster-aware partitions (the Fig. 9 fix).
+  kClustered,
+};
+
+/// The planner knobs, consolidated: which algorithm (or kAuto), how many
+/// rectangles the enumeration may try, which partitioning family, and an
+/// optional override of the calibrated cost constants (deterministic plans
+/// for tests and benches).
+struct PlannerOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Upper bound on the rectangle count k the enumeration sweeps.
+  std::size_t max_rectangles = 16;
+  PartitioningStrategy partitioning = PartitioningStrategy::kAuto;
+  std::optional<CostConstants> cost_constants_override = std::nullopt;
+};
+
 /// How a query is executed, independent of *what* is asked (the spec).
-/// Replaces the positional Algorithm + out-param arguments of the legacy
-/// SimilarityEngine::RangeQuery/Join/Knn signatures.
 struct ExecOptions {
-  Algorithm algorithm = Algorithm::kMtIndex;
+  /// Algorithm / partitioning choice; defaults to the cost-based planner.
+  PlannerOptions planner = {};
   /// Worker threads for the parallel executor: 1 (default) runs inline on
   /// the calling thread, 0 means one worker per hardware thread. Results and
   /// summed QueryStats are identical for every value — the task
@@ -41,6 +84,12 @@ struct ExecOptions {
   /// Collect per-rectangle GroupRunStats (range queries; empty otherwise).
   bool collect_group_stats = false;
 };
+
+/// InvalidArgument when `options.planner.algorithm` is still kAuto — every
+/// raw executor (RunRangeQuery / RunKnnQuery / RunJoinQuery) calls this
+/// first; only SimilarityEngine::Execute resolves kAuto into a concrete
+/// plan.
+Status RejectUnresolvedAuto(const ExecOptions& options);
 
 /// Which side(s) of the distance predicate a transformation applies to.
 enum class TransformTarget {

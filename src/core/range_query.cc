@@ -151,8 +151,19 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "ST-index";
     case Algorithm::kMtIndex:
       return "MT-index";
+    case Algorithm::kAuto:
+      return "auto";
   }
   return "unknown";
+}
+
+Status RejectUnresolvedAuto(const ExecOptions& options) {
+  if (options.planner.algorithm == Algorithm::kAuto) {
+    return Status::InvalidArgument(
+        "Algorithm::kAuto must be resolved by SimilarityEngine::Execute; "
+        "raw executors need a concrete algorithm");
+  }
+  return Status::Ok();
 }
 
 QueryStats& QueryStats::operator+=(const QueryStats& other) {
@@ -170,15 +181,18 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        const SequenceIndex& index,
                                        const RangeQuerySpec& spec,
                                        const ExecOptions& options,
-                                       std::vector<GroupRunStats>* group_stats) {
+                                       std::vector<GroupRunStats>* group_stats,
+                                       const transform::Partition*
+                                           partition_override) {
   const std::uint64_t query_start = MonotonicNanos();
+  TSQ_RETURN_IF_ERROR(RejectUnresolvedAuto(options));
   TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
   if (group_stats != nullptr) group_stats->clear();
 
   RangeQueryResult result;
   QueryStats& stats = result.stats;
   obs::QueryTrace& trace = result.trace;
-  trace.algorithm = AlgorithmName(options.algorithm);
+  trace.algorithm = AlgorithmName(options.planner.algorithm);
   trace.num_threads = options.num_threads;
 
   std::uint64_t plan_start = MonotonicNanos();
@@ -201,7 +215,7 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     chain = transform::DominanceChain(spec.transforms);
   }
 
-  if (options.algorithm == Algorithm::kSequentialScan) {
+  if (options.planner.algorithm == Algorithm::kSequentialScan) {
     std::vector<std::size_t> all(spec.transforms.size());
     for (std::size_t t = 0; t < all.size(); ++t) all[t] = t;
     const bool ordered = spec.use_ordering && OrderGroupByChain(chain, &all);
@@ -259,10 +273,14 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
     return result;
   }
 
-  // Indexed algorithms: ST-index is MT-index with singleton rectangles.
+  // Indexed algorithms: ST-index is MT-index with singleton rectangles. A
+  // planner-chosen partition (the override) takes precedence over the
+  // spec's; both lose to ST-index's fixed singleton grouping.
   transform::Partition partition;
-  if (options.algorithm == Algorithm::kStIndex) {
+  if (options.planner.algorithm == Algorithm::kStIndex) {
     partition = transform::PartitionSingletons(spec.transforms.size());
+  } else if (partition_override != nullptr && !partition_override->empty()) {
+    partition = *partition_override;
   } else if (spec.partition.empty()) {
     partition = transform::PartitionAll(spec.transforms.size());
   } else {
@@ -412,7 +430,7 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        Algorithm algorithm,
                                        std::vector<GroupRunStats>* group_stats) {
   ExecOptions options;
-  options.algorithm = algorithm;
+  options.planner.algorithm = algorithm;
   options.num_threads = 1;
   options.collect_group_stats = group_stats != nullptr;
   return RunRangeQuery(dataset, index, spec, options, group_stats);

@@ -31,12 +31,20 @@ namespace tsq::core {
 /// When `group_stats` is non-null it receives one entry per index traversal
 /// (empty for the sequential scan), the inputs of the cost function Ck
 /// (Eq. 20).
+///
+/// `partition_override`, when non-null and non-empty, replaces the MT-index
+/// grouping that would otherwise come from `spec.partition` — this is how
+/// the planner hands its chosen partition to the executor without copying
+/// the spec. `options.planner.algorithm` must be concrete here; kAuto is
+/// resolved by SimilarityEngine::Execute and rejected by the executor.
 Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                        const SequenceIndex& index,
                                        const RangeQuerySpec& spec,
                                        const ExecOptions& options,
                                        std::vector<GroupRunStats>* group_stats =
-                                           nullptr);
+                                           nullptr,
+                                       const transform::Partition*
+                                           partition_override = nullptr);
 
 /// Legacy entry point: algorithm only, single-threaded.
 Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,

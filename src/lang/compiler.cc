@@ -174,14 +174,17 @@ Result<CompiledQuery> Compile(const ParsedQuery& query,
   CompiledQuery compiled;
   switch (query.algorithm) {
     case AlgorithmChoice::kDefault:
+    case AlgorithmChoice::kAuto:
+      compiled.options.planner.algorithm = core::Algorithm::kAuto;
+      break;
     case AlgorithmChoice::kMt:
-      compiled.options.algorithm = core::Algorithm::kMtIndex;
+      compiled.options.planner.algorithm = core::Algorithm::kMtIndex;
       break;
     case AlgorithmChoice::kSt:
-      compiled.options.algorithm = core::Algorithm::kStIndex;
+      compiled.options.planner.algorithm = core::Algorithm::kStIndex;
       break;
     case AlgorithmChoice::kScan:
-      compiled.options.algorithm = core::Algorithm::kSequentialScan;
+      compiled.options.planner.algorithm = core::Algorithm::kSequentialScan;
       break;
   }
 

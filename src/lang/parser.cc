@@ -58,14 +58,16 @@ class Parser {
         Advance();
       } else if (PeekKeyword("using")) {
         Advance();
-        if (PeekKeyword("mt")) {
+        if (PeekKeyword("auto")) {
+          query.algorithm = AlgorithmChoice::kAuto;
+        } else if (PeekKeyword("mt")) {
           query.algorithm = AlgorithmChoice::kMt;
         } else if (PeekKeyword("st")) {
           query.algorithm = AlgorithmChoice::kSt;
         } else if (PeekKeyword("scan")) {
           query.algorithm = AlgorithmChoice::kScan;
         } else {
-          return Error("expected MT, ST or SCAN after USING");
+          return Error("expected AUTO, MT, ST or SCAN after USING");
         }
         Advance();
       } else if (PeekKeyword("apply")) {

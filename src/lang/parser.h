@@ -24,7 +24,7 @@ namespace tsq::lang {
 ///   factor    := IDENT [ '(' arg (',' arg)* ')' ]
 ///   arg       := NUM | NUM '..' NUM [ ':' NUM ]   -- range with step
 ///   threshold := WITHIN (DISTANCE NUM | CORRELATION NUM)
-///   options   := USING (MT | ST | SCAN)
+///   options   := USING (AUTO | MT | ST | SCAN)
 ///              | APPLY (BOTH | DATA)
 ///              | GROUPS NUM | PER_MBR NUM | CLUSTERED
 ///              | ORDERED
@@ -54,7 +54,9 @@ using Pipeline = std::vector<Factor>;
 
 enum class QueryKind { kRange, kKnn, kJoin };
 enum class ThresholdKind { kNone, kDistance, kCorrelation };
-enum class AlgorithmChoice { kDefault, kMt, kSt, kScan };
+/// kDefault and kAuto both compile to Algorithm::kAuto (the planner); the
+/// explicit spelling exists so scripts can say what they mean.
+enum class AlgorithmChoice { kDefault, kAuto, kMt, kSt, kScan };
 enum class ApplyChoice { kDefault, kBoth, kData };
 enum class GroupingChoice { kDefault, kGroups, kPerMbr, kClustered };
 

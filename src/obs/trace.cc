@@ -43,6 +43,12 @@ std::string QueryTrace::DeterministicSignature() const {
     os << ';' << PhaseName(static_cast<Phase>(p))
        << " tasks=" << phases[p].tasks << " items=" << phases[p].items;
   }
+  // Only the decision itself — cache_hit and the cost numbers vary with
+  // call order and calibration, the chosen plan must not.
+  if (planner.planned) {
+    const PlanCandidateTrace* chosen = planner.chosen_candidate();
+    os << ";planner chosen=" << (chosen != nullptr ? chosen->label : "?");
+  }
   return os.str();
 }
 
@@ -65,6 +71,27 @@ std::string FormatTrace(const QueryTrace& trace) {
                   static_cast<unsigned long long>(phase.items));
     os << line;
   }
+  if (trace.planner.planned) {
+    const PlanCandidateTrace* chosen = trace.planner.chosen_candidate();
+    std::snprintf(line, sizeof line, "  planner: chose %s (est %.1f%s, %s)\n",
+                  chosen != nullptr ? chosen->label.c_str() : "?",
+                  trace.planner.estimated_cost,
+                  trace.planner.cache_hit ? "" : ", freshly planned",
+                  trace.planner.actual_cost >= 0.0 ? "measured below"
+                                                   : "actual cost unknown");
+    os << line;
+    if (trace.planner.actual_cost >= 0.0) {
+      std::snprintf(line, sizeof line, "    actual cost %.1f\n",
+                    trace.planner.actual_cost);
+      os << line;
+    }
+    for (const PlanCandidateTrace& c : trace.planner.candidates) {
+      std::snprintf(line, sizeof line, "    %-24s est %10.1f%s\n",
+                    c.label.c_str(), c.estimated_cost,
+                    c.chosen ? "  <= chosen" : "");
+      os << line;
+    }
+  }
   return os.str();
 }
 
@@ -84,7 +111,23 @@ std::string TraceToJson(const QueryTrace& trace) {
        << ",\"max_task_nanos\":" << phase.max_task_nanos
        << ",\"tasks\":" << phase.tasks << ",\"items\":" << phase.items << '}';
   }
-  os << "]}";
+  os << ']';
+  if (trace.planner.planned) {
+    os << ",\"planner\":{\"planned\":true,\"cache_hit\":"
+       << (trace.planner.cache_hit ? "true" : "false")
+       << ",\"estimated_cost\":" << trace.planner.estimated_cost
+       << ",\"actual_cost\":" << trace.planner.actual_cost
+       << ",\"candidates\":[";
+    for (std::size_t i = 0; i < trace.planner.candidates.size(); ++i) {
+      const PlanCandidateTrace& c = trace.planner.candidates[i];
+      if (i > 0) os << ',';
+      os << "{\"label\":\"" << c.label
+         << "\",\"estimated_cost\":" << c.estimated_cost
+         << ",\"chosen\":" << (c.chosen ? "true" : "false") << '}';
+    }
+    os << "]}";
+  }
+  os << '}';
   return os.str();
 }
 

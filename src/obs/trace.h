@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 
@@ -61,6 +62,39 @@ struct PhaseStats {
   bool empty() const { return tasks == 0; }
 };
 
+/// One plan the cost-based planner considered: display label ("MT k=4
+/// contiguous"), its Eq. 18-20 cost estimate, and whether it won.
+struct PlanCandidateTrace {
+  std::string label;
+  double estimated_cost = 0.0;
+  bool chosen = false;
+};
+
+/// What the planner did for one query. `planned` stays false when the caller
+/// forced a concrete algorithm (no planning happened). The chosen plan and
+/// every rejected candidate are kept so Explain()/ExplainJson() can show the
+/// decision; `actual_cost` is filled in by the engine after execution from
+/// the measured counters (< 0 when unknown).
+///
+/// Determinism rule: the *decision* (which candidate is chosen) depends only
+/// on the query, the index epoch and the cost constants — never on thread
+/// count — and is the only part that enters DeterministicSignature().
+/// `cache_hit` depends on call order and is excluded.
+struct PlannerTrace {
+  bool planned = false;
+  bool cache_hit = false;
+  double estimated_cost = 0.0;  // the chosen candidate's estimate
+  double actual_cost = -1.0;    // measured cost of the executed plan
+  std::vector<PlanCandidateTrace> candidates;
+
+  const PlanCandidateTrace* chosen_candidate() const {
+    for (const PlanCandidateTrace& c : candidates) {
+      if (c.chosen) return &c;
+    }
+    return nullptr;
+  }
+};
+
 /// Per-query execution trace: where the time of one Execute() call went.
 /// Attached to every query result; render with FormatTrace / TraceToJson or
 /// the engine-level Explain() helpers.
@@ -69,6 +103,7 @@ struct QueryTrace {
   std::size_t num_threads = 1;  // ExecOptions::num_threads as requested
   std::uint64_t total_nanos = 0;  // whole executor call, wall clock
   std::array<PhaseStats, kPhaseCount> phases{};
+  PlannerTrace planner;  // cost-based planner decision (kAuto only)
 
   PhaseStats& at(Phase phase) {
     return phases[static_cast<std::size_t>(phase)];

@@ -181,17 +181,22 @@ CaseOutcome DifferentialRunner::RunCase(std::size_t index,
 
   static constexpr core::Algorithm kAlgorithms[] = {
       core::Algorithm::kSequentialScan, core::Algorithm::kStIndex,
-      core::Algorithm::kMtIndex};
+      core::Algorithm::kMtIndex, core::Algorithm::kAuto};
   static constexpr std::size_t kThreadCounts[] = {1, 4, 8};
 
-  // Fault-free sweep over the whole configuration cube.
+  // Fault-free sweep over the whole configuration cube. kAuto rides along as
+  // a fourth algorithm: whatever plan the planner picks, the results must
+  // match the oracle, and — because the plan depends only on the spec and
+  // the index, never on threads or pool state — every kAuto run of one case
+  // must carry the same deterministic signature (same chosen plan included).
+  std::string auto_signature;
   for (const bool pool_on : {false, true}) {
     engine_.EnableIndexBufferPool(pool_on ? config.pool_pages : 0,
                                   config.pool_shards);
     for (const core::Algorithm algorithm : kAlgorithms) {
       for (const std::size_t threads : kThreadCounts) {
         core::ExecOptions options;
-        options.algorithm = algorithm;
+        options.planner.algorithm = algorithm;
         options.num_threads = threads;
         const Result<core::QueryResult> result =
             engine_.Execute(work.spec, options);
@@ -206,6 +211,17 @@ CaseOutcome DifferentialRunner::RunCase(std::size_t index,
         if (!diff.empty()) {
           fail("divergence under " +
                DescribeConfig(algorithm, threads, pool_on) + ": " + diff);
+        }
+        if (algorithm == core::Algorithm::kAuto) {
+          const std::string signature =
+              result->trace().DeterministicSignature();
+          if (auto_signature.empty()) {
+            auto_signature = signature;
+          } else if (signature != auto_signature) {
+            fail("kAuto signature varies with " +
+                 DescribeConfig(algorithm, threads, pool_on) + ": got\n  " +
+                 signature + "\nexpected\n  " + auto_signature);
+          }
         }
       }
     }
@@ -259,7 +275,7 @@ CaseOutcome DifferentialRunner::RunCase(std::size_t index,
       engine_.EnableIndexBufferPool(run.pool_on ? config.pool_pages : 0,
                                     config.pool_shards);
       core::ExecOptions options;
-      options.algorithm = run.algorithm;
+      options.planner.algorithm = run.algorithm;
       options.num_threads = run.threads;
 
       FaultPolicy policy(policy_config);

@@ -42,7 +42,7 @@ struct CaseOutcome {
 };
 
 /// Runs generated cases through the full configuration cube
-/// {scan, ST-index, MT-index} x {1, 4, 8} threads x {pool off, pool on}
+/// {scan, ST-index, MT-index, auto} x {1, 4, 8} threads x {pool off, pool on}
 /// and checks every result against the Oracle; optionally repeats a slice
 /// of the cube under each FaultPolicy. One runner per seed: it owns the
 /// seed's dataset, engine and oracle.

@@ -179,13 +179,15 @@ GroupingChoice PickGrouping(Rng& rng, const core::SimilarityEngine& engine,
 }
 
 std::string AlgorithmSuffix(Rng& rng) {
-  switch (rng.UniformInt(0, 3)) {
+  switch (rng.UniformInt(0, 4)) {
     case 1:
       return " using mt";
     case 2:
       return " using st";
     case 3:
       return " using scan";
+    case 4:
+      return " using auto";
     default:
       return "";
   }

@@ -94,7 +94,7 @@ TEST_F(EngineFaultTest, FirstReadFailureSurfacesOnEveryAlgorithmAndQuery) {
   for (const QuerySpec& spec : AllSpecs()) {
     for (const Algorithm algorithm : kAlgorithms) {
       ExecOptions options;
-      options.algorithm = algorithm;
+      options.planner.algorithm = algorithm;
       const auto baseline = engine_.Execute(spec, options);
       ASSERT_TRUE(baseline.ok());
 
@@ -121,7 +121,7 @@ TEST_F(EngineFaultTest, MidQueryFailureSurfacesUnderParallelExecution) {
   for (const QuerySpec& spec : AllSpecs()) {
     for (const Algorithm algorithm : kAlgorithms) {
       ExecOptions options;
-      options.algorithm = algorithm;
+      options.planner.algorithm = algorithm;
       options.num_threads = 4;
       FaultPolicyConfig config;
       config.fail_every_k = 5;
@@ -144,7 +144,7 @@ TEST_F(EngineFaultTest, MidQueryFailureSurfacesUnderParallelExecution) {
 
 TEST_F(EngineFaultTest, ChecksumCorruptionMidQueryReturnsCorruption) {
   ExecOptions options;
-  options.algorithm = Algorithm::kMtIndex;
+  options.planner.algorithm = Algorithm::kMtIndex;
   const QuerySpec spec = RangeSpec();
   const auto baseline = engine_.Execute(spec, options);
   ASSERT_TRUE(baseline.ok());
@@ -167,7 +167,7 @@ TEST_F(EngineFaultTest, ChecksumCorruptionMidQueryReturnsCorruption) {
 TEST_F(EngineFaultTest, ShortReadMidQueryReturnsErrorWithIntactPool) {
   engine_.EnableIndexBufferPool(8, 2);
   ExecOptions options;
-  options.algorithm = Algorithm::kMtIndex;
+  options.planner.algorithm = Algorithm::kMtIndex;
   options.num_threads = 4;
   const QuerySpec spec = KnnSpec();
   const auto baseline = engine_.Execute(spec, options);
@@ -192,7 +192,7 @@ TEST_F(EngineFaultTest, ShortReadMidQueryReturnsErrorWithIntactPool) {
 TEST_F(EngineFaultTest, PoolLevelFaultsSurfaceAndPoolSurvives) {
   engine_.EnableIndexBufferPool(8, 2);
   ExecOptions options;
-  options.algorithm = Algorithm::kMtIndex;
+  options.planner.algorithm = Algorithm::kMtIndex;
   const QuerySpec spec = RangeSpec();
   const auto baseline = engine_.Execute(spec, options);
   ASSERT_TRUE(baseline.ok());
@@ -223,7 +223,7 @@ TEST_F(EngineFaultTest, HookInstalledBeforePoolIsInheritedByPool) {
   // re-install it on the new pool.
   engine_.EnableIndexBufferPool(8);
   ExecOptions options;
-  options.algorithm = Algorithm::kStIndex;
+  options.planner.algorithm = Algorithm::kStIndex;
   const auto faulted = engine_.Execute(RangeSpec(), options);
   EXPECT_FALSE(faulted.ok());
   engine_.SetReadFaultHook(nullptr);

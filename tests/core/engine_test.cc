@@ -39,7 +39,7 @@ TEST(SimilarityEngineTest, AllThreeQueryTypes) {
   range.query = ts::Denormalize(engine.dataset().normal(5));
   range.transforms = transform::MovingAverageRange(128, 5, 10);
   range.epsilon = 2.0;
-  EXPECT_TRUE(engine.Execute(range, {.algorithm = Algorithm::kStIndex}).ok());
+  EXPECT_TRUE(engine.Execute(range, {.planner = {.algorithm = Algorithm::kStIndex}}).ok());
 
   JoinQuerySpec join;
   join.mode = JoinMode::kCorrelation;
@@ -71,9 +71,9 @@ TEST(SimilarityEngineTest, CustomOptions) {
   spec.transforms = transform::MovingAverageRange(64, 1, 5);
   spec.epsilon = 1.5;
   const auto via_index =
-      engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+      engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   const auto via_scan =
-      engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
+      engine.Execute(spec, {.planner = {.algorithm = Algorithm::kSequentialScan}});
   ASSERT_TRUE(via_index.ok());
   ASSERT_TRUE(via_scan.ok());
   EXPECT_EQ(via_index->range()->matches.size(),
@@ -88,7 +88,7 @@ TEST(SimilarityEngineTest, GroupStatsExposedForCostAnalysis) {
   spec.epsilon = 2.0;
   spec.partition = transform::PartitionBySize(spec.transforms.size(), 4);
   const auto result = engine.Execute(
-      spec, {.algorithm = Algorithm::kMtIndex, .collect_group_stats = true});
+      spec, {.planner = {.algorithm = Algorithm::kMtIndex}, .collect_group_stats = true});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->group_stats.size(), 3u);
   for (const GroupRunStats& g : result->group_stats) {
@@ -101,27 +101,24 @@ TEST(SimilarityEngineTest, GroupStatsExposedForCostAnalysis) {
   EXPECT_TRUE(bare->group_stats.empty());
 }
 
-TEST(SimilarityEngineTest, DeprecatedWrappersStillAnswer) {
-  // The legacy per-type methods stay as thin wrappers over Execute(); this
-  // test pins their behaviour until they are removed for good.
+TEST(SimilarityEngineTest, DefaultOptionsPlanAndMatchForcedPlans) {
+  // Execute() defaults to Algorithm::kAuto: the planner must pick some plan
+  // whose answers agree with every forced algorithm.
   SimilarityEngine engine(testutil::Stocks(40, 128, 39));
   RangeQuerySpec spec;
   spec.query = ts::Denormalize(engine.dataset().normal(0));
   spec.transforms = transform::MovingAverageRange(128, 5, 10);
   spec.epsilon = 2.0;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto old_api = engine.RangeQuery(spec, Algorithm::kMtIndex);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  const auto new_api = engine.Execute(spec);
-  ASSERT_TRUE(old_api.ok());
-  ASSERT_TRUE(new_api.ok());
-  EXPECT_EQ(old_api->matches.size(), new_api->range()->matches.size());
-  EXPECT_EQ(old_api->stats.comparisons, new_api->stats().comparisons);
+  const auto planned = engine.Execute(spec);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_TRUE(planned->trace().planner.planned);
+  EXPECT_NE(planned->trace().planner.chosen_candidate(), nullptr);
+  const auto forced =
+      engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
+  ASSERT_TRUE(forced.ok());
+  EXPECT_FALSE(forced->trace().planner.planned);
+  EXPECT_EQ(planned->range()->matches.size(),
+            forced->range()->matches.size());
 }
 
 TEST(SimilarityEngineTest, InsertAndRemoveSequences) {
@@ -153,7 +150,7 @@ TEST(SimilarityEngineTest, InsertAndRemoveSequences) {
   EXPECT_TRUE(engine.index().tree().CheckInvariants().ok());
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
                               Algorithm::kMtIndex}) {
-    auto result = engine.Execute(spec, {.algorithm = algorithm});
+    auto result = engine.Execute(spec, {.planner = {.algorithm = algorithm}});
     ASSERT_TRUE(result.ok());
     for (const Match& m : result->range()->matches) {
       EXPECT_NE(m.series_id, *id) << AlgorithmName(algorithm);
@@ -204,7 +201,7 @@ TEST(SimilarityEngineTest, ManyInsertionsAndRemovalsStaySound) {
   spec.epsilon = 2.0;
   const auto expected = BruteForceRangeQuery(engine.dataset(), spec);
   auto mt = engine.Execute(spec);
-  auto seq = engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
+  auto seq = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kSequentialScan}});
   ASSERT_TRUE(mt.ok());
   ASSERT_TRUE(seq.ok());
   EXPECT_EQ(mt->range()->matches.size(), expected.size());
@@ -217,7 +214,7 @@ TEST(SimilarityEngineTest, BufferPoolPreservesAnswersAndCutsPhysicalReads) {
   spec.query = ts::Denormalize(engine.dataset().normal(4));
   spec.transforms = transform::MovingAverageRange(128, 5, 20);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
-  const ExecOptions st{.algorithm = Algorithm::kStIndex};
+  const ExecOptions st{.planner = {.algorithm = Algorithm::kStIndex}};
 
   // Cold baseline: physical reads over two ST queries.
   engine.ResetIoStats();

@@ -28,7 +28,7 @@ TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
   spec.transforms = transform::MovingAverageRange(128, 5, 20);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
   const auto before =
-      original.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+      original.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   ASSERT_TRUE(before.ok());
 
   ASSERT_TRUE(original.SaveTo(prefix_).ok());
@@ -41,8 +41,8 @@ TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
   // Identical answers and identical index traversal counters.
   for (Algorithm algorithm : {Algorithm::kSequentialScan, Algorithm::kStIndex,
                               Algorithm::kMtIndex}) {
-    const auto a = original.Execute(spec, {.algorithm = algorithm});
-    const auto b = (*loaded)->Execute(spec, {.algorithm = algorithm});
+    const auto a = original.Execute(spec, {.planner = {.algorithm = algorithm}});
+    const auto b = (*loaded)->Execute(spec, {.planner = {.algorithm = algorithm}});
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     std::vector<Match> ma = a->range()->matches, mb = b->range()->matches;
@@ -77,7 +77,7 @@ TEST_F(PersistenceTest, LoadedEngineSupportsUpdatesAndQueries) {
   spec.transforms = {transform::SpectralTransform::Identity(64)};
   spec.epsilon = 0.1;
   const auto result =
-      (*loaded)->Execute(spec, {.algorithm = Algorithm::kMtIndex});
+      (*loaded)->Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   ASSERT_TRUE(result.ok());
   bool found = false;
   for (const Match& m : result->range()->matches) {

@@ -30,7 +30,7 @@ class StatsInvarianceTest : public ::testing::Test {
   void ExpectInvariantAcrossThreads(const QuerySpec& spec,
                                     Algorithm algorithm) {
     ExecOptions options;
-    options.algorithm = algorithm;
+    options.planner.algorithm = algorithm;
     options.num_threads = 1;
     const auto baseline = engine_.Execute(spec, options);
     ASSERT_TRUE(baseline.ok()) << AlgorithmName(algorithm);
@@ -101,7 +101,7 @@ TEST_F(StatsInvarianceTest, TracePhasesMatchAlgorithmShape) {
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.95, 128);
 
   ExecOptions options;
-  options.algorithm = Algorithm::kSequentialScan;
+  options.planner.algorithm = Algorithm::kSequentialScan;
   const auto scan = engine_.Execute(spec, options);
   ASSERT_TRUE(scan.ok());
   const obs::QueryTrace& scan_trace = scan->trace();
@@ -113,7 +113,7 @@ TEST_F(StatsInvarianceTest, TracePhasesMatchAlgorithmShape) {
   EXPECT_EQ(scan_trace.at(obs::Phase::kCandidateFetch).items,
             engine_.dataset().active_size());
 
-  options.algorithm = Algorithm::kMtIndex;
+  options.planner.algorithm = Algorithm::kMtIndex;
   const auto mt = engine_.Execute(spec, options);
   ASSERT_TRUE(mt.ok());
   const obs::QueryTrace& mt_trace = mt->trace();
@@ -149,7 +149,7 @@ TEST_F(StatsInvarianceTest, ScanRecordPagesMatchPageFileReads) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
         engine_.ResetIoStats();
         ExecOptions options;
-        options.algorithm = Algorithm::kSequentialScan;
+        options.planner.algorithm = Algorithm::kSequentialScan;
         options.num_threads = threads;
         const auto result = engine_.Execute(spec, options);
         ASSERT_TRUE(result.ok());

@@ -50,10 +50,10 @@ TEST(ExecutorConcurrencyTest, EightConcurrentExecutesAgree) {
   for (const Algorithm algorithm :
        {Algorithm::kSequentialScan, Algorithm::kStIndex,
         Algorithm::kMtIndex}) {
-    workloads.push_back({range, {.algorithm = algorithm}, {}, {}, {}});
-    workloads.push_back({knn, {.algorithm = algorithm}, {}, {}, {}});
+    workloads.push_back({range, {.planner = {.algorithm = algorithm}}, {}, {}, {}});
+    workloads.push_back({knn, {.planner = {.algorithm = algorithm}}, {}, {}, {}});
     if (algorithm != Algorithm::kStIndex) {
-      workloads.push_back({join, {.algorithm = algorithm}, {}, {}, {}});
+      workloads.push_back({join, {.planner = {.algorithm = algorithm}}, {}, {}, {}});
     }
   }
   for (Workload& w : workloads) {

@@ -47,7 +47,7 @@ TEST_F(ExecutorDeterminismTest, RangeQueryIdenticalAcrossThreadCounts) {
        {Algorithm::kSequentialScan, Algorithm::kStIndex,
         Algorithm::kMtIndex}) {
     ExecOptions options;
-    options.algorithm = algorithm;
+    options.planner.algorithm = algorithm;
     options.collect_group_stats = true;
     options.num_threads = 1;
     const auto baseline = engine_.Execute(spec, options);
@@ -86,7 +86,7 @@ TEST_F(ExecutorDeterminismTest, KnnQueryIdenticalAcrossThreadCounts) {
   for (const Algorithm algorithm :
        {Algorithm::kSequentialScan, Algorithm::kMtIndex}) {
     ExecOptions options;
-    options.algorithm = algorithm;
+    options.planner.algorithm = algorithm;
     options.num_threads = 1;
     const auto baseline = engine_.Execute(spec, options);
     ASSERT_TRUE(baseline.ok()) << AlgorithmName(algorithm);
@@ -123,7 +123,7 @@ TEST_F(ExecutorDeterminismTest, JoinQueryIdenticalAcrossThreadCounts) {
        {Algorithm::kSequentialScan, Algorithm::kStIndex,
         Algorithm::kMtIndex}) {
     ExecOptions options;
-    options.algorithm = algorithm;
+    options.planner.algorithm = algorithm;
     options.num_threads = 1;
     const auto baseline = engine_.Execute(spec, options);
     ASSERT_TRUE(baseline.ok()) << AlgorithmName(algorithm);
@@ -152,7 +152,7 @@ TEST_F(ExecutorDeterminismTest, ShardedPoolPreservesMatchesAndStats) {
   spec.partition = transform::PartitionBySize(spec.transforms.size(), 5);
 
   ExecOptions options;
-  options.algorithm = Algorithm::kMtIndex;
+  options.planner.algorithm = Algorithm::kMtIndex;
   const auto baseline = engine_.Execute(spec, options);
   ASSERT_TRUE(baseline.ok());
   EXPECT_FALSE(baseline->range()->matches.empty());

@@ -59,7 +59,7 @@ TEST_P(EndToEndSweepTest, EverythingAgreesWithBruteForce) {
   auto check = [&](Algorithm algorithm, const transform::Partition& partition) {
     RangeQuerySpec run_spec = spec;
     run_spec.partition = partition;
-    auto result = engine.Execute(run_spec, {.algorithm = algorithm});
+    auto result = engine.Execute(run_spec, {.planner = {.algorithm = algorithm}});
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     std::vector<Match> actual = result->range()->matches;
     std::vector<Match> want = expected;
@@ -114,7 +114,7 @@ TEST(EndToEndTest, TwoClusterWorkloadAllPartitionings) {
     run_spec.partition =
         transform::PartitionBySize(spec.transforms.size(), per_group);
     auto result =
-        engine.Execute(run_spec, {.algorithm = Algorithm::kMtIndex});
+        engine.Execute(run_spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->range()->matches.size(), expected.size())
         << "per_group=" << per_group;
@@ -131,9 +131,9 @@ TEST(EndToEndTest, FilteringActuallyPrunes) {
   spec.transforms = transform::MovingAverageRange(128, 10, 25);
   spec.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
 
-  auto seq = engine.Execute(spec, {.algorithm = Algorithm::kSequentialScan});
-  auto st = engine.Execute(spec, {.algorithm = Algorithm::kStIndex});
-  auto mt = engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+  auto seq = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kSequentialScan}});
+  auto st = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kStIndex}});
+  auto mt = engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
   ASSERT_TRUE(seq.ok());
   ASSERT_TRUE(st.ok());
   ASSERT_TRUE(mt.ok());
@@ -159,7 +159,7 @@ TEST(EndToEndTest, CompositionQueryRewriting) {
   composed.query = ts::Denormalize(engine.dataset().normal(7));
   composed.transforms = transform::ComposeSpectralSets(shifts, mvs);
   composed.epsilon = 1.5;
-  auto result = engine.Execute(composed, {.algorithm = Algorithm::kMtIndex});
+  auto result = engine.Execute(composed, {.planner = {.algorithm = Algorithm::kMtIndex}});
   ASSERT_TRUE(result.ok());
 
   // Ground truth: apply shift then MA by hand over in-memory data.

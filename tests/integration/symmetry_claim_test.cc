@@ -28,7 +28,7 @@ FilterMeasurement Measure(const SimilarityEngine& engine,
   for (std::size_t q = 0; q < queries; ++q) {
     spec.query = ts::Denormalize(engine.dataset().normal(q * 7 % engine.size()));
     const auto result =
-        engine.Execute(spec, {.algorithm = Algorithm::kMtIndex});
+        engine.Execute(spec, {.planner = {.algorithm = Algorithm::kMtIndex}});
     EXPECT_TRUE(result.ok());
     m.candidates += static_cast<double>(result->stats().candidates);
     m.disk_accesses += static_cast<double>(result->stats().disk_accesses());

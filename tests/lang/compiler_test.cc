@@ -87,7 +87,7 @@ TEST(CompilerTest, RangeQueryEndToEnd) {
   manual.transforms = transform::MovingAverageRange(128, 1, 40);
   manual.epsilon = ts::CorrelationToDistanceThreshold(0.96, 128);
   const auto via_api =
-      engine.Execute(manual, {.algorithm = core::Algorithm::kMtIndex});
+      engine.Execute(manual, {.planner = {.algorithm = core::Algorithm::kMtIndex}});
   ASSERT_TRUE(via_api.ok());
   EXPECT_EQ(via_lang->range()->matches.size(),
             via_api->range()->matches.size());
@@ -98,7 +98,7 @@ TEST(CompilerTest, KnnQueryEndToEnd) {
   const auto compiled = CompileQuery(
       "find 4 nearest to series 2 under mv(1..10) using scan", engine);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-  EXPECT_EQ(compiled->options.algorithm, core::Algorithm::kSequentialScan);
+  EXPECT_EQ(compiled->options.planner.algorithm, core::Algorithm::kSequentialScan);
   const auto* spec = std::get_if<core::KnnQuerySpec>(&compiled->spec);
   ASSERT_NE(spec, nullptr);
   EXPECT_EQ(spec->k, 4u);

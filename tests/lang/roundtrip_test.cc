@@ -119,7 +119,7 @@ TEST(LangRoundTripTest, CompiledTextExecutesIdenticallyToTheSpec) {
       ASSERT_TRUE(compiled.ok()) << work.lang_text;
 
       core::ExecOptions options;
-      options.algorithm = core::Algorithm::kSequentialScan;
+      options.planner.algorithm = core::Algorithm::kSequentialScan;
       const auto from_spec = engine.Execute(work.spec, options);
       const auto from_text = engine.Execute(compiled->spec, options);
       ASSERT_TRUE(from_spec.ok()) << work.lang_text;

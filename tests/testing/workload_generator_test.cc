@@ -71,7 +71,7 @@ TEST_F(WorkloadGeneratorTest, OracleAgreesWithSequentialScan) {
   // The oracle is the ground truth of the differential fuzzer; pin it to the
   // engine's sequential scan (no index, no pruning on either side).
   core::ExecOptions options;
-  options.algorithm = core::Algorithm::kSequentialScan;
+  options.planner.algorithm = core::Algorithm::kSequentialScan;
   for (std::size_t index = 0; index < 9; ++index) {
     const WorkloadCase work = generator_.MakeCase(index, engine_, oracle_);
     const auto result = engine_.Execute(work.spec, options);
@@ -121,7 +121,7 @@ TEST(DifferentialRunnerTest, CleanSweepPassesOnAFreshSeed) {
   for (std::size_t index = 0; index < 3; ++index) {
     const CaseOutcome outcome = runner.RunCase(index, config);
     EXPECT_TRUE(outcome.passed) << outcome.failure;
-    EXPECT_EQ(outcome.runs, 18u);  // 3 algorithms x 3 thread counts x 2 pools
+    EXPECT_EQ(outcome.runs, 24u);  // 4 algorithms x 3 thread counts x 2 pools
     EXPECT_EQ(outcome.fault_runs, 0u);
   }
 }

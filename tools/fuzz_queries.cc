@@ -33,10 +33,11 @@ void Usage(const char* argv0) {
       "usage: %s [--seed=N | --seed=A..B] [--iters=N] [--case=K]\n"
       "          [--with-faults | --no-faults] [--tol=X]\n"
       "\n"
-      "Runs seeded query workloads through {scan, ST-index, MT-index} x\n"
-      "{1,4,8} threads x {pool on/off} and compares every result against a\n"
-      "brute-force oracle; with faults enabled, also checks that injected\n"
-      "storage errors surface as Status, never as wrong results.\n",
+      "Runs seeded query workloads through {scan, ST-index, MT-index,\n"
+      "auto} x {1,4,8} threads x {pool on/off} and compares every result\n"
+      "against a brute-force oracle; with faults enabled, also checks that\n"
+      "injected storage errors surface as Status, never as wrong results.\n"
+      "Auto runs additionally assert one deterministic plan per case.\n",
       argv0);
 }
 
