@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the engine write-path tests under ThreadSanitizer and runs them.
+#
+# engine_write_concurrency_test hammers the snapshot layer: eight Execute()
+# threads race a continuous Insert/Remove writer (plus SaveTo and
+# buffer-pool reconfiguration in a second test), so any missing
+# synchronization between the write lock, the read pins and the planner
+# epoch shows up as a TSAN report. engine_write_fault_test runs the
+# fault-injected commit/compensate paths under the same instrumentation.
+#
+# Usage: scripts/tsan_write_tests.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+  engine_write_fault_test engine_write_concurrency_test
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -R 'EngineWriteFault|EngineWriteConcurrency'

@@ -18,18 +18,20 @@ Dataset::Dataset(std::vector<ts::Series> raw,
   features_.reserve(raw.size());
   record_ids_.reserve(raw.size());
   for (const ts::Series& series : raw) {
-    Append(series);
+    // Construction happens before any fault hook can be installed, so the
+    // only failure mode here is a real bug.
+    const Result<std::size_t> id = Append(series);
+    TSQ_CHECK(id.ok()) << id.status().ToString();
   }
   // Loading I/O is not part of any query's cost.
   record_file_.ResetStats();
 }
 
-std::size_t Dataset::Append(const ts::Series& series) {
+Result<std::size_t> Dataset::Append(const ts::Series& series) {
   TSQ_CHECK_EQ(series.size(), length_)
       << "all series in a dataset must have equal length";
   ts::NormalForm normal = ts::Normalize(series);
   std::vector<dft::Complex> spectrum = plan_->Forward(normal.values);
-  features_.push_back(ExtractFeatures(normal, spectrum, layout_));
   // The stored "full database record" is the normal form's spectrum
   // (real/imaginary interleaved). By Parseval (Eq. 8) it carries exactly
   // the information of the normal form itself, and the post-processing
@@ -40,8 +42,12 @@ std::size_t Dataset::Append(const ts::Series& series) {
     record[2 * f] = spectrum[f].real();
     record[2 * f + 1] = spectrum[f].imag();
   }
+  // The store write is the one fallible step (it reads the current page, a
+  // read an injected fault can fail); everything is pushed only after it
+  // succeeded so a failure leaves no trace.
   Result<storage::RecordId> id = records_->AppendSeries(record);
-  TSQ_CHECK(id.ok()) << id.status().ToString();
+  TSQ_RETURN_IF_ERROR(id.status());
+  features_.push_back(ExtractFeatures(normal, spectrum, layout_));
   record_ids_.push_back(*id);
   normals_.push_back(std::move(normal));
   spectra_.push_back(std::move(spectrum));

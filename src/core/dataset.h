@@ -36,7 +36,10 @@ class Dataset {
 
   /// Appends one more sequence (normalizes, stores the record, derives
   /// features) and returns its id. Requires series.size() == length().
-  std::size_t Append(const ts::Series& series);
+  /// Failure-atomic: storing the record reads the store's current page, so
+  /// it can fail (e.g. under an injected read fault) — in that case nothing
+  /// is appended and the dataset is exactly as before.
+  Result<std::size_t> Append(const ts::Series& series);
 
   /// Tombstones sequence `i`: it stays in the (append-only) record store but
   /// is excluded from every query. Idempotent. NotFound for bad ids.

@@ -15,18 +15,28 @@ namespace {
 constexpr int kMetaVersion = 1;
 
 // Engine-level instruments, resolved once (registry pointers are stable for
-// the life of the process).
+// the life of the process). The write counters count *commits*: a
+// compensated write (insert rolled back, remove that needed a rebuild)
+// increments `rollbacks`; `removes` counts every remove that returned Ok,
+// compensated or not, while a rolled-back insert counts only as a rollback
+// (the caller got an error and no id).
 struct EngineMetrics {
   obs::Counter* queries;
   obs::Counter* query_errors;
   obs::Histogram* query_nanos;
+  obs::Counter* inserts;
+  obs::Counter* removes;
+  obs::Counter* rollbacks;
 
   static const EngineMetrics& Get() {
     static const EngineMetrics metrics = [] {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       return EngineMetrics{registry.counter("engine.queries"),
                            registry.counter("engine.query_errors"),
-                           registry.histogram("engine.query_nanos")};
+                           registry.histogram("engine.query_nanos"),
+                           registry.counter("engine.writes.inserts"),
+                           registry.counter("engine.writes.removes"),
+                           registry.counter("engine.writes.rollbacks")};
     }();
     return metrics;
   }
@@ -48,19 +58,62 @@ Result<std::size_t> SimilarityEngine::Insert(const ts::Series& series) {
   if (series.size() != dataset_->length()) {
     return Status::InvalidArgument("series length does not match dataset");
   }
-  const std::size_t id = dataset_->Append(series);
-  TSQ_RETURN_IF_ERROR(index_->InsertEntry(id));
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
+  const Result<std::size_t> appended = dataset_->Append(series);
+  // A failed append is failure-atomic on its own: nothing was recorded, no
+  // version bump, nothing to compensate.
+  if (!appended.ok()) return appended.status();
+  const std::size_t id = *appended;
+  const Status inserted = index_->InsertEntry(id);
+  if (!inserted.ok()) {
+    // Compensate: tombstone the appended id so it can never match a query,
+    // then rebuild the index — a tree insertion that failed mid-restructure
+    // (forced reinsert removes entries before putting them back) can have
+    // dropped *unrelated* live entries, which the tombstone alone cannot
+    // repair. Rebuild only writes pages, so it succeeds even while a
+    // read-fault hook is firing.
+    const Status tombstoned = dataset_->MarkRemoved(id);
+    TSQ_CHECK(tombstoned.ok()) << tombstoned.ToString();
+    const Status rebuilt = index_->Rebuild();
+    TSQ_CHECK(rebuilt.ok()) << rebuilt.ToString();
+    planner_->BumpEpoch();     // the rebuilt tree prices differently
+    snapshots_.BumpVersion();  // the tombstone is visible state
+    metrics.rollbacks->Increment();
+    return inserted;
+  }
   planner_->BumpEpoch();  // cached plans priced the old tree
+  snapshots_.BumpVersion();
+  metrics.inserts->Increment();
   return id;
 }
 
 Status SimilarityEngine::Remove(std::size_t id) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
+  // The liveness check runs under the same lock as the commit below, so two
+  // racing Remove(id) calls resolve deterministically: one Ok, one NotFound.
   if (id >= dataset_->size() || dataset_->removed(id)) {
     return Status::NotFound("no such live sequence");
   }
-  TSQ_RETURN_IF_ERROR(index_->RemoveEntry(id));
-  TSQ_RETURN_IF_ERROR(dataset_->MarkRemoved(id));
+  // The tombstone is the commit point: every executor (and the test oracle)
+  // filters removed ids, so from here on the sequence is gone from query
+  // results regardless of what the index still says about it. MarkRemoved
+  // cannot fail for an id the check above just validated.
+  const Status tombstoned = dataset_->MarkRemoved(id);
+  TSQ_CHECK(tombstoned.ok()) << tombstoned.ToString();
+  const Status removed = index_->RemoveEntry(id);
+  if (!removed.ok()) {
+    // A clean failure (tree untouched) merely leaves a stale — filtered,
+    // harmless — leaf entry; a failure during orphan reinsertion can have
+    // dropped live entries. Rebuilding covers both without distinguishing.
+    const Status rebuilt = index_->Rebuild();
+    TSQ_CHECK(rebuilt.ok()) << rebuilt.ToString();
+    metrics.rollbacks->Increment();
+  }
   planner_->BumpEpoch();
+  snapshots_.BumpVersion();
+  metrics.removes->Increment();
   return Status::Ok();
 }
 
@@ -83,6 +136,12 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
   const EngineMetrics& metrics = EngineMetrics::Get();
   const std::uint64_t start = MonotonicNanos();
   metrics.queries->Increment();
+
+  // Pin a read snapshot for the whole execution (planning included): writers
+  // are held off until every pin drains, so the (dataset, index, plan-cache
+  // epoch) triple cannot change under this query. The pinned version is
+  // stamped into the result trace below.
+  const SnapshotManager::ReadPin pin = snapshots_.PinRead();
 
   // Resolve kAuto into a concrete plan. A forced algorithm passes through
   // the planner too, but short-circuits into an unplanned decision there, so
@@ -130,10 +189,11 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
     out.value = std::move(*result);
   }
 
+  obs::QueryTrace& trace = std::visit(
+      [](auto& result) -> obs::QueryTrace& { return result.trace; },
+      out.value);
+  trace.snapshot_version = pin.version();
   if (decision->trace.planned) {
-    obs::QueryTrace& trace = std::visit(
-        [](auto& result) -> obs::QueryTrace& { return result.trace; },
-        out.value);
     trace.planner = decision->trace;
     trace.planner.cache_hit = planned->cache_hit;
     // Actual cost in the estimate's own currency: measured disk accesses
@@ -163,6 +223,7 @@ void SimilarityEngine::ResetIoStats() {
 }
 
 void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
   dataset_->set_io_delay_nanos(nanos);
   index_->set_io_delay_nanos(nanos);
   // C_cmp was measured against the old page-read latency.
@@ -171,10 +232,22 @@ void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
 
 void SimilarityEngine::EnableIndexBufferPool(std::size_t pages,
                                              std::size_t shards) {
+  // The write lock waits out in-flight queries: swapping the pool under a
+  // running traversal would hand it freed pages.
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
   index_->EnableBufferPool(pages, shards);
 }
 
+void SimilarityEngine::SetReadFaultHook(storage::FaultHook* hook) {
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
+  dataset_->SetReadFaultHook(hook);
+  index_->SetReadFaultHook(hook);
+}
+
 Status SimilarityEngine::SaveTo(const std::string& prefix) const {
+  // Pin a snapshot so the three files describe one committed state even
+  // while writers are active.
+  const SnapshotManager::ReadPin pin = snapshots_.PinRead();
   TSQ_RETURN_IF_ERROR(dataset_->SaveRecordsTo(prefix + ".records"));
   TSQ_RETURN_IF_ERROR(index_->SaveTo(prefix + ".index"));
 

@@ -12,6 +12,7 @@
 #include "core/knn_query.h"
 #include "core/query.h"
 #include "core/range_query.h"
+#include "core/snapshot.h"
 #include "storage/buffer_pool.h"
 
 namespace tsq::plan {
@@ -67,8 +68,17 @@ struct QueryResult {
 /// ST-index and MT-index partitionings. Force a concrete plan with
 /// {.planner = {.algorithm = Algorithm::kMtIndex}}.
 ///
-/// Execute() is const and safe to call from several threads at once; see
-/// docs/ARCHITECTURE.md ("Thread-safety contract").
+/// Thread-safety: Execute() is const and safe to call from any number of
+/// threads, *including* concurrently with Insert()/Remove(). Writes are
+/// serialized against each other and against queries by an engine-level
+/// SnapshotManager: every Execute() pins a read snapshot for its whole
+/// duration and sees either all of a concurrent write or none of it, and
+/// every committed write bumps the snapshot version (reported in the result
+/// trace as `snapshot_version`). A write that fails partway compensates —
+/// tombstoning the appended id, rebuilding the index — before releasing the
+/// write lock, so queries never observe a half-applied mutation. See
+/// docs/ARCHITECTURE.md ("Thread-safety contract") for the full contract
+/// and the residual exclusions (configuration, persistence, stats resets).
 class SimilarityEngine {
  public:
   struct Options {
@@ -84,11 +94,27 @@ class SimilarityEngine {
 
   /// Adds one sequence (record + index entry); returns its id. Requires
   /// series.size() == length().
+  ///
+  /// Atomic under concurrency: the append, the index insertion and the
+  /// planner epoch bump commit under the engine write lock, so a concurrent
+  /// Execute() sees either the old dataset or the fully inserted sequence —
+  /// never an appended record without its index entry. If the index
+  /// insertion fails (e.g. under fault injection), the appended id is
+  /// tombstoned and the index rebuilt over the live sequences before the
+  /// error is returned; the engine stays consistent and the failed id never
+  /// matches any query. A failure in the record append itself needs no
+  /// compensation: nothing was stored and the version does not move.
   Result<std::size_t> Insert(const ts::Series& series);
 
   /// Removes sequence `id` from the index and tombstones its record; it no
   /// longer appears in any query. NotFound for unknown or already-removed
-  /// ids.
+  /// ids (the check runs under the same lock as the commit, so two racing
+  /// Remove(id) calls resolve to one Ok and one NotFound).
+  ///
+  /// Atomic under concurrency: the tombstone is the commit point. If the
+  /// index removal then fails partway, the index is rebuilt over the live
+  /// sequences and the remove still returns Ok — the sequence is gone from
+  /// every subsequent query either way.
   Status Remove(std::size_t id);
 
   const Dataset& dataset() const { return *dataset_; }
@@ -97,6 +123,12 @@ class SimilarityEngine {
   std::size_t size() const { return dataset_->active_size(); }
   std::size_t length() const { return dataset_->length(); }
 
+  /// Number of committed writes since construction. Each successful (or
+  /// compensated) Insert/Remove bumps it exactly once; Execute() stamps the
+  /// version it pinned into the result trace, which is what lets an external
+  /// oracle reconstruct the exact dataset state a query ran against.
+  std::uint64_t write_version() const { return snapshots_.version(); }
+
   /// Runs any query. `options.planner` chooses the algorithm — the default,
   /// Algorithm::kAuto, hands the choice to the cost-based planner, whose
   /// decision (chosen plan, rejected candidates, estimated vs actual cost)
@@ -104,8 +136,10 @@ class SimilarityEngine {
   /// also sets the worker-thread count (results and summed stats are
   /// identical for every value) and whether per-rectangle group stats are
   /// collected (range queries).
-  /// Thread-safe: concurrent Execute() calls on one engine are supported, as
-  /// long as no Insert/Remove/EnableIndexBufferPool runs concurrently.
+  /// Thread-safe: any number of concurrent Execute() calls, concurrently
+  /// with Insert()/Remove(). The query runs against the snapshot pinned at
+  /// entry (its version lands in the result trace); configuration calls
+  /// (EnableIndexBufferPool, SetReadFaultHook, ...) remain excluded.
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions()) const;
 
@@ -131,20 +165,20 @@ class SimilarityEngine {
 
   /// Attaches a sharded LRU buffer pool of `pages` pages to the index
   /// (0 detaches; `shards` = 0 uses the default shard count); see
-  /// SequenceIndex::EnableBufferPool. Not safe concurrently with Execute().
+  /// SequenceIndex::EnableBufferPool. Runs under the engine write lock, so
+  /// it waits out in-flight queries rather than racing them — but queries
+  /// issued *after* it returns see the new pool, so benchmark setup should
+  /// still quiesce first for meaningful numbers.
   void EnableIndexBufferPool(std::size_t pages, std::size_t shards = 0);
 
   /// Installs (nullptr removes) one fault-injection hook on every storage
   /// layer a query reads through: the record page file, the index page file
   /// and — now or whenever one is attached later — the index buffer pool.
   /// With a hook installed, Execute() either returns the exact fault-free
-  /// result or a non-OK Status; it never crashes or silently drops matches.
-  /// Not safe concurrently with Execute(); keep the hook alive until
-  /// removed.
-  void SetReadFaultHook(storage::FaultHook* hook) {
-    dataset_->SetReadFaultHook(hook);
-    index_->SetReadFaultHook(hook);
-  }
+  /// result or a non-OK Status; it never crashes or silently drops matches,
+  /// and Insert/Remove compensate so the engine stays consistent. Runs under
+  /// the engine write lock; keep the hook alive until removed.
+  void SetReadFaultHook(storage::FaultHook* hook);
 
   /// The index buffer pool, nullptr when none is attached. This replaces the
   /// old mutable_index() escape hatch, which let callers restructure the
@@ -160,6 +194,8 @@ class SimilarityEngine {
   /// per-sequence metadata), `<prefix>.records` and `<prefix>.index` (page
   /// files). LoadFrom reopens them without rebuilding the index — the
   /// paper's setting of an R*-tree that lives on disk between sessions.
+  /// SaveTo pins a read snapshot, so it writes a committed state even while
+  /// Insert/Remove run concurrently.
   Status SaveTo(const std::string& prefix) const;
   static Result<std::unique_ptr<SimilarityEngine>> LoadFrom(
       const std::string& prefix);
@@ -170,6 +206,9 @@ class SimilarityEngine {
   std::unique_ptr<Dataset> dataset_;
   std::unique_ptr<SequenceIndex> index_;
   std::unique_ptr<plan::Planner> planner_;
+  // Serializes Insert/Remove (and configuration) against pinned queries;
+  // mutable because Execute() is const yet must pin a read snapshot.
+  mutable SnapshotManager snapshots_;
 };
 
 }  // namespace tsq::core

@@ -6,7 +6,7 @@ namespace tsq::core {
 
 SequenceIndex::SequenceIndex(const Dataset& dataset,
                              rstar::TreeOptions options)
-    : dataset_(&dataset) {
+    : dataset_(&dataset), options_(options) {
   tree_ = std::make_unique<rstar::RStarTree>(
       &index_file_, dataset.layout().dimensions(), options);
   // STR bulk load: near-full, well-clustered nodes, built in O(n log n).
@@ -28,6 +28,7 @@ Result<std::unique_ptr<SequenceIndex>> SequenceIndex::LoadFrom(
     std::size_t size) {
   std::unique_ptr<SequenceIndex> index(
       new SequenceIndex(dataset, LoadTag{}));
+  index->options_ = options;
   TSQ_RETURN_IF_ERROR(index->index_file_.LoadFrom(path));
   index->tree_ = std::make_unique<rstar::RStarTree>(
       &index->index_file_, dataset.layout().dimensions(), options);
@@ -44,6 +45,27 @@ Status SequenceIndex::InsertEntry(std::size_t i) {
 Status SequenceIndex::RemoveEntry(std::size_t i) {
   if (i >= dataset_->size()) return Status::NotFound("no such sequence id");
   return tree_->Delete(rstar::Rect::FromPoint(dataset_->features(i)), i);
+}
+
+Status SequenceIndex::Rebuild() {
+  // Page ids restart from 0 below, so a pool caching the old pages would
+  // serve stale bytes for reused ids — drop everything it holds first.
+  if (pool_) pool_->Clear();
+  index_file_.Clear();
+  tree_ = std::make_unique<rstar::RStarTree>(
+      &index_file_, dataset_->layout().dimensions(), options_);
+  tree_->SetBufferPool(pool_.get());
+  std::vector<rstar::Entry> entries;
+  entries.reserve(dataset_->active_size());
+  for (std::size_t i = 0; i < dataset_->size(); ++i) {
+    if (dataset_->removed(i)) continue;
+    entries.push_back(
+        rstar::Entry{rstar::Rect::FromPoint(dataset_->features(i)), i});
+  }
+  TSQ_RETURN_IF_ERROR(tree_->BulkLoad(std::move(entries)));
+  // Like the constructor: rebuild I/O is not part of any query's cost.
+  index_file_.ResetStats();
+  return Status::Ok();
 }
 
 void SequenceIndex::EnableBufferPool(std::size_t pages, std::size_t shards) {

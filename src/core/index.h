@@ -42,6 +42,16 @@ class SequenceIndex {
   /// Removes sequence `i`'s entry from the index.
   Status RemoveEntry(std::size_t i);
 
+  /// Discards the tree and bulk-loads a fresh one over every *live* dataset
+  /// sequence — the engine's compensation step when InsertEntry/RemoveEntry
+  /// failed partway (a failed tree restructure can drop entries for
+  /// unrelated live ids, which tombstones cannot repair). Bulk loading only
+  /// writes pages, so Rebuild succeeds even while a read-fault hook is
+  /// injecting failures. Page ids restart from 0, so an attached buffer
+  /// pool is cleared. Requires external exclusion from queries (the engine
+  /// calls it under its write lock).
+  Status Rebuild();
+
   storage::IoStats index_io() const { return index_file_.stats(); }
   void ResetIndexIo() { index_file_.ResetStats(); }
 
@@ -75,6 +85,7 @@ class SequenceIndex {
   SequenceIndex(const Dataset& dataset, LoadTag) : dataset_(&dataset) {}
 
   const Dataset* dataset_;
+  rstar::TreeOptions options_;
   mutable storage::PageFile index_file_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<rstar::RStarTree> tree_;

@@ -104,6 +104,12 @@ struct QueryTrace {
   std::uint64_t total_nanos = 0;  // whole executor call, wall clock
   std::array<PhaseStats, kPhaseCount> phases{};
   PlannerTrace planner;  // cost-based planner decision (kAuto only)
+  /// Engine write version pinned for this query (number of committed
+  /// Insert/Remove operations the snapshot includes). Lets a checker replay
+  /// the exact dataset state the query saw while writers run concurrently.
+  /// Excluded from DeterministicSignature(): it depends on write timing,
+  /// not on the query.
+  std::uint64_t snapshot_version = 0;
 
   PhaseStats& at(Phase phase) {
     return phases[static_cast<std::size_t>(phase)];

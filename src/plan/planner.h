@@ -67,8 +67,10 @@ class Planner {
           std::size_t cache_capacity = 64);
 
   /// Signals an index mutation (Insert/Remove): invalidates the snapshot and
-  /// every cached plan. Not safe concurrently with Plan() — same contract as
-  /// the engine's Insert/Remove vs Execute().
+  /// every cached plan. Guarded by the planner mutex, so it is safe
+  /// concurrently with Plan(); the engine additionally calls it only under
+  /// its write lock (with queries drained), which is what guarantees no
+  /// cached plan was ever priced against a half-committed tree.
   void BumpEpoch();
   std::uint64_t epoch() const;
 

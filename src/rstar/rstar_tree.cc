@@ -631,28 +631,33 @@ Status RStarTree::Delete(const Rect& rect, std::uint64_t id) {
   TSQ_RETURN_IF_ERROR(FindLeaf(root, rect, id, path, &found));
   if (!found) return Status::NotFound("entry not in tree");
 
-  // Remove the entry from the leaf.
-  Node leaf;
-  TSQ_RETURN_IF_ERROR(ReadNode(path.back(), &leaf));
+  // ---- Phase 1: reads and in-memory planning only. Nothing is written
+  // until every fallible read has succeeded, so a failure up to the apply
+  // marker below (an injected read fault included) leaves the tree exactly
+  // as it was. ----
+  std::vector<Node> nodes(path.size());
+  nodes[0] = std::move(root);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    TSQ_RETURN_IF_ERROR(ReadNode(path[i], &nodes[i]));
+  }
+
+  // Erase the entry from the in-memory leaf.
+  Node& leaf = nodes.back();
   auto it = std::find_if(leaf.entries.begin(), leaf.entries.end(),
                          [&](const Entry& e) {
                            return e.id == id && e.rect == rect;
                          });
   TSQ_CHECK(it != leaf.entries.end());
   leaf.entries.erase(it);
-  TSQ_RETURN_IF_ERROR(WriteNode(leaf));
-  --size_;
-  return CondenseTree(path);
-}
 
-Status RStarTree::CondenseTree(const std::vector<storage::PageId>& path) {
-  // Collect orphaned entries (with their levels) from underfull nodes.
+  // Condense in memory: walking up from the leaf, orphan underfull nodes
+  // (their surviving entries get reinserted below) and refresh ancestor
+  // rects.
+  std::vector<bool> alive(nodes.size(), true);
   std::vector<std::pair<Entry, std::uint32_t>> orphans;
-  for (std::size_t i = path.size(); i-- > 1;) {
-    Node node;
-    TSQ_RETURN_IF_ERROR(ReadNode(path[i], &node));
-    Node parent;
-    TSQ_RETURN_IF_ERROR(ReadNode(path[i - 1], &parent));
+  for (std::size_t i = nodes.size(); i-- > 1;) {
+    Node& node = nodes[i];
+    Node& parent = nodes[i - 1];
     auto entry_it = std::find_if(
         parent.entries.begin(), parent.entries.end(),
         [&](const Entry& e) { return e.id == path[i]; });
@@ -662,27 +667,53 @@ Status RStarTree::CondenseTree(const std::vector<storage::PageId>& path) {
         orphans.emplace_back(e, node.level);
       }
       parent.entries.erase(entry_it);
+      alive[i] = false;
     } else {
       entry_it->rect = NodeRect(node);
     }
-    TSQ_RETURN_IF_ERROR(WriteNode(parent));
   }
 
-  // Shrink the root while it is an internal node with a single child.
-  Node root;
-  TSQ_RETURN_IF_ERROR(ReadNode(root_, &root));
-  while (!root.is_leaf() && root.entries.size() == 1) {
-    root_ = static_cast<storage::PageId>(root.entries.front().id);
-    --height_;
-    TSQ_RETURN_IF_ERROR(ReadNode(root_, &root));
+  // Plan the root shrink: single-child internal roots collapse into their
+  // child. Off-path replacement roots need a read, which is still phase-1
+  // work.
+  storage::PageId new_root = root_;
+  std::size_t new_height = height_;
+  Node current = nodes[0];
+  while (!current.is_leaf() && current.entries.size() == 1) {
+    new_root = static_cast<storage::PageId>(current.entries.front().id);
+    --new_height;
+    bool on_path = false;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (path[i] == new_root && alive[i]) {
+        current = nodes[i];
+        on_path = true;
+        break;
+      }
+    }
+    if (!on_path) {
+      TSQ_RETURN_IF_ERROR(ReadNode(new_root, &current));
+    }
   }
-  if (root.is_leaf() && root.entries.empty()) {
-    root_ = storage::kInvalidPageId;
-    height_ = 0;
+  if (current.is_leaf() && current.entries.empty()) {
+    new_root = storage::kInvalidPageId;
+    new_height = 0;
   }
+
+  // ---- Phase 2: apply. Node writes never consult the read-fault hook, so
+  // a delete that triggers no underflow (the common case) is now
+  // failure-atomic under fault injection. ----
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (alive[i]) TSQ_RETURN_IF_ERROR(WriteNode(nodes[i]));
+  }
+  root_ = new_root;
+  height_ = new_height;
+  --size_;
 
   // Reinsert orphans at their original levels (deepest first so that leaf
-  // entries go back before higher-level subtrees rely on them).
+  // entries go back before higher-level subtrees rely on them). This is the
+  // one part of a delete that can still fail after mutation — reinsertion
+  // traverses (reads) the tree — which is why SequenceIndex::Rebuild exists
+  // as the caller-level compensation.
   std::sort(orphans.begin(), orphans.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   for (const auto& [entry, level] : orphans) {

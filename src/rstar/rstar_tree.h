@@ -105,6 +105,14 @@ class RStarTree {
   Status BulkLoad(std::vector<Entry> entries);
 
   /// Removes an entry matching both `rect` and `id`; NotFound if absent.
+  ///
+  /// Failure atomicity: all fallible page reads (leaf location, the
+  /// condense plan, the root-shrink chain) happen before the first page is
+  /// written, so a read failure — an injected fault included — leaves the
+  /// tree untouched. The only post-mutation failure window is orphan
+  /// reinsertion after an underflow, which must traverse (read) the tree
+  /// again; a caller that needs stronger guarantees compensates by
+  /// rebuilding (see core::SequenceIndex::Rebuild).
   Status Delete(const Rect& rect, std::uint64_t id);
 
   /// Range search: collects all leaf entries whose rect satisfies
@@ -209,7 +217,6 @@ class RStarTree {
   // --- deletion ------------------------------------------------------------
   Status FindLeaf(const Node& node, const Rect& rect, std::uint64_t id,
                   std::vector<storage::PageId>& path, bool* found) const;
-  Status CondenseTree(const std::vector<storage::PageId>& path);
 
   Rect NodeRect(const Node& node) const;
 

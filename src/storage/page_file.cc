@@ -126,6 +126,12 @@ Status PageFile::Write(PageId id, const Page& page) {
   return Status::Ok();
 }
 
+void PageFile::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  checksums_.clear();
+}
+
 namespace {
 // Format v1 ("TSQPAG") stored raw pages only; LoadFrom recomputed checksums
 // from whatever bytes it read, so on-disk corruption round-tripped as valid.

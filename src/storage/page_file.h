@@ -103,6 +103,13 @@ class PageFile {
     allocations_.store(0, std::memory_order_relaxed);
   }
 
+  /// Drops every page (ids restart from 0). Counters are left alone — reset
+  /// them separately if the rebuild's I/O should not be charged to anyone.
+  /// Requires external exclusion from every concurrent reader and writer
+  /// (the engine calls this only under its write lock); any BufferPool
+  /// caching this file must be Clear()ed too, since page ids are reused.
+  void Clear();
+
   /// Test hook: flips a byte in the stored page without updating the
   /// checksum, so the next Read reports corruption.
   Status CorruptForTesting(PageId id, std::size_t byte_offset);

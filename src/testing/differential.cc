@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
+#include "common/rng.h"
 #include "core/join_query.h"
 #include "core/range_query.h"
 #include "testing/fault_policy.h"
+#include "ts/generate.h"
 
 namespace tsq::testing {
 
@@ -311,6 +314,190 @@ CaseOutcome DifferentialRunner::RunCase(std::size_t index,
       }
       engine_.EnableIndexBufferPool(0);
       if (!outcome.passed) return outcome;
+    }
+  }
+  return outcome;
+}
+
+CaseOutcome DifferentialRunner::RunMutateCase(std::size_t index,
+                                              const MutateConfig& config) {
+  // The dataset grows across mutate cases, so both the case's boundary-free
+  // thresholds and the final check need oracles built against the *current*
+  // state — the runner's construction-time oracle has stale spectra.
+  const WorkloadCase work = [&] {
+    const Oracle pre_oracle(engine_.dataset());
+    return generator_.MakeCase(index, engine_, pre_oracle);
+  }();
+  CaseOutcome outcome;
+  outcome.description = work.description + " [mutate]";
+  const auto fail = [&](const std::string& what) {
+    if (outcome.passed) {
+      outcome.passed = false;
+      outcome.failure = what;
+    }
+  };
+
+  // Liveness at the starting version; the mutation log extends it to any
+  // later version a query may pin.
+  const std::uint64_t base_version = engine_.write_version();
+  std::vector<bool> base_live(engine_.dataset().size());
+  for (std::size_t i = 0; i < base_live.size(); ++i) {
+    base_live[i] = !engine_.dataset().removed(i);
+  }
+
+  // Exercise the pool path on alternate cases; toggling it mid-case would
+  // only serialize the sweep behind extra write locks.
+  engine_.EnableIndexBufferPool(index % 2 == 1 ? config.pool_pages : 0,
+                                config.pool_shards);
+
+  struct WriteOp {
+    std::uint64_t version;  // engine write version after this op committed
+    bool insert;
+    std::size_t id;
+  };
+  std::vector<WriteOp> log;  // mutator-only until join(), then main-only
+  log.reserve(config.inserts + config.removes);
+  std::string mutator_failure;
+
+  // The mutator: seeded random-walk inserts interleaved with removes of ids
+  // it knows to be live (it is the only writer, so its view is exact). It
+  // reads write_version() right after each commit — still exact, same
+  // reason.
+  std::thread mutator([&] {
+    Rng rng(generator_.seed() * 0x9E3779B97F4A7C15ull + index);
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < base_live.size(); ++i) {
+      if (base_live[i]) live.push_back(i);
+    }
+    std::size_t inserts_left = config.inserts;
+    std::size_t removes_left = config.removes;
+    while (inserts_left + removes_left > 0) {
+      const bool do_insert =
+          removes_left == 0 || live.empty() ||
+          (inserts_left > 0 && rng.Bernoulli(0.5));
+      if (do_insert) {
+        --inserts_left;
+        const ts::Series series =
+            ts::GenerateRandomWalk(engine_.length(), 500.0, rng);
+        const Result<std::size_t> id = engine_.Insert(series);
+        if (!id.ok()) {
+          mutator_failure = "insert failed: " + id.status().ToString();
+          return;
+        }
+        live.push_back(*id);
+        log.push_back(WriteOp{engine_.write_version(), true, *id});
+      } else {
+        --removes_left;
+        const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        const std::size_t id = live[pick];
+        live.erase(live.begin() + pick);
+        const Status removed = engine_.Remove(id);
+        if (!removed.ok()) {
+          mutator_failure = "remove failed: " + removed.ToString();
+          return;
+        }
+        log.push_back(WriteOp{engine_.write_version(), false, id});
+      }
+      const std::uint64_t version = log.back().version;
+      if (version != base_version + log.size()) {
+        mutator_failure = "unexpected write version (another writer?)";
+        return;
+      }
+      std::this_thread::yield();  // give queries a chance between commits
+    }
+  });
+
+  // The concurrent query sweep. Two passes widen the window in which commits
+  // can land between (and during) executions.
+  static constexpr core::Algorithm kAlgorithms[] = {
+      core::Algorithm::kSequentialScan, core::Algorithm::kStIndex,
+      core::Algorithm::kMtIndex, core::Algorithm::kAuto};
+  static constexpr std::size_t kThreadCounts[] = {1, 4};
+  struct Recorded {
+    core::Algorithm algorithm;
+    std::size_t threads;
+    core::QueryResult result;
+  };
+  std::vector<Recorded> recorded;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const core::Algorithm algorithm : kAlgorithms) {
+      for (const std::size_t threads : kThreadCounts) {
+        core::ExecOptions options;
+        options.planner.algorithm = algorithm;
+        options.num_threads = threads;
+        Result<core::QueryResult> result = engine_.Execute(work.spec, options);
+        ++outcome.runs;
+        if (!result.ok()) {
+          fail("unexpected error status (no faults injected) under " +
+               DescribeConfig(algorithm, threads, index % 2 == 1) + ": " +
+               result.status().ToString());
+          continue;
+        }
+        recorded.push_back(Recorded{algorithm, threads, std::move(*result)});
+      }
+    }
+  }
+
+  mutator.join();
+  engine_.EnableIndexBufferPool(0);
+  outcome.writes = log.size();
+  if (!mutator_failure.empty()) fail("mutator: " + mutator_failure);
+
+  // Replay each recorded result at the snapshot it pinned: the oracle is
+  // built over the final dataset (spectra exist for every id ever appended,
+  // tombstoned or not) and the liveness mask comes from the version-ordered
+  // mutation log.
+  const Oracle post_oracle(engine_.dataset());
+  const auto live_at = [&](std::uint64_t version) {
+    std::vector<bool> live = base_live;
+    live.resize(engine_.dataset().size(), false);
+    for (const WriteOp& op : log) {
+      if (op.version > version) break;
+      live[op.id] = op.insert;
+    }
+    return live;
+  };
+  const auto* correlation_join = [&]() -> const core::JoinQuerySpec* {
+    const auto* join = std::get_if<core::JoinQuerySpec>(&work.spec);
+    return join != nullptr && join->mode == core::JoinMode::kCorrelation
+               ? join
+               : nullptr;
+  }();
+  for (const Recorded& run : recorded) {
+    const std::uint64_t version = run.result.trace().snapshot_version;
+    if (version < base_version || version > base_version + log.size()) {
+      std::ostringstream out;
+      out << "pinned snapshot v" << version << " outside [" << base_version
+          << ", " << base_version + log.size() << "]";
+      fail(out.str());
+      continue;
+    }
+    const std::vector<bool> live = live_at(version);
+    std::string diff;
+    if (const auto* range = std::get_if<core::RangeQuerySpec>(&work.spec)) {
+      diff = CompareRange(post_oracle.Range(*range, &live),
+                          run.result.range()->matches, config.tolerance);
+    } else if (const auto* knn = std::get_if<core::KnnQuerySpec>(&work.spec)) {
+      diff = CompareKnn(post_oracle.Knn(*knn, &live),
+                        run.result.knn()->matches, config.tolerance);
+    } else {
+      const auto& join = std::get<core::JoinQuerySpec>(work.spec);
+      // Same subset rule as RunCase; kAuto counts as indexed because the
+      // planner may have picked an index plan.
+      const bool subset_ok =
+          correlation_join != nullptr &&
+          run.algorithm != core::Algorithm::kSequentialScan;
+      diff = CompareJoin(post_oracle.Join(join, &live),
+                         run.result.join()->matches, config.tolerance,
+                         subset_ok);
+    }
+    if (!diff.empty()) {
+      std::ostringstream out;
+      out << "divergence at snapshot v" << version << " under "
+          << DescribeConfig(run.algorithm, run.threads, index % 2 == 1)
+          << ": " << diff;
+      fail(out.str());
     }
   }
   return outcome;

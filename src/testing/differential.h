@@ -26,6 +26,20 @@ struct DiffConfig {
   std::size_t pool_shards = 2;
 };
 
+/// Knobs of one mutate-mode case (RunMutateCase): a seeded mutator thread
+/// commits Insert/Remove operations while the main thread sweeps the query
+/// configurations, and every result is checked against an oracle evaluated
+/// at the snapshot version the query pinned.
+struct MutateConfig {
+  double tolerance = 1e-6;
+  /// Pool used on odd-indexed cases (even cases run pool-less).
+  std::size_t pool_pages = 8;
+  std::size_t pool_shards = 2;
+  /// Writes the mutator thread commits while the sweep runs.
+  std::size_t inserts = 5;
+  std::size_t removes = 4;
+};
+
 /// Outcome of one case's sweep.
 struct CaseOutcome {
   bool passed = true;
@@ -35,6 +49,8 @@ struct CaseOutcome {
   std::size_t fault_runs = 0;
   /// Of those, how many surfaced a non-OK Status (the rest matched).
   std::size_t fault_errors = 0;
+  /// Writes the mutator thread committed (mutate mode only).
+  std::size_t writes = 0;
   /// First divergence, self-contained enough to debug from ("config=...,
   /// expected N matches, got M, first diff ...").
   std::string failure;
@@ -51,6 +67,20 @@ class DifferentialRunner {
   explicit DifferentialRunner(std::uint64_t seed);
 
   CaseOutcome RunCase(std::size_t index, const DiffConfig& config = DiffConfig());
+
+  /// Concurrency-differential case: runs the case's query through
+  /// {scan, ST, MT, auto} x {1, 4} threads on the main thread while a seeded
+  /// mutator thread interleaves Insert/Remove commits. Each result is checked
+  /// against the Oracle evaluated at the snapshot version the query pinned
+  /// (reconstructed from the mutation log), so any torn read — a query seeing
+  /// an appended record without its index entry, a half-condensed tree, a
+  /// stale cached plan — shows up as a divergence. The kAuto
+  /// signature-stability check of RunCase does not apply here: plans
+  /// legitimately change across write epochs. Mutations persist into later
+  /// cases (the dataset grows), which is deliberate — successive cases run
+  /// against successively mutated states.
+  CaseOutcome RunMutateCase(std::size_t index,
+                            const MutateConfig& config = MutateConfig());
 
   const WorkloadGenerator& generator() const { return generator_; }
   core::SimilarityEngine& engine() { return engine_; }

@@ -77,14 +77,14 @@ double Oracle::Correlation(const transform::SpectralTransform& t,
          (static_cast<double>(n) * std::sqrt(energy_u * energy_v));
 }
 
-std::vector<core::Match> Oracle::Range(
-    const core::RangeQuerySpec& spec) const {
+std::vector<core::Match> Oracle::Range(const core::RangeQuerySpec& spec,
+                                       const std::vector<bool>* live) const {
   const std::vector<dft::Complex> query =
       QuerySpectrum(spec.query, spec.query_transform);
   const double eps2 = spec.epsilon * spec.epsilon;
   std::vector<core::Match> matches;
   for (std::size_t i = 0; i < dataset_->size(); ++i) {
-    if (dataset_->removed(i)) continue;
+    if (!Live(i, live)) continue;
     for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
       const double d2 =
           Distance2(spec.transforms[t], spec.target, spectra_[i], query);
@@ -111,12 +111,13 @@ std::vector<double> Oracle::RangeDistances(
   return distances;
 }
 
-std::vector<core::KnnMatch> Oracle::Knn(const core::KnnQuerySpec& spec) const {
+std::vector<core::KnnMatch> Oracle::Knn(const core::KnnQuerySpec& spec,
+                                        const std::vector<bool>* live) const {
   const std::vector<dft::Complex> query =
       QuerySpectrum(spec.query, spec.query_transform);
   std::vector<core::KnnMatch> all;
   for (std::size_t i = 0; i < dataset_->size(); ++i) {
-    if (dataset_->removed(i)) continue;
+    if (!Live(i, live)) continue;
     // Strict < keeps the first argmin transformation, matching the engine.
     double best = std::numeric_limits<double>::infinity();
     std::size_t best_t = 0;
@@ -151,13 +152,13 @@ std::vector<double> Oracle::KnnDistanceCurve(
 }
 
 std::vector<core::JoinMatch> Oracle::Join(
-    const core::JoinQuerySpec& spec) const {
+    const core::JoinQuerySpec& spec, const std::vector<bool>* live) const {
   const double eps2 = spec.epsilon * spec.epsilon;
   std::vector<core::JoinMatch> matches;
   for (std::size_t a = 0; a < dataset_->size(); ++a) {
-    if (dataset_->removed(a)) continue;
+    if (!Live(a, live)) continue;
     for (std::size_t b = a + 1; b < dataset_->size(); ++b) {
-      if (dataset_->removed(b)) continue;
+      if (!Live(b, live)) continue;
       for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
         if (spec.mode == core::JoinMode::kDistance) {
           const double d2 =

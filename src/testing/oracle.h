@@ -32,9 +32,20 @@ class Oracle {
  public:
   explicit Oracle(const core::Dataset& dataset);
 
-  std::vector<core::Match> Range(const core::RangeQuerySpec& spec) const;
-  std::vector<core::KnnMatch> Knn(const core::KnnQuerySpec& spec) const;
-  std::vector<core::JoinMatch> Join(const core::JoinQuerySpec& spec) const;
+  /// The `live` mask (when non-null) overrides the dataset's tombstones:
+  /// sequence i participates iff i < live->size() && (*live)[i]. This is how
+  /// the mutate fuzzer re-evaluates a query at the snapshot it was pinned to
+  /// — the mask is the liveness at that write version, reconstructed from
+  /// the mutation log, while the dataset itself has moved on. Spectra are
+  /// computed for every id at construction (tombstoned sequences keep their
+  /// normal forms), so an oracle built *after* a mutation phase can replay
+  /// any earlier version.
+  std::vector<core::Match> Range(const core::RangeQuerySpec& spec,
+                                 const std::vector<bool>* live = nullptr) const;
+  std::vector<core::KnnMatch> Knn(const core::KnnQuerySpec& spec,
+                                  const std::vector<bool>* live = nullptr) const;
+  std::vector<core::JoinMatch> Join(const core::JoinQuerySpec& spec,
+                                    const std::vector<bool>* live = nullptr) const;
 
   /// Every live (sequence, transformation) distance of a range query,
   /// sorted ascending and ignoring spec.epsilon — the curve the workload
@@ -60,6 +71,10 @@ class Oracle {
   double Correlation(const transform::SpectralTransform& t,
                      std::span<const dft::Complex> x,
                      std::span<const dft::Complex> y) const;
+  bool Live(std::size_t i, const std::vector<bool>* live) const {
+    if (live == nullptr) return !dataset_->removed(i);
+    return i < live->size() && (*live)[i];
+  }
 
   const core::Dataset* dataset_;
   dft::FftPlan plan_;

@@ -4,6 +4,7 @@
 //
 //   fuzz_queries --seed=1..50 --iters=200          # the acceptance sweep
 //   fuzz_queries --seed=7 --case=13                # reproduce one failure
+//   fuzz_queries --mutate --seed=1..20 --iters=100 # concurrent-write sweep
 //
 // Every divergence prints a self-contained repro line and the tool exits
 // non-zero.
@@ -24,20 +25,27 @@ struct FuzzOptions {
   std::size_t iters = 50;
   bool have_case = false;
   std::size_t case_index = 0;
+  bool mutate = false;
   tsq::testing::DiffConfig diff;
+  tsq::testing::MutateConfig mutate_config;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed=N | --seed=A..B] [--iters=N] [--case=K]\n"
-      "          [--with-faults | --no-faults] [--tol=X]\n"
+      "          [--with-faults | --no-faults] [--tol=X] [--mutate]\n"
       "\n"
       "Runs seeded query workloads through {scan, ST-index, MT-index,\n"
       "auto} x {1,4,8} threads x {pool on/off} and compares every result\n"
       "against a brute-force oracle; with faults enabled, also checks that\n"
       "injected storage errors surface as Status, never as wrong results.\n"
-      "Auto runs additionally assert one deterministic plan per case.\n",
+      "Auto runs additionally assert one deterministic plan per case.\n"
+      "\n"
+      "--mutate switches to the concurrent-write sweep: a seeded mutator\n"
+      "thread commits Insert/Remove while the queries run, and each result\n"
+      "is checked against the oracle evaluated at the snapshot version the\n"
+      "query pinned (fault injection does not apply in this mode).\n",
       argv0);
 }
 
@@ -73,6 +81,8 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       if (!ParseUint(arg.c_str() + 7, &value)) return false;
       options->have_case = true;
       options->case_index = static_cast<std::size_t>(value);
+    } else if (arg == "--mutate") {
+      options->mutate = true;
     } else if (arg == "--with-faults") {
       options->diff.with_faults = true;
     } else if (arg == "--no-faults") {
@@ -81,6 +91,7 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       char* end = nullptr;
       options->diff.tolerance = std::strtod(arg.c_str() + 6, &end);
       if (end == arg.c_str() + 6 || *end != '\0') return false;
+      options->mutate_config.tolerance = options->diff.tolerance;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       std::exit(0);
@@ -109,6 +120,7 @@ int main(int argc, char** argv) {
   std::size_t runs = 0;
   std::size_t fault_runs = 0;
   std::size_t fault_errors = 0;
+  std::size_t writes = 0;
   std::size_t failures = 0;
 
   for (std::uint64_t seed = options.seed_lo; seed <= options.seed_hi; ++seed) {
@@ -118,26 +130,38 @@ int main(int argc, char** argv) {
         options.have_case ? options.case_index + 1 : options.iters;
     for (std::size_t index = begin; index < end; ++index) {
       const tsq::testing::CaseOutcome outcome =
-          runner.RunCase(index, options.diff);
+          options.mutate ? runner.RunMutateCase(index, options.mutate_config)
+                         : runner.RunCase(index, options.diff);
       ++cases;
       runs += outcome.runs;
       fault_runs += outcome.fault_runs;
       fault_errors += outcome.fault_errors;
+      writes += outcome.writes;
       if (!outcome.passed) {
         ++failures;
         std::fprintf(stderr, "FAIL seed=%llu case=%zu: %s\n",
                      static_cast<unsigned long long>(seed), index,
                      outcome.failure.c_str());
         std::fprintf(stderr, "  query: %s\n", outcome.description.c_str());
-        std::fprintf(stderr, "  repro: fuzz_queries --seed=%llu --case=%zu\n",
-                     static_cast<unsigned long long>(seed), index);
+        if (options.mutate) {
+          // Mutate cases change the dataset, so case K only reproduces
+          // after replaying cases 0..K-1 against the same runner.
+          std::fprintf(stderr,
+                       "  repro: fuzz_queries --mutate --seed=%llu "
+                       "--iters=%zu\n",
+                       static_cast<unsigned long long>(seed), index + 1);
+        } else {
+          std::fprintf(stderr,
+                       "  repro: fuzz_queries --seed=%llu --case=%zu\n",
+                       static_cast<unsigned long long>(seed), index);
+        }
       }
     }
   }
 
   std::printf(
       "fuzz_queries: %zu case(s), %zu engine run(s), %zu fault run(s) "
-      "(%zu surfaced errors), %zu failure(s)\n",
-      cases, runs, fault_runs, fault_errors, failures);
+      "(%zu surfaced errors), %zu concurrent write(s), %zu failure(s)\n",
+      cases, runs, fault_runs, fault_errors, writes, failures);
   return failures == 0 ? 0 : 1;
 }
