@@ -16,8 +16,9 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  page_file_test buffer_pool_test record_store_test \
+  page_file_test atomic_file_test buffer_pool_test record_store_test \
+  persistence_test checkpoint_robustness_test \
   parallel_test exec_determinism_test exec_concurrency_test
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -R 'PageFile|BufferPool|ShardedBufferPool|RecordStore|EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'
+ctest --output-on-failure -R 'PageFile|AtomicFile|BufferPool|ShardedBufferPool|RecordStore|Persistence|CheckpointRobustness|EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'

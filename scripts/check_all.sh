@@ -9,12 +9,16 @@
 #      drift shows up as its own stage, not a needle in stage 1;
 #   3. scripts/fuzz_smoke.sh — fixed-seed differential fuzz against the
 #      brute-force oracle, fault injection included;
-#   4. scripts/tsan_exec_tests.sh — data-race gate over the executor and
+#   4. scripts/persist_tests.sh — crash-safety gate: the "-L persist"
+#      checkpoint robustness suite plus a crash-recovery sweep that aborts
+#      SaveTo at every write step and re-loads;
+#   5. scripts/tsan_exec_tests.sh — data-race gate over the executor and
 #      the sharded buffer pool;
-#   5. scripts/tsan_write_tests.sh — data-race gate over the write path:
+#   6. scripts/tsan_write_tests.sh — data-race gate over the write path:
 #      Execute() threads racing a continuous Insert/Remove writer through
 #      the engine's snapshot layer;
-#   6. scripts/asan_storage_tests.sh — lifetime/UB gate over the same.
+#   7. scripts/asan_storage_tests.sh — lifetime/UB gate over the same
+#      plus the new atomic save/load paths.
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build-check)
 # The sanitizer stages use their own build trees (build-tsan, build-asan).
@@ -23,24 +27,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 
-echo "==> [1/6] tier-1 build (-DTSQ_WERROR=ON) + ctest"
+echo "==> [1/7] tier-1 build (-DTSQ_WERROR=ON) + ctest"
 cmake -B "$BUILD_DIR" -S . -DTSQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "==> [2/6] planner regressions (ctest -L planner)"
+echo "==> [2/7] planner regressions (ctest -L planner)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L planner
 
-echo "==> [3/6] differential fuzz smoke (fixed seeds, oracle-checked)"
+echo "==> [3/7] differential fuzz smoke (fixed seeds, oracle-checked)"
 scripts/fuzz_smoke.sh "$BUILD_DIR"
 
-echo "==> [4/6] ThreadSanitizer: exec + storage tests"
+echo "==> [4/7] persistence gate (ctest -L persist + crash-recovery sweep)"
+scripts/persist_tests.sh "$BUILD_DIR"
+
+echo "==> [5/7] ThreadSanitizer: exec + storage tests"
 scripts/tsan_exec_tests.sh
 
-echo "==> [5/6] ThreadSanitizer: engine write path (queries vs writers)"
+echo "==> [6/7] ThreadSanitizer: engine write path (queries vs writers)"
 scripts/tsan_write_tests.sh
 
-echo "==> [6/6] Address/UB sanitizer: storage + exec tests"
+echo "==> [7/7] Address/UB sanitizer: storage + exec tests"
 scripts/asan_storage_tests.sh
 
 echo "==> all checks passed"

@@ -77,6 +77,20 @@ Result<std::unique_ptr<Dataset>> Dataset::LoadFrom(
   dataset->length_ = length;
   dataset->plan_ = std::make_unique<dft::FftPlan>(length);
   TSQ_RETURN_IF_ERROR(dataset->record_file_.LoadFrom(records_path));
+  // Bound every persisted location against the store actually loaded before
+  // fetching anything: a corrupted meta row must surface as Corruption, not
+  // as whatever a wild page id would do downstream.
+  const std::size_t pages = dataset->record_file_.page_count();
+  if ((store_page != storage::kInvalidPageId && store_page >= pages) ||
+      store_cursor > storage::kPageSize) {
+    return Status::Corruption("record store cursor out of range");
+  }
+  for (const SequenceMeta& meta : sequences) {
+    if (meta.record.page >= pages ||
+        meta.record.offset >= storage::kPageSize) {
+      return Status::Corruption("sequence record id out of range");
+    }
+  }
   dataset->records_ =
       std::make_unique<storage::RecordStore>(&dataset->record_file_);
   dataset->records_->RestoreForLoad(store_page, store_cursor,

@@ -94,9 +94,13 @@ class Dataset {
 
   // --- persistence (used by SimilarityEngine::SaveTo / LoadFrom) ----------
 
-  /// Writes the record pages to `path`.
-  Status SaveRecordsTo(const std::string& path) const {
-    return record_file_.SaveTo(path);
+  /// Writes the record pages to `path` atomically (see PageFile::SaveTo);
+  /// `hook` carries the crash-injection schedule, `digest` receives the
+  /// written file's manifest entry.
+  Status SaveRecordsTo(const std::string& path,
+                       storage::FaultHook* hook = nullptr,
+                       storage::FileDigest* digest = nullptr) const {
+    return record_file_.SaveTo(path, hook, digest);
   }
 
   storage::RecordId record_id(std::size_t i) const { return record_ids_[i]; }

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -8,11 +10,16 @@
 #include "core/cost_model.h"
 #include "obs/metrics.h"
 #include "plan/planner.h"
+#include "storage/atomic_file.h"
 
 namespace tsq::core {
 
 namespace {
-constexpr int kMetaVersion = 1;
+// v2: engine checkpoints are epoch-named file trios bound together by a
+// `<prefix>.manifest` (see SaveTo). v1 metas were written in place with no
+// manifest and no atomicity; they are no longer produced or accepted.
+constexpr int kMetaVersion = 2;
+constexpr int kManifestVersion = 1;
 
 // Engine-level instruments, resolved once (registry pointers are stable for
 // the life of the process). The write counters count *commits*: a
@@ -27,20 +34,151 @@ struct EngineMetrics {
   obs::Counter* inserts;
   obs::Counter* removes;
   obs::Counter* rollbacks;
+  // Checkpoint lifecycle: committed SaveTo / successful LoadFrom calls,
+  // loads that found (and cleaned) debris of a torn save, and loads
+  // rejected because a file did not match its manifest digest.
+  obs::Counter* checkpoint_saves;
+  obs::Counter* checkpoint_loads;
+  obs::Counter* checkpoint_crash_recoveries;
+  obs::Counter* checkpoint_manifest_mismatches;
 
   static const EngineMetrics& Get() {
     static const EngineMetrics metrics = [] {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-      return EngineMetrics{registry.counter("engine.queries"),
-                           registry.counter("engine.query_errors"),
-                           registry.histogram("engine.query_nanos"),
-                           registry.counter("engine.writes.inserts"),
-                           registry.counter("engine.writes.removes"),
-                           registry.counter("engine.writes.rollbacks")};
+      return EngineMetrics{
+          registry.counter("engine.queries"),
+          registry.counter("engine.query_errors"),
+          registry.histogram("engine.query_nanos"),
+          registry.counter("engine.writes.inserts"),
+          registry.counter("engine.writes.removes"),
+          registry.counter("engine.writes.rollbacks"),
+          registry.counter("engine.checkpoint.saves"),
+          registry.counter("engine.checkpoint.loads"),
+          registry.counter("engine.checkpoint.crash_recoveries"),
+          registry.counter("engine.checkpoint.manifest_mismatches")};
     }();
     return metrics;
   }
 };
+
+// --- checkpoint manifest -----------------------------------------------------
+
+/// What `<prefix>.manifest` records: the committed epoch and the digest of
+/// each file of that epoch's trio. The manifest is written last and renamed
+/// into place atomically, so its content *is* the definition of the current
+/// checkpoint.
+struct Manifest {
+  std::uint64_t epoch = 0;
+  storage::FileDigest records;
+  storage::FileDigest index;
+  storage::FileDigest meta;
+};
+
+std::string ManifestPath(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+std::string EpochFilePath(const std::string& prefix, std::uint64_t epoch,
+                          const char* suffix) {
+  return prefix + "." + std::to_string(epoch) + suffix;
+}
+
+/// The manifest's one and only serialization; SaveTo writes it and
+/// ReadManifest demands it byte-for-byte.
+std::string RenderManifest(const Manifest& manifest) {
+  std::ostringstream text;
+  text << "tsqckpt " << kManifestVersion << "\n";
+  text << "epoch " << manifest.epoch << "\n";
+  text << "records " << manifest.records.size << " " << manifest.records.fnv1a
+       << "\n";
+  text << "index " << manifest.index.size << " " << manifest.index.fnv1a
+       << "\n";
+  text << "meta " << manifest.meta.size << " " << manifest.meta.fnv1a << "\n";
+  return text.str();
+}
+
+Result<Manifest> ReadManifest(const std::string& prefix) {
+  const std::string path = ManifestPath(prefix);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IoError("cannot open checkpoint manifest: " + path);
+  }
+  const std::string raw((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+  const auto bad = [&](const char* what) {
+    return Status::Corruption(std::string("malformed checkpoint manifest (") +
+                              what + "): " + path);
+  };
+  std::istringstream in(raw);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "tsqckpt" ||
+      version != kManifestVersion) {
+    return bad("header");
+  }
+  Manifest manifest;
+  if (!(in >> tag >> manifest.epoch) || tag != "epoch" ||
+      manifest.epoch == 0) {
+    return bad("epoch");
+  }
+  const std::pair<const char*, storage::FileDigest*> entries[] = {
+      {"records", &manifest.records},
+      {"index", &manifest.index},
+      {"meta", &manifest.meta}};
+  for (const auto& [name, digest] : entries) {
+    if (!(in >> tag >> digest->size >> digest->fnv1a) || tag != name) {
+      return bad(name);
+    }
+  }
+  // The parse above is lenient about whitespace and trailing bytes; the
+  // commit point of the whole checkpoint deserves better. Re-render the
+  // parsed manifest and demand the file is byte-for-byte canonical, so any
+  // at-rest mutation — even one the tokenizer would shrug off — is rejected.
+  if (raw != RenderManifest(manifest)) {
+    return bad("non-canonical bytes");
+  }
+  return manifest;
+}
+
+/// Checkpoint files under `prefix` that the epoch-`keep` manifest does not
+/// reference: trios of other epochs and `.tmp` leftovers of torn writes.
+/// `keep == 0` matches nothing (everything checkpoint-like is stale).
+std::vector<std::filesystem::path> StaleCheckpointFiles(
+    const std::string& prefix, std::uint64_t keep) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> stale;
+  const fs::path prefix_path(prefix);
+  const std::string base = prefix_path.filename().string();
+  fs::path dir = prefix_path.parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= base.size() + 1 || name.compare(0, base.size(), base) != 0 ||
+        name[base.size()] != '.') {
+      continue;
+    }
+    std::string rest = name.substr(base.size() + 1);  // "3.records", ...
+    if (rest == "manifest") continue;
+    const bool tmp = rest.size() > 4 && rest.ends_with(".tmp");
+    if (tmp) rest.resize(rest.size() - 4);
+    if (rest == "manifest") {  // a torn manifest write
+      stale.push_back(entry.path());
+      continue;
+    }
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    const std::string digits = rest.substr(0, dot);
+    const std::string suffix = rest.substr(dot);
+    if (suffix != ".records" && suffix != ".index" && suffix != ".meta") {
+      continue;
+    }
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    const std::uint64_t epoch = std::strtoull(digits.c_str(), nullptr, 10);
+    if (tmp || epoch != keep) stale.push_back(entry.path());
+  }
+  return stale;
+}
 }  // namespace
 
 SimilarityEngine::SimilarityEngine(std::vector<ts::Series> series,
@@ -193,6 +331,7 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
       [](auto& result) -> obs::QueryTrace& { return result.trace; },
       out.value);
   trace.snapshot_version = pin.version();
+  trace.checkpoint_epoch = checkpoint_epoch_.load(std::memory_order_relaxed);
   if (decision->trace.planned) {
     trace.planner = decision->trace;
     trace.planner.cache_hit = planned->cache_hit;
@@ -244,15 +383,38 @@ void SimilarityEngine::SetReadFaultHook(storage::FaultHook* hook) {
   index_->SetReadFaultHook(hook);
 }
 
+void SimilarityEngine::SetCheckpointFaultHook(storage::FaultHook* hook) {
+  SnapshotManager::WriteLock write = snapshots_.LockWrite();
+  checkpoint_hook_ = hook;
+}
+
 Status SimilarityEngine::SaveTo(const std::string& prefix) const {
-  // Pin a snapshot so the three files describe one committed state even
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  // Pin a snapshot so the whole trio describes one committed state even
   // while writers are active.
   const SnapshotManager::ReadPin pin = snapshots_.PinRead();
-  TSQ_RETURN_IF_ERROR(dataset_->SaveRecordsTo(prefix + ".records"));
-  TSQ_RETURN_IF_ERROR(index_->SaveTo(prefix + ".index"));
+  storage::FaultHook* hook = checkpoint_hook_;
 
-  std::ofstream meta(prefix + ".meta", std::ios::trunc);
-  if (!meta) return Status::IoError("cannot open for writing: " + prefix);
+  // Pick an epoch no manifest on disk could be referencing. The engine's
+  // own counter is not enough: a save that "crashed" after the manifest
+  // rename committed an epoch this engine never learned about, and reusing
+  // that number would overwrite files the live manifest points at.
+  std::uint64_t last = checkpoint_epoch_.load(std::memory_order_relaxed);
+  if (const Result<Manifest> on_disk = ReadManifest(prefix); on_disk.ok()) {
+    last = std::max(last, on_disk->epoch);
+  }
+  const std::uint64_t epoch = last + 1;
+
+  // The trio, every file write-temp/fsync/renamed. Until the manifest below
+  // commits, nothing here is reachable by LoadFrom.
+  Manifest manifest;
+  manifest.epoch = epoch;
+  TSQ_RETURN_IF_ERROR(dataset_->SaveRecordsTo(
+      EpochFilePath(prefix, epoch, ".records"), hook, &manifest.records));
+  TSQ_RETURN_IF_ERROR(index_->SaveTo(EpochFilePath(prefix, epoch, ".index"),
+                                     hook, &manifest.index));
+
+  std::ostringstream meta;
   meta.precision(17);
   const transform::FeatureLayout& layout = dataset_->layout();
   const rstar::RStarTree& tree = index_->tree();
@@ -273,16 +435,85 @@ Status SimilarityEngine::SaveTo(const std::string& prefix) const {
          << dataset_->removed(i) << " " << dataset_->normal(i).mean << " "
          << dataset_->normal(i).stddev << "\n";
   }
-  meta.flush();
-  if (!meta) return Status::IoError("write failed: " + prefix + ".meta");
+  {
+    storage::AtomicFile out(EpochFilePath(prefix, epoch, ".meta"), hook);
+    TSQ_RETURN_IF_ERROR(out.Open());
+    TSQ_RETURN_IF_ERROR(out.Append(meta.str()));
+    TSQ_RETURN_IF_ERROR(out.Commit());
+    manifest.meta = out.digest();
+  }
+
+  // The manifest rename is the commit point of the whole checkpoint: before
+  // it, LoadFrom sees the previous epoch intact; after it, the new trio
+  // (each file already fsynced above).
+  {
+    storage::AtomicFile out(ManifestPath(prefix), hook);
+    TSQ_RETURN_IF_ERROR(out.Open());
+    TSQ_RETURN_IF_ERROR(out.Append(RenderManifest(manifest)));
+    TSQ_RETURN_IF_ERROR(out.Commit());
+  }
+  checkpoint_epoch_.store(epoch, std::memory_order_relaxed);
+  metrics.checkpoint_saves->Increment();
+
+  // Garbage-collect superseded epochs. A crash in here costs only orphan
+  // files, which the next SaveTo or LoadFrom sweeps up.
+  if (hook != nullptr) {
+    storage::WriteFaultDecision gc = hook->OnWrite("gc");
+    if (gc.crash) {
+      return gc.status.ok()
+                 ? Status::IoError("injected crash at step 'gc' for " + prefix)
+                 : gc.status;
+    }
+  }
+  std::error_code ec;
+  for (const std::filesystem::path& path :
+       StaleCheckpointFiles(prefix, epoch)) {
+    std::filesystem::remove(path, ec);  // best-effort
+  }
   return Status::Ok();
 }
 
 Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
     const std::string& prefix) {
-  std::ifstream meta(prefix + ".meta");
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  const Result<Manifest> manifest = ReadManifest(prefix);
+  if (!manifest.ok()) return manifest.status();
+  const std::uint64_t epoch = manifest->epoch;
+
+  // Verify every file of the trio against its manifest digest before
+  // parsing *any* of them: a file from another epoch, a truncation or a
+  // flipped bit anywhere is rejected here, so the loaders below only ever
+  // see the exact bytes SaveTo committed.
+  const std::pair<const char*, const storage::FileDigest*> files[] = {
+      {".records", &manifest->records},
+      {".index", &manifest->index},
+      {".meta", &manifest->meta}};
+  for (const auto& [suffix, want] : files) {
+    const std::string path = EpochFilePath(prefix, epoch, suffix);
+    const Result<storage::FileDigest> got = storage::DigestFile(path);
+    if (!got.ok()) return got.status();
+    if (*got != *want) {
+      metrics.checkpoint_manifest_mismatches->Increment();
+      return Status::Corruption("checkpoint file does not match manifest (" +
+                                path + ")");
+    }
+  }
+
+  // Debris of a torn save — stale epochs, `.tmp` orphans — means a crash
+  // happened between commits; the committed checkpoint just verified, so
+  // recovery is simply sweeping the debris.
+  if (const auto stale = StaleCheckpointFiles(prefix, epoch); !stale.empty()) {
+    metrics.checkpoint_crash_recoveries->Increment();
+    std::error_code ec;
+    for (const std::filesystem::path& path : stale) {
+      std::filesystem::remove(path, ec);  // best-effort
+    }
+  }
+
+  std::ifstream meta(EpochFilePath(prefix, epoch, ".meta"));
   if (!meta) {
-    return Status::IoError("cannot open for reading: " + prefix + ".meta");
+    return Status::IoError("cannot open for reading: " +
+                           EpochFilePath(prefix, epoch, ".meta"));
   }
   const auto bad = [&](const char* what) {
     return Status::Corruption(std::string("malformed meta file: ") + what);
@@ -295,6 +526,7 @@ Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
   }
   std::size_t length = 0;
   if (!(meta >> tag >> length) || tag != "length") return bad("length");
+  if (length < 2) return bad("length out of range");
   transform::FeatureLayout layout;
   if (!(meta >> tag >> layout.include_mean_std >> layout.num_coefficients >>
         layout.first_coefficient >> layout.use_symmetry) ||
@@ -308,6 +540,12 @@ Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
       tag != "tree") {
     return bad("tree");
   }
+  // Every derived quantity below divides by or indexes with these, so they
+  // are range-checked up front (a corrupted capacity of 0 used to reach the
+  // min_fill/capacity division).
+  if (capacity < 2 || min_fill == 0 || min_fill > capacity) {
+    return bad("tree fill parameters out of range");
+  }
   storage::PageId store_page = 0;
   std::uint32_t store_cursor = 0;
   if (!(meta >> tag >> store_page >> store_cursor) || tag != "store") {
@@ -316,17 +554,27 @@ Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
   std::size_t count = 0;
   if (!(meta >> tag >> count) || tag != "sequences") return bad("sequences");
   std::vector<Dataset::SequenceMeta> sequences(count);
+  std::size_t live = 0;
   for (Dataset::SequenceMeta& s : sequences) {
     if (!(meta >> s.record.page >> s.record.offset >> s.removed >> s.mean >>
           s.stddev)) {
       return bad("sequence row");
     }
+    if (!std::isfinite(s.mean) || !std::isfinite(s.stddev) ||
+        s.stddev < 0.0) {
+      return bad("sequence normal form out of range");
+    }
+    if (!s.removed) ++live;
   }
+  // The index persists one entry per live sequence; a mismatch means meta
+  // and index are from different states and queries would silently drop or
+  // resurrect sequences.
+  if (size != live) return bad("tree size disagrees with live sequences");
 
   std::unique_ptr<SimilarityEngine> engine(new SimilarityEngine());
-  Result<std::unique_ptr<Dataset>> dataset =
-      Dataset::LoadFrom(prefix + ".records", layout, length,
-                        std::move(sequences), store_page, store_cursor);
+  Result<std::unique_ptr<Dataset>> dataset = Dataset::LoadFrom(
+      EpochFilePath(prefix, epoch, ".records"), layout, length,
+      std::move(sequences), store_page, store_cursor);
   if (!dataset.ok()) return dataset.status();
   engine->dataset_ = std::move(*dataset);
 
@@ -335,11 +583,14 @@ Result<std::unique_ptr<SimilarityEngine>> SimilarityEngine::LoadFrom(
   tree_options.min_fill_fraction =
       static_cast<double>(min_fill) / static_cast<double>(capacity);
   Result<std::unique_ptr<SequenceIndex>> index = SequenceIndex::LoadFrom(
-      *engine->dataset_, tree_options, prefix + ".index", root, height, size);
+      *engine->dataset_, tree_options,
+      EpochFilePath(prefix, epoch, ".index"), root, height, size);
   if (!index.ok()) return index.status();
   engine->index_ = std::move(*index);
   engine->planner_ =
       std::make_unique<plan::Planner>(*engine->dataset_, *engine->index_);
+  engine->checkpoint_epoch_.store(epoch, std::memory_order_relaxed);
+  metrics.checkpoint_loads->Increment();
   return engine;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TSQ_CORE_ENGINE_H_
 #define TSQ_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <variant>
 #include <vector>
@@ -190,15 +191,45 @@ class SimilarityEngine {
     return index_->buffer_pool();
   }
 
-  /// Persists the engine to three files: `<prefix>.meta` (layout, tree and
-  /// per-sequence metadata), `<prefix>.records` and `<prefix>.index` (page
-  /// files). LoadFrom reopens them without rebuilding the index — the
-  /// paper's setting of an R*-tree that lives on disk between sessions.
-  /// SaveTo pins a read snapshot, so it writes a committed state even while
-  /// Insert/Remove run concurrently.
+  /// Persists the engine as one crash-safe checkpoint. Each SaveTo picks a
+  /// fresh monotone epoch E and writes `<prefix>.<E>.records`,
+  /// `<prefix>.<E>.index` and `<prefix>.<E>.meta` — each through the atomic
+  /// write-temp/fsync/rename protocol (storage::AtomicFile) — and then
+  /// commits the checkpoint by atomically replacing `<prefix>.manifest`,
+  /// which records the epoch plus every file's size and checksum. Files of
+  /// superseded epochs are garbage-collected after the commit. A crash at
+  /// *any* step leaves either the previous checkpoint fully loadable or the
+  /// new one — never a mismatched trio (the pre-manifest format overwrote
+  /// the three files in place, so a torn save destroyed the last good
+  /// checkpoint). SaveTo pins a read snapshot, so it writes a committed
+  /// state even while Insert/Remove run concurrently; concurrent SaveTo
+  /// calls on one prefix remain excluded.
   Status SaveTo(const std::string& prefix) const;
+
+  /// Reopens a checkpoint without rebuilding the index — the paper's
+  /// setting of an R*-tree that lives on disk between sessions. The
+  /// manifest is read first and every referenced file is verified against
+  /// its recorded size and checksum *before* anything is parsed; leftovers
+  /// of a torn save (stale epochs, `.tmp` orphans) are detected, counted in
+  /// `engine.checkpoint.crash_recoveries` and removed. Returns Corruption
+  /// for any mismatch and IoError when the manifest is missing.
   static Result<std::unique_ptr<SimilarityEngine>> LoadFrom(
       const std::string& prefix);
+
+  /// Epoch of the newest checkpoint this engine wrote (SaveTo) or was
+  /// loaded from; 0 before either. Stamped into every query trace and
+  /// Explain() rendering.
+  std::uint64_t checkpoint_epoch() const {
+    return checkpoint_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs (nullptr removes) a fault hook whose OnWrite is consulted at
+  /// every step of SaveTo — file creation, each data append, fsync, rename,
+  /// directory sync, garbage collection. The crash-recovery harness uses it
+  /// to abort the save at step k, simulating a crash; the files already on
+  /// disk stay exactly as the crash would leave them. Runs under the engine
+  /// write lock; keep the hook alive until removed.
+  void SetCheckpointFaultHook(storage::FaultHook* hook);
 
  private:
   SimilarityEngine();  // for LoadFrom
@@ -209,6 +240,13 @@ class SimilarityEngine {
   // Serializes Insert/Remove (and configuration) against pinned queries;
   // mutable because Execute() is const yet must pin a read snapshot.
   mutable SnapshotManager snapshots_;
+  // Newest checkpoint epoch written or loaded; advanced by SaveTo right
+  // after the manifest commit (before GC) so a post-commit failure still
+  // leaves the engine agreeing with the disk.
+  mutable std::atomic<std::uint64_t> checkpoint_epoch_{0};
+  // Crash-injection schedule for SaveTo; written under the write lock, read
+  // under SaveTo's read pin.
+  storage::FaultHook* checkpoint_hook_ = nullptr;
 };
 
 }  // namespace tsq::core

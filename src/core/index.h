@@ -22,9 +22,12 @@ class SequenceIndex {
   explicit SequenceIndex(const Dataset& dataset,
                          rstar::TreeOptions options = rstar::TreeOptions());
 
-  /// Persistence: writes the index pages to `path`.
-  Status SaveTo(const std::string& path) const {
-    return index_file_.SaveTo(path);
+  /// Persistence: writes the index pages to `path` atomically (see
+  /// PageFile::SaveTo); `hook` carries the crash-injection schedule,
+  /// `digest` receives the written file's manifest entry.
+  Status SaveTo(const std::string& path, storage::FaultHook* hook = nullptr,
+                storage::FileDigest* digest = nullptr) const {
+    return index_file_.SaveTo(path, hook, digest);
   }
 
   /// Rebuild-free load: attaches to previously saved index pages.

@@ -56,10 +56,12 @@ std::string FormatTrace(const QueryTrace& trace) {
   std::ostringstream os;
   char line[160];
   std::snprintf(line, sizeof line,
-                "%s, %zu thread(s), total %.3f ms, snapshot v%llu\n",
+                "%s, %zu thread(s), total %.3f ms, snapshot v%llu, "
+                "checkpoint e%llu\n",
                 trace.algorithm.c_str(), trace.num_threads,
                 static_cast<double>(trace.total_nanos) * 1e-6,
-                static_cast<unsigned long long>(trace.snapshot_version));
+                static_cast<unsigned long long>(trace.snapshot_version),
+                static_cast<unsigned long long>(trace.checkpoint_epoch));
   os << line;
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
     const PhaseStats& phase = trace.phases[p];
@@ -102,7 +104,8 @@ std::string TraceToJson(const QueryTrace& trace) {
   os << "{\"algorithm\":\"" << trace.algorithm << "\""
      << ",\"num_threads\":" << trace.num_threads
      << ",\"total_nanos\":" << trace.total_nanos
-     << ",\"snapshot_version\":" << trace.snapshot_version << ",\"phases\":[";
+     << ",\"snapshot_version\":" << trace.snapshot_version
+     << ",\"checkpoint_epoch\":" << trace.checkpoint_epoch << ",\"phases\":[";
   bool first = true;
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
     const PhaseStats& phase = trace.phases[p];

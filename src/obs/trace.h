@@ -110,6 +110,11 @@ struct QueryTrace {
   /// Excluded from DeterministicSignature(): it depends on write timing,
   /// not on the query.
   std::uint64_t snapshot_version = 0;
+  /// Epoch of the newest checkpoint the engine wrote or was loaded from
+  /// (0 before either) — identifies the on-disk state backing this engine.
+  /// Excluded from DeterministicSignature() like snapshot_version: it
+  /// depends on persistence history, not on the query.
+  std::uint64_t checkpoint_epoch = 0;
 
   PhaseStats& at(Phase phase) {
     return phases[static_cast<std::size_t>(phase)];

@@ -1,0 +1,153 @@
+#include "storage/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace tsq::storage {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void FileDigest::Update(const void* data, std::size_t count) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = fnv1a;
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ull;
+  }
+  fnv1a = hash;
+  size += count;
+}
+
+Result<FileDigest> DigestFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", path));
+  FileDigest digest;
+  std::vector<std::uint8_t> buffer(1 << 16);
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer.data(), buffer.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(ErrnoMessage("read failed", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    digest.Update(buffer.data(), static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return digest;
+}
+
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    // Some filesystems refuse to open directories for fsync; the rename
+    // itself already happened, so treat this as best-effort.
+    return Status::Ok();
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    status = Status::IoError(ErrnoMessage("directory fsync failed", dir));
+  }
+  ::close(fd);
+  return status;
+}
+
+AtomicFile::AtomicFile(std::string path, FaultHook* hook)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp"), hook_(hook) {}
+
+AtomicFile::~AtomicFile() {
+  CloseFd();
+  if (!committed_ && !crashed_) {
+    // A real (non-injected) failure or an abandoned writer: the temp file
+    // carries no commitment, drop it.
+    std::remove(temp_path_.c_str());
+  }
+}
+
+Status AtomicFile::Consult(const char* step) {
+  if (hook_ == nullptr) return Status::Ok();
+  WriteFaultDecision decision = hook_->OnWrite(step);
+  if (!decision.crash) return Status::Ok();
+  crashed_ = true;
+  CloseFd();
+  if (decision.status.ok()) {
+    return Status::IoError(std::string("injected crash at step '") + step +
+                           "' writing " + path_);
+  }
+  return decision.status;
+}
+
+void AtomicFile::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status AtomicFile::Open() {
+  TSQ_RETURN_IF_ERROR(Consult("create"));
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    return Status::IoError(ErrnoMessage("cannot create", temp_path_));
+  }
+  return Status::Ok();
+}
+
+Status AtomicFile::Append(const void* data, std::size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("AtomicFile not open");
+  TSQ_RETURN_IF_ERROR(Consult("append"));
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed", temp_path_));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  digest_.Update(data, size);
+  return Status::Ok();
+}
+
+Status AtomicFile::Commit() {
+  if (fd_ < 0) return Status::FailedPrecondition("AtomicFile not open");
+  TSQ_RETURN_IF_ERROR(Consult("sync"));
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync failed", temp_path_));
+  }
+  CloseFd();
+  TSQ_RETURN_IF_ERROR(Consult("rename"));
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed", temp_path_));
+  }
+  // From here the new file is at `path_` whether or not the directory sync
+  // below lands — a crash can only lose the *rename*, reverting to the old
+  // complete file, never tear the content.
+  committed_ = true;
+  TSQ_RETURN_IF_ERROR(Consult("dirsync"));
+  return SyncParentDir(path_);
+}
+
+}  // namespace tsq::storage

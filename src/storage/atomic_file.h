@@ -1,0 +1,100 @@
+#ifndef TSQ_STORAGE_ATOMIC_FILE_H_
+#define TSQ_STORAGE_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/fault_injection.h"
+
+namespace tsq::storage {
+
+/// Identity of a file's byte content: length plus FNV-1a-64 hash. The
+/// checkpoint manifest records one digest per file and LoadFrom recomputes
+/// them before trusting anything, so a torn or bit-flipped checkpoint file
+/// can never be mistaken for the one that was written.
+struct FileDigest {
+  std::uint64_t size = 0;
+  std::uint64_t fnv1a = 0xCBF29CE484222325ull;  // FNV offset basis
+
+  /// Folds `size` more bytes into the running hash.
+  void Update(const void* data, std::size_t count);
+
+  bool operator==(const FileDigest&) const = default;
+};
+
+/// Reads `path` back and digests its bytes — the load-side counterpart of
+/// AtomicFile::digest(). IoError when the file cannot be opened.
+Result<FileDigest> DigestFile(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a rename into that
+/// directory durable. Best-effort on filesystems that reject directory
+/// fsync; real I/O errors are returned.
+Status SyncParentDir(const std::string& path);
+
+/// Crash-safe file writer: all content goes to `<path>.tmp` through a POSIX
+/// fd, Commit() flushes and fsyncs the data, renames the temp file onto
+/// `path` and fsyncs the parent directory. A crash (or error) at any step
+/// leaves either the complete old file or the complete new file at `path` —
+/// never a torn mix — plus at most a stale `.tmp` orphan that recovery
+/// ignores.
+///
+/// Every step consults the optional FaultHook's OnWrite ("create", one
+/// "append" per Append call, "sync", "rename", "dirsync"). An injected crash
+/// returns the hook's status and deliberately leaves the temp file behind,
+/// exactly as the real crash it simulates would; the destructor cleans up
+/// only after genuine errors and abandoned writers.
+class AtomicFile {
+ public:
+  /// Prepares a writer for `path`; no filesystem activity until Open().
+  explicit AtomicFile(std::string path, FaultHook* hook = nullptr);
+
+  /// Unlinks the temp file when the writer was opened but never committed —
+  /// unless an injected crash happened, in which case the torn state is the
+  /// point and stays on disk.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Creates (truncating) `<path>.tmp`.
+  Status Open();
+
+  /// Appends raw bytes; the running digest covers exactly the appended
+  /// bytes in order.
+  Status Append(const void* data, std::size_t size);
+  Status Append(std::string_view text) {
+    return Append(text.data(), text.size());
+  }
+
+  /// fsync + close + rename into place + parent directory fsync. After an
+  /// OK return the new content is durably at `path`.
+  Status Commit();
+
+  /// Digest of everything appended so far (the manifest entry for this
+  /// file once Commit() succeeded).
+  const FileDigest& digest() const { return digest_; }
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  /// Consults the fault hook for `step`; a crash marks the writer so no
+  /// cleanup happens.
+  Status Consult(const char* step);
+  void CloseFd();
+
+  std::string path_;
+  std::string temp_path_;
+  FaultHook* hook_;
+  int fd_ = -1;
+  bool committed_ = false;
+  bool crashed_ = false;
+  FileDigest digest_;
+};
+
+}  // namespace tsq::storage
+
+#endif  // TSQ_STORAGE_ATOMIC_FILE_H_

@@ -35,7 +35,20 @@ struct FaultDecision {
   std::uint64_t delay_nanos = 0;
 };
 
-/// Fault-injection hook consulted by PageFile::Read and BufferPool::Read.
+/// What a FaultHook asks a checkpoint write step to inject. A crash decision
+/// simulates the process dying at that step: the writer returns `status`
+/// immediately and leaves everything already on disk exactly as it is — no
+/// cleanup, no rollback — which is what a recovery test needs to see.
+struct WriteFaultDecision {
+  bool crash = false;
+
+  /// The error returned for a crash. A default (OK) status is replaced by a
+  /// generic IoError naming the step.
+  Status status;
+};
+
+/// Fault-injection hook consulted by PageFile::Read and BufferPool::Read,
+/// and — through OnWrite — by every step of the atomic checkpoint writer.
 ///
 /// The hook is installed with SetFaultHook (an atomic pointer swap) and is
 /// consulted once per read with the page id being served. Implementations
@@ -53,6 +66,17 @@ class FaultHook {
 
   /// Decides what to inject into the read of `page_id`.
   virtual FaultDecision OnRead(std::uint32_t page_id) = 0;
+
+  /// Decides whether to "crash" the write path at the named step
+  /// ("create", "append", "sync", "rename", "dirsync", "gc" — see
+  /// storage::AtomicFile and SimilarityEngine::SaveTo). Called once per
+  /// step in save order, so a policy that crashes at the k-th call sweeps
+  /// every torn on-disk state a real crash could leave. The default injects
+  /// nothing, keeping read-only hooks source-compatible.
+  virtual WriteFaultDecision OnWrite(const char* step) {
+    (void)step;
+    return WriteFaultDecision{};
+  }
 };
 
 }  // namespace tsq::storage

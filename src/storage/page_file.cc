@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "storage/atomic_file.h"
 
 namespace tsq::storage {
 
@@ -141,28 +142,49 @@ constexpr std::uint64_t kPageFileMagicV1 = 0x545351504147u;     // "TSQPAG"
 constexpr std::uint64_t kPageFileMagicV2 = 0x325347505153u;     // "TSQPG2"
 }  // namespace
 
-Status PageFile::SaveTo(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+Status PageFile::SaveTo(const std::string& path, FaultHook* hook,
+                        FileDigest* digest) const {
+  // Write-to-temp + rename: a crash or error anywhere in here leaves the
+  // previous complete file at `path` untouched (the old SaveTo opened the
+  // destination with std::ios::trunc, so a torn save destroyed the last
+  // good checkpoint before the new one existed).
+  AtomicFile out(path, hook);
+  TSQ_RETURN_IF_ERROR(out.Open());
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t count = pages_.size();
-  out.write(reinterpret_cast<const char*>(&kPageFileMagicV2),
-            sizeof kPageFileMagicV2);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  for (const std::uint64_t checksum : checksums_) {
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  TSQ_RETURN_IF_ERROR(out.Append(&kPageFileMagicV2, sizeof kPageFileMagicV2));
+  TSQ_RETURN_IF_ERROR(out.Append(&count, sizeof count));
+  if (!checksums_.empty()) {
+    TSQ_RETURN_IF_ERROR(out.Append(checksums_.data(),
+                                   checksums_.size() * sizeof(std::uint64_t)));
   }
-  for (const Page& page : pages_) {
-    out.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
+  // Pages go out in bounded chunks: each chunk is one crash point for the
+  // write-fault sweep, so big files do not blow up the number of injection
+  // steps while small files still get a mid-body torn state.
+  constexpr std::size_t kPagesPerChunk = 256;
+  std::vector<std::uint8_t> chunk;
+  for (std::size_t begin = 0; begin < pages_.size();
+       begin += kPagesPerChunk) {
+    const std::size_t end = std::min(begin + kPagesPerChunk, pages_.size());
+    chunk.clear();
+    chunk.reserve((end - begin) * kPageSize);
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk.insert(chunk.end(), pages_[i].bytes.begin(),
+                   pages_[i].bytes.end());
+    }
+    TSQ_RETURN_IF_ERROR(out.Append(chunk.data(), chunk.size()));
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
+  TSQ_RETURN_IF_ERROR(out.Commit());
+  if (digest != nullptr) *digest = out.digest();
   return Status::Ok();
 }
 
 Status PageFile::LoadFrom(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::uint64_t magic = 0;
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
@@ -173,6 +195,17 @@ Status PageFile::LoadFrom(const std::string& path) {
   if (magic == kPageFileMagicV1) {
     return Status::Corruption(
         "unsupported page file format v1 (no persisted checksums): " + path);
+  }
+  // Bound the header's page count against the actual file size *before*
+  // allocating anything: a corrupted count would otherwise request exabytes
+  // and die on bad_alloc instead of reporting Corruption. Exact-size match
+  // also rejects trailing garbage.
+  const std::uint64_t header = sizeof magic + sizeof count;
+  if (count > (file_size - std::min(file_size, header)) /
+                  (sizeof(std::uint64_t) + kPageSize) ||
+      file_size != header + count * (sizeof(std::uint64_t) + kPageSize)) {
+    return Status::Corruption("page count inconsistent with file size: " +
+                              path);
   }
   std::vector<std::uint64_t> checksums(count);
   for (std::uint64_t& checksum : checksums) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/atomic_file.h"
 #include "storage/fault_injection.h"
 
 namespace tsq::storage {
@@ -127,13 +128,24 @@ class PageFile {
   /// Writes every page to `path` (format v2, binary: magic, page count, the
   /// per-page checksums, then the raw pages). Persisting the checksums is
   /// what lets LoadFrom detect bytes corrupted at rest.
-  Status SaveTo(const std::string& path) const;
+  ///
+  /// The write is atomic: content goes to `<path>.tmp` and is fsynced
+  /// before being renamed into place (storage::AtomicFile), so a crash or
+  /// error mid-save leaves the previous complete file at `path` untouched.
+  /// `hook`, when non-null, has its OnWrite consulted at every step — the
+  /// crash-recovery harness's injection point. `digest`, when non-null,
+  /// receives the written file's size and hash (the checkpoint manifest
+  /// entry).
+  Status SaveTo(const std::string& path, FaultHook* hook = nullptr,
+                FileDigest* digest = nullptr) const;
 
   /// Replaces this file's contents with the pages stored at `path` after
   /// verifying every page against its *persisted* checksum (counters reset).
   /// Returns Corruption — without modifying this file — when a checksum does
-  /// not match, when the file is truncated, or for the legacy v1 format
-  /// (which carried no checksums and cannot be verified).
+  /// not match, when the file is truncated or its header page count is
+  /// inconsistent with its size (validated before any allocation, so a
+  /// corrupted count can never trigger bad_alloc), or for the legacy v1
+  /// format (which carried no checksums and cannot be verified).
   Status LoadFrom(const std::string& path);
 
  private:

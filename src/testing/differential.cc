@@ -503,4 +503,174 @@ CaseOutcome DifferentialRunner::RunMutateCase(std::size_t index,
   return outcome;
 }
 
+CaseOutcome DifferentialRunner::RunCheckpointCase(
+    std::size_t index, const CheckpointConfig& config) {
+  const WorkloadCase work = [&] {
+    const Oracle pre_oracle(engine_.dataset());
+    return generator_.MakeCase(index, engine_, pre_oracle);
+  }();
+  CaseOutcome outcome;
+  outcome.description = work.description + " [checkpoint]";
+  const auto fail = [&](const std::string& what) {
+    if (outcome.passed) {
+      outcome.passed = false;
+      outcome.failure = what;
+    }
+  };
+  const std::string prefix = config.prefix + "." + std::to_string(index);
+
+  // Baseline checkpoint: the "old" durable state every pre-commit crash
+  // must fall back to.
+  if (const Status saved = engine_.SaveTo(prefix); !saved.ok()) {
+    fail("baseline SaveTo failed: " + saved.ToString());
+    return outcome;
+  }
+  const std::uint64_t old_epoch = engine_.checkpoint_epoch();
+  std::vector<bool> old_live(engine_.dataset().size());
+  for (std::size_t i = 0; i < old_live.size(); ++i) {
+    old_live[i] = !engine_.dataset().removed(i);
+  }
+
+  // Advance the engine past the baseline so old and new answers differ —
+  // a recovery that silently serves the wrong state must show up as a
+  // divergence, not a coincidence.
+  {
+    Rng rng(generator_.seed() * 0xD1B54A32D192ED03ull + index);
+    std::vector<std::size_t> live_ids;
+    for (std::size_t i = 0; i < old_live.size(); ++i) {
+      if (old_live[i]) live_ids.push_back(i);
+    }
+    for (std::size_t n = 0; n < config.inserts; ++n) {
+      const ts::Series series =
+          ts::GenerateRandomWalk(engine_.length(), 500.0, rng);
+      const Result<std::size_t> id = engine_.Insert(series);
+      if (!id.ok()) {
+        fail("insert failed: " + id.status().ToString());
+        return outcome;
+      }
+      live_ids.push_back(*id);
+      ++outcome.writes;
+    }
+    for (std::size_t n = 0; n < config.removes && !live_ids.empty(); ++n) {
+      const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(live_ids.size()) - 1));
+      const std::size_t id = live_ids[pick];
+      live_ids.erase(live_ids.begin() + pick);
+      if (const Status removed = engine_.Remove(id); !removed.ok()) {
+        fail("remove failed: " + removed.ToString());
+        return outcome;
+      }
+      ++outcome.writes;
+    }
+  }
+  std::vector<bool> new_live(engine_.dataset().size());
+  for (std::size_t i = 0; i < new_live.size(); ++i) {
+    new_live[i] = !engine_.dataset().removed(i);
+  }
+
+  // One oracle over the final dataset serves both states: the liveness mask
+  // replays either snapshot (ids past the mask count as dead, so the old
+  // mask works against the grown dataset).
+  const Oracle post_oracle(engine_.dataset());
+  const auto* correlation_join = [&]() -> const core::JoinQuerySpec* {
+    const auto* join = std::get_if<core::JoinQuerySpec>(&work.spec);
+    return join != nullptr && join->mode == core::JoinMode::kCorrelation
+               ? join
+               : nullptr;
+  }();
+
+  // Queries the recovered engine and diffs it against the oracle at `live`.
+  const auto check_loaded = [&](core::SimilarityEngine& loaded,
+                                const std::vector<bool>& live,
+                                const std::string& context) {
+    static constexpr core::Algorithm kLoadedAlgorithms[] = {
+        core::Algorithm::kSequentialScan, core::Algorithm::kAuto};
+    for (const core::Algorithm algorithm : kLoadedAlgorithms) {
+      core::ExecOptions options;
+      options.planner.algorithm = algorithm;
+      const Result<core::QueryResult> result =
+          loaded.Execute(work.spec, options);
+      ++outcome.runs;
+      if (!result.ok()) {
+        fail(context + ": query on recovered engine failed under " +
+             DescribeConfig(algorithm, 1, false) + ": " +
+             result.status().ToString());
+        return;
+      }
+      std::string diff;
+      if (const auto* range = std::get_if<core::RangeQuerySpec>(&work.spec)) {
+        diff = CompareRange(post_oracle.Range(*range, &live),
+                            result->range()->matches, config.tolerance);
+      } else if (const auto* knn =
+                     std::get_if<core::KnnQuerySpec>(&work.spec)) {
+        diff = CompareKnn(post_oracle.Knn(*knn, &live),
+                          result->knn()->matches, config.tolerance);
+      } else {
+        const auto& join = std::get<core::JoinQuerySpec>(work.spec);
+        const bool subset_ok = correlation_join != nullptr &&
+                               algorithm != core::Algorithm::kSequentialScan;
+        diff = CompareJoin(post_oracle.Join(join, &live),
+                           result->join()->matches, config.tolerance,
+                           subset_ok);
+      }
+      if (!diff.empty()) {
+        fail(context + ": recovered engine diverged under " +
+             DescribeConfig(algorithm, 1, false) + ": " + diff);
+        return;
+      }
+    }
+  };
+
+  // The sweep: crash the save at step 1, 2, ... until a save runs out of
+  // steps and completes. Every aborted save leaves a genuinely torn on-disk
+  // state (the crash closes the file mid-write and skips all cleanup).
+  for (std::uint64_t k = 1;; ++k) {
+    CrashPolicy policy(k);
+    engine_.SetCheckpointFaultHook(&policy);
+    const Status saved = engine_.SaveTo(prefix);
+    engine_.SetCheckpointFaultHook(nullptr);
+    if (saved.ok()) {
+      // k exceeded the save's step count: the save committed normally and
+      // recovery must see exactly the new state.
+      Result<std::unique_ptr<core::SimilarityEngine>> loaded =
+          core::SimilarityEngine::LoadFrom(prefix);
+      if (!loaded.ok()) {
+        fail("load after completed save failed: " +
+             loaded.status().ToString());
+      } else {
+        check_loaded(**loaded, new_live, "after completed save");
+      }
+      break;
+    }
+    ++outcome.fault_runs;
+    ++outcome.fault_errors;
+    const std::string context = "crash at step " + std::to_string(k) + " (" +
+                                policy.crashed_step() + ")";
+    Result<std::unique_ptr<core::SimilarityEngine>> loaded =
+        core::SimilarityEngine::LoadFrom(prefix);
+    if (!loaded.ok()) {
+      fail(context +
+           ": recovery load failed: " + loaded.status().ToString());
+      return outcome;
+    }
+    // The manifest epoch decides which committed state recovery landed on;
+    // anything but "the baseline" or "the new checkpoint" is data loss.
+    const std::uint64_t epoch = (*loaded)->checkpoint_epoch();
+    if (epoch == old_epoch) {
+      check_loaded(**loaded, old_live, context + ", recovered old epoch");
+    } else if (epoch > old_epoch) {
+      check_loaded(**loaded, new_live, context + ", recovered new epoch");
+    } else {
+      fail(context + ": recovered epoch " + std::to_string(epoch) +
+           " older than baseline " + std::to_string(old_epoch));
+    }
+    if (!outcome.passed) return outcome;
+    if (k > 10000) {
+      fail("crash sweep did not terminate: SaveTo never ran out of steps");
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
 }  // namespace tsq::testing

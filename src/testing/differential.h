@@ -40,6 +40,19 @@ struct MutateConfig {
   std::size_t removes = 4;
 };
 
+/// Knobs of one checkpoint crash-recovery case (RunCheckpointCase).
+struct CheckpointConfig {
+  double tolerance = 1e-6;
+  /// Filesystem prefix for the case's checkpoint files (e.g.
+  /// "/tmp/tsq_fuzz/ckpt"); the case index is appended so successive cases
+  /// never share a manifest. Required.
+  std::string prefix;
+  /// Writes committed between the baseline checkpoint and the crashing
+  /// saves, so the old and new durable states genuinely differ.
+  std::size_t inserts = 3;
+  std::size_t removes = 2;
+};
+
 /// Outcome of one case's sweep.
 struct CaseOutcome {
   bool passed = true;
@@ -81,6 +94,21 @@ class DifferentialRunner {
   /// against successively mutated states.
   CaseOutcome RunMutateCase(std::size_t index,
                             const MutateConfig& config = MutateConfig());
+
+  /// Crash-recovery differential case. Writes a baseline checkpoint, commits
+  /// a few Insert/Remove operations, then for k = 1, 2, ... reruns SaveTo
+  /// with a CrashPolicy that aborts the save at its k-th write step — every
+  /// torn on-disk state a crash could leave. After each aborted save,
+  /// SimilarityEngine::LoadFrom must succeed, and the loaded engine must
+  /// answer the case's query exactly as the oracle evaluated at the state
+  /// the recovered checkpoint claims (its manifest epoch decides: the
+  /// pre-write baseline or the post-write state — never a mix, never a
+  /// third answer). The sweep ends at the first k past the save's step
+  /// count, where SaveTo completes and the final load must see the new
+  /// state. In the outcome, fault_runs counts crash points swept and
+  /// fault_errors the aborted saves (they are equal when all crashes fired).
+  CaseOutcome RunCheckpointCase(std::size_t index,
+                                const CheckpointConfig& config);
 
   const WorkloadGenerator& generator() const { return generator_; }
   core::SimilarityEngine& engine() { return engine_; }

@@ -65,6 +65,59 @@ class FaultPolicy : public storage::FaultHook {
   std::atomic<std::uint64_t> faults_{0};
 };
 
+/// A storage::FaultHook that "crashes" a checkpoint save at its k-th write
+/// step: OnWrite returns crash=true on the k-th consultation, aborting the
+/// save right there and leaving whatever files the preceding steps already
+/// produced exactly as a real crash would. Read faults are never injected.
+///
+/// steps_seen() after a completed (uncrashed) save tells the harness how
+/// many steps that save had — once k exceeds it, SaveTo runs to completion
+/// and the sweep is done.
+class CrashPolicy : public storage::FaultHook {
+ public:
+  /// Crash at the `crash_at_step`-th OnWrite consultation (1-based);
+  /// 0 never crashes (pure step counter).
+  explicit CrashPolicy(std::uint64_t crash_at_step = 0)
+      : crash_at_step_(crash_at_step) {}
+
+  storage::FaultDecision OnRead(std::uint32_t page_id) override {
+    (void)page_id;  // never faults reads
+    return storage::FaultDecision{};
+  }
+
+  storage::WriteFaultDecision OnWrite(const char* step) override {
+    const std::uint64_t ordinal =
+        steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    storage::WriteFaultDecision decision;
+    if (crash_at_step_ != 0 && ordinal == crash_at_step_) {
+      decision.crash = true;
+      decision.status = Status::IoError("injected crash at write step " +
+                                        std::to_string(ordinal) + " (" +
+                                        step + ")");
+      last_step_name_ = step;
+    }
+    return decision;
+  }
+
+  std::uint64_t steps_seen() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
+  /// Name of the step the crash fired at ("sync", "rename", ...); empty
+  /// while no crash has fired.
+  const std::string& crashed_step() const { return last_step_name_; }
+
+  void Reset() { steps_.store(0, std::memory_order_relaxed); }
+
+  std::string Describe() const {
+    return "crash-at-step(" + std::to_string(crash_at_step_) + ")";
+  }
+
+ private:
+  std::uint64_t crash_at_step_;
+  std::atomic<std::uint64_t> steps_{0};
+  std::string last_step_name_;
+};
+
 }  // namespace tsq::testing
 
 #endif  // TSQ_TESTING_FAULT_POLICY_H_

@@ -1,0 +1,325 @@
+// Load-path robustness: every way a checkpoint can be damaged at rest —
+// truncation at any 4 KiB boundary, a flipped bit in any region (page-file
+// header, checksum table, page body, meta, manifest), a tampered meta field
+// behind a fixed-up manifest — must surface as a clean Corruption/IoError
+// from SimilarityEngine::LoadFrom. Never a crash, never a bad_alloc, never
+// a silently wrong engine.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "storage/atomic_file.h"
+#include "test_util.h"
+#include "testing/fault_policy.h"
+#include "transform/spectral_transform.h"
+#include "ts/normal_form.h"
+
+namespace tsq::core {
+namespace {
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class CheckpointRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test prefix: gtest_discover_tests runs every test of this suite as
+    // its own ctest process, in parallel — a shared prefix would let one
+    // test's SaveTo/GC race another's damaged-file edits.
+    prefix_ = ::testing::TempDir() + "/tsq_ckpt_robust_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    engine_ = std::make_unique<SimilarityEngine>(
+        testutil::RandomWalks(20, 64, 70));
+    ASSERT_TRUE(engine_->Remove(2).ok());  // persist a tombstone too
+    ASSERT_TRUE(engine_->SaveTo(prefix_).ok());
+    epoch_ = engine_->checkpoint_epoch();
+    ASSERT_GT(epoch_, 0u);
+    for (const std::string& path : AllFiles()) {
+      pristine_.emplace_back(path, ReadAllBytes(path));
+    }
+  }
+
+  void TearDown() override {
+    const std::filesystem::path prefix(prefix_);
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(prefix.parent_path(), ec)) {
+      if (entry.path().filename().string().rfind(
+              prefix.filename().string(), 0) == 0) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  std::string EpochFile(const char* suffix) const {
+    return prefix_ + "." + std::to_string(epoch_) + suffix;
+  }
+  std::string ManifestFile() const { return prefix_ + ".manifest"; }
+  std::vector<std::string> AllFiles() const {
+    return {ManifestFile(), EpochFile(".records"), EpochFile(".index"),
+            EpochFile(".meta")};
+  }
+
+  void RestorePristine() {
+    for (const auto& [path, bytes] : pristine_) WriteAllBytes(path, bytes);
+  }
+
+  // Expects LoadFrom to fail with Corruption or IoError under `context`.
+  void ExpectRejected(const std::string& context) {
+    const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+    ASSERT_FALSE(loaded.ok()) << context << ": damaged checkpoint loaded";
+    const StatusCode code = loaded.status().code();
+    EXPECT_TRUE(code == StatusCode::kCorruption ||
+                code == StatusCode::kIoError)
+        << context << ": " << loaded.status().ToString();
+  }
+
+  // Applies `edit` to the committed meta file's lines, then patches the
+  // manifest so the tampered meta passes the digest check — the test then
+  // exercises the field validation behind it, not the checksum in front.
+  void TamperMeta(const std::function<void(std::vector<std::string>&)>& edit) {
+    std::vector<std::string> lines;
+    {
+      std::istringstream in(ReadAllBytes(EpochFile(".meta")));
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+    }
+    edit(lines);
+    std::string text;
+    for (const std::string& line : lines) text += line + "\n";
+    WriteAllBytes(EpochFile(".meta"), text);
+
+    const auto digest = storage::DigestFile(EpochFile(".meta"));
+    ASSERT_TRUE(digest.ok());
+    std::string manifest;
+    std::istringstream in(ReadAllBytes(ManifestFile()));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("meta ", 0) == 0) {
+        std::ostringstream out;
+        out << "meta " << digest->size << " " << digest->fnv1a;
+        line = out.str();
+      }
+      manifest += line + "\n";
+    }
+    WriteAllBytes(ManifestFile(), manifest);
+  }
+
+  // Rewrites the space-separated fields of meta line `index`.
+  static void EditFields(std::vector<std::string>& lines, std::size_t index,
+                         const std::function<void(std::vector<std::string>&)>&
+                             edit) {
+    ASSERT_LT(index, lines.size());
+    std::vector<std::string> fields;
+    std::istringstream in(lines[index]);
+    std::string field;
+    while (in >> field) fields.push_back(field);
+    edit(fields);
+    std::string joined;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      joined += (i == 0 ? "" : " ") + fields[i];
+    }
+    lines[index] = joined;
+  }
+
+  std::string prefix_;  // set in SetUp() — unique per test
+  std::uint64_t epoch_ = 0;
+  std::unique_ptr<SimilarityEngine> engine_;
+  std::vector<std::pair<std::string, std::string>> pristine_;
+};
+
+TEST_F(CheckpointRobustnessTest, PristineCheckpointLoads) {
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), engine_->size());
+}
+
+TEST_F(CheckpointRobustnessTest, TruncationAtEveryPageBoundaryRejected) {
+  for (const std::string& path : AllFiles()) {
+    const std::uint64_t size = std::filesystem::file_size(path);
+    std::vector<std::uint64_t> cuts;
+    for (std::uint64_t at = 0; at < size; at += 4096) cuts.push_back(at);
+    cuts.push_back(size - 1);  // off-by-one torn tail
+    for (const std::uint64_t at : cuts) {
+      RestorePristine();
+      std::filesystem::resize_file(path, at);
+      ExpectRejected(path + " truncated to " + std::to_string(at));
+    }
+  }
+  RestorePristine();
+  EXPECT_TRUE(SimilarityEngine::LoadFrom(prefix_).ok());
+}
+
+TEST_F(CheckpointRobustnessTest, BitFlipInEveryRegionRejected) {
+  // Offsets hit the page-file header, the checksum table, a page body, the
+  // meta text and the manifest text; the tail byte of each file rides along.
+  for (const std::string& path : AllFiles()) {
+    const std::string bytes = ReadAllBytes(path);
+    std::vector<std::size_t> offsets = {0, bytes.size() / 2,
+                                        bytes.size() - 1};
+    if (bytes.size() > 4300) {
+      offsets.push_back(8);     // page-file count field
+      offsets.push_back(20);    // checksum table
+      offsets.push_back(4200);  // inside the first page body
+    }
+    for (const std::size_t at : offsets) {
+      RestorePristine();
+      std::string flipped = bytes;
+      flipped[at] = static_cast<char>(flipped[at] ^ 0xFF);
+      WriteAllBytes(path, flipped);
+      ExpectRejected(path + " bit-flipped at " + std::to_string(at));
+    }
+  }
+  RestorePristine();
+  EXPECT_TRUE(SimilarityEngine::LoadFrom(prefix_).ok());
+}
+
+TEST_F(CheckpointRobustnessTest, MissingTrioFileRejected) {
+  for (const char* suffix : {".records", ".index", ".meta"}) {
+    RestorePristine();
+    std::filesystem::remove(EpochFile(suffix));
+    ExpectRejected(std::string("missing ") + suffix);
+  }
+}
+
+// The regression the bugfix is named for: a meta file whose tree capacity
+// reads 0 used to reach min_fill / capacity and divide by zero.
+TEST_F(CheckpointRobustnessTest, ZeroTreeCapacityIsCorruptionNotCrash) {
+  TamperMeta([](std::vector<std::string>& lines) {
+    EditFields(lines, 3, [](std::vector<std::string>& f) {
+      ASSERT_EQ(f[0], "tree");
+      f[4] = "0";  // capacity
+      f[5] = "0";  // min_fill (<= capacity, so only the capacity check fires)
+    });
+  });
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointRobustnessTest, MinFillAboveCapacityRejected) {
+  TamperMeta([](std::vector<std::string>& lines) {
+    EditFields(lines, 3, [](std::vector<std::string>& f) {
+      ASSERT_EQ(f[0], "tree");
+      f[5] = std::to_string(std::stoull(f[4]) + 1);
+    });
+  });
+  ExpectRejected("min_fill > capacity");
+}
+
+TEST_F(CheckpointRobustnessTest, TreeSizeDisagreeingWithLiveRowsRejected) {
+  TamperMeta([](std::vector<std::string>& lines) {
+    EditFields(lines, 3, [](std::vector<std::string>& f) {
+      ASSERT_EQ(f[0], "tree");
+      f[3] = std::to_string(std::stoull(f[3]) + 1);
+    });
+  });
+  ExpectRejected("tree size != live rows");
+}
+
+TEST_F(CheckpointRobustnessTest, OutOfRangeRecordLocationRejected) {
+  TamperMeta([](std::vector<std::string>& lines) {
+    // Line 6 is the first sequence row: "page offset removed mean stddev".
+    EditFields(lines, 6, [](std::vector<std::string>& f) {
+      f[0] = "999999";
+    });
+  });
+  ExpectRejected("record page out of range");
+}
+
+TEST_F(CheckpointRobustnessTest, NonFiniteNormalFormRejected) {
+  TamperMeta([](std::vector<std::string>& lines) {
+    EditFields(lines, 6, [](std::vector<std::string>& f) {
+      f[4] = "nan";  // stddev
+    });
+  });
+  ExpectRejected("non-finite stddev");
+}
+
+// A records file whose header claims an absurd page count must be bounded
+// against the actual file size — Corruption, not a bad_alloc from
+// allocating exabytes. The manifest is fixed up so the digest check in
+// front does not mask the count validation.
+TEST_F(CheckpointRobustnessTest, HugePageCountIsCorruptionNotBadAlloc) {
+  std::string bytes = ReadAllBytes(EpochFile(".records"));
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);
+  WriteAllBytes(EpochFile(".records"), bytes);
+  const auto digest = storage::DigestFile(EpochFile(".records"));
+  ASSERT_TRUE(digest.ok());
+  std::string manifest;
+  std::istringstream in(ReadAllBytes(ManifestFile()));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("records ", 0) == 0) {
+      std::ostringstream out;
+      out << "records " << digest->size << " " << digest->fnv1a;
+      line = out.str();
+    }
+    manifest += line + "\n";
+  }
+  WriteAllBytes(ManifestFile(), manifest);
+
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointRobustnessTest, CrashDebrisIsSweptAndCountedOnLoad) {
+  // Crash the next save mid-way: the new epoch's partial files are debris,
+  // the manifest still commits the old epoch.
+  tsq::testing::CrashPolicy policy(9);
+  engine_->SetCheckpointFaultHook(&policy);
+  ASSERT_FALSE(engine_->SaveTo(prefix_).ok());
+  engine_->SetCheckpointFaultHook(nullptr);
+
+  obs::Counter* recoveries = obs::MetricsRegistry::Global().counter(
+      "engine.checkpoint.crash_recoveries");
+  const std::uint64_t before = recoveries->value();
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->checkpoint_epoch(), epoch_);
+  EXPECT_EQ(recoveries->value(), before + 1);
+
+  // The debris is gone: a second load finds a clean directory.
+  const std::uint64_t after = recoveries->value();
+  ASSERT_TRUE(SimilarityEngine::LoadFrom(prefix_).ok());
+  EXPECT_EQ(recoveries->value(), after);
+}
+
+TEST_F(CheckpointRobustnessTest, CheckpointEpochStampedIntoTraces) {
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok());
+  RangeQuerySpec spec;
+  spec.query = ts::Denormalize((*loaded)->dataset().normal(0));
+  spec.transforms = {transform::SpectralTransform::Identity(64)};
+  spec.epsilon = 0.5;
+  const auto result = (*loaded)->Execute(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace().checkpoint_epoch, epoch_);
+  EXPECT_NE(obs::FormatTrace(result->trace()).find(
+                "checkpoint e" + std::to_string(epoch_)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsq::core

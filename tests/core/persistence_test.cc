@@ -1,5 +1,6 @@
-#include <fstream>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "core/engine.h"
 #include "core/range_query.h"
@@ -14,11 +15,23 @@ namespace {
 class PersistenceTest : public ::testing::Test {
  protected:
   void TearDown() override {
-    for (const char* suffix : {".meta", ".records", ".index"}) {
-      std::remove((prefix_ + suffix).c_str());
+    // Checkpoints are a manifest plus epoch-named file trios; sweep
+    // everything under the prefix.
+    const std::filesystem::path prefix(prefix_);
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(prefix.parent_path(), ec)) {
+      if (entry.path().filename().string().rfind(
+              prefix.filename().string(), 0) == 0) {
+        std::filesystem::remove(entry.path(), ec);
+      }
     }
   }
-  std::string prefix_ = ::testing::TempDir() + "/tsq_persist";
+  // Per-test prefix: ctest discovers each test as its own process and runs
+  // them in parallel, so a shared prefix would race.
+  std::string prefix_ =
+      ::testing::TempDir() + "/tsq_persist_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
 };
 
 TEST_F(PersistenceTest, SaveLoadRoundTripPreservesAnswers) {
@@ -116,13 +129,51 @@ TEST_F(PersistenceTest, MissingAndCorruptFilesRejected) {
 
   SimilarityEngine original(testutil::RandomWalks(10, 64, 63));
   ASSERT_TRUE(original.SaveTo(prefix_).ok());
-  // Truncate the meta file.
+  const std::string meta_path =
+      prefix_ + "." + std::to_string(original.checkpoint_epoch()) + ".meta";
+  // Truncate the committed meta file behind the manifest's back: the digest
+  // check must reject the checkpoint before anything parses it.
   {
-    std::ofstream out(prefix_ + ".meta", std::ios::trunc);
-    out << "tsqmeta 1\nlength 64\n";
+    std::ofstream out(meta_path, std::ios::trunc);
+    out << "tsqmeta 2\nlength 64\n";
   }
   EXPECT_EQ(SimilarityEngine::LoadFrom(prefix_).status().code(),
             StatusCode::kCorruption);
+
+  // A truncated manifest is Corruption too.
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  {
+    std::ofstream out(prefix_ + ".manifest", std::ios::trunc);
+    out << "tsqckpt 1\n";
+  }
+  EXPECT_EQ(SimilarityEngine::LoadFrom(prefix_).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceTest, SaveReplacesCheckpointAtomicallyAndSweepsOldEpochs) {
+  SimilarityEngine original(testutil::RandomWalks(12, 64, 64));
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  const std::uint64_t first = original.checkpoint_epoch();
+  EXPECT_GT(first, 0u);
+  ASSERT_TRUE(original.Remove(1).ok());
+  ASSERT_TRUE(original.SaveTo(prefix_).ok());
+  const std::uint64_t second = original.checkpoint_epoch();
+  EXPECT_GT(second, first);
+
+  // The superseded epoch's files are garbage-collected after the commit.
+  for (const char* suffix : {".records", ".index", ".meta"}) {
+    EXPECT_FALSE(std::filesystem::exists(
+        prefix_ + "." + std::to_string(first) + suffix))
+        << suffix;
+    EXPECT_TRUE(std::filesystem::exists(
+        prefix_ + "." + std::to_string(second) + suffix))
+        << suffix;
+  }
+
+  const auto loaded = SimilarityEngine::LoadFrom(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->checkpoint_epoch(), second);
+  EXPECT_TRUE((*loaded)->dataset().removed(1));
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "storage/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "testing/fault_policy.h"
+
+namespace tsq::storage {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  // Per-test path: ctest discovers each test as its own process and runs
+  // them in parallel, so a shared path would race.
+  std::string path_ =
+      ::testing::TempDir() + "/tsq_atomic_file_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactlyTheAppendedBytes) {
+  AtomicFile file(path_);
+  ASSERT_TRUE(file.Open().ok());
+  ASSERT_TRUE(file.Append(std::string_view("hello ")).ok());
+  ASSERT_TRUE(file.Append("world", 5).ok());
+  ASSERT_TRUE(file.Commit().ok());
+  EXPECT_EQ(ReadAll(path_), "hello world");
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, DigestMatchesDigestFileAfterCommit) {
+  AtomicFile file(path_);
+  ASSERT_TRUE(file.Open().ok());
+  ASSERT_TRUE(file.Append(std::string_view("some checkpoint payload")).ok());
+  ASSERT_TRUE(file.Commit().ok());
+  const Result<FileDigest> reread = DigestFile(path_);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(*reread, file.digest());
+  EXPECT_EQ(reread->size, 23u);
+}
+
+TEST_F(AtomicFileTest, AbandonedWriterLeavesNoTrace) {
+  {
+    AtomicFile file(path_);
+    ASSERT_TRUE(file.Open().ok());
+    ASSERT_TRUE(file.Append(std::string_view("half-written")).ok());
+    // destroyed without Commit()
+  }
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, CommitOverwritesPreviousContentAtomically) {
+  { std::ofstream(path_) << "old content"; }
+  AtomicFile file(path_);
+  ASSERT_TRUE(file.Open().ok());
+  ASSERT_TRUE(file.Append(std::string_view("new")).ok());
+  ASSERT_TRUE(file.Commit().ok());
+  EXPECT_EQ(ReadAll(path_), "new");
+}
+
+TEST_F(AtomicFileTest, InjectedCrashLeavesTargetUntouchedAndTornTmp) {
+  { std::ofstream(path_) << "committed"; }
+  // Crash at every step up to and including the rename consult (which fires
+  // before the rename itself): the published file must keep its old bytes
+  // and the torn temp file must survive (a real crash would not clean it up
+  // either — recovery has to cope with it).
+  for (std::uint64_t step = 1; step <= 4; ++step) {
+    testing::CrashPolicy policy(step);
+    AtomicFile file(path_, &policy);
+    Status status = file.Open();
+    if (status.ok()) status = file.Append(std::string_view("replacement"));
+    if (status.ok()) status = file.Commit();
+    ASSERT_FALSE(status.ok()) << "step " << step;
+    EXPECT_EQ(ReadAll(path_), "committed") << "step " << step;
+    std::error_code ec;
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  // Crashing right after the rename (dirsync, step 5) must leave the *new*
+  // content published.
+  testing::CrashPolicy policy(5);
+  AtomicFile file(path_, &policy);
+  ASSERT_TRUE(file.Open().ok());
+  ASSERT_TRUE(file.Append(std::string_view("replacement")).ok());
+  ASSERT_FALSE(file.Commit().ok());
+  EXPECT_EQ(ReadAll(path_), "replacement");
+}
+
+TEST_F(AtomicFileTest, DigestFileMissingFileIsIoError) {
+  EXPECT_EQ(DigestFile(path_ + ".does-not-exist").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(AtomicFileTest, OpenFailsCleanlyInMissingDirectory) {
+  AtomicFile file("/nonexistent-dir/tsq/file");
+  EXPECT_EQ(file.Open().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tsq::storage

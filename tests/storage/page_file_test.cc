@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "testing/fault_policy.h"
 
 namespace tsq::storage {
 namespace {
@@ -104,8 +105,15 @@ TEST(PageFileTest, RewriteAfterCorruptionHeals) {
 
 class PageFilePersistenceTest : public ::testing::Test {
  protected:
-  void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/tsq_pages.bin";
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  // Per-test path: ctest discovers each test as its own process and runs
+  // them in parallel, so a shared path would race.
+  std::string path_ =
+      ::testing::TempDir() + "/tsq_pages_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
 };
 
 TEST_F(PageFilePersistenceTest, SaveLoadRoundTrip) {
@@ -252,6 +260,65 @@ TEST_F(PageFilePersistenceTest, RejectsLegacyV1Format) {
   const Status status = loaded.LoadFrom(path_);
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
   EXPECT_NE(status.message().find("v1"), std::string::npos);
+}
+
+TEST_F(PageFilePersistenceTest, HugePageCountIsCorruptionNotBadAlloc) {
+  PageFile file;
+  file.Allocate();
+  ASSERT_TRUE(file.SaveTo(path_).ok());
+  // Patch the header's page count to something no allocator survives; the
+  // load must bound it against the file size, not trust it.
+  for (const std::uint64_t huge :
+       {std::uint64_t{1} << 60, std::uint64_t{0} - 1, std::uint64_t{2}}) {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+    f.close();
+    PageFile loaded;
+    EXPECT_EQ(loaded.LoadFrom(path_).code(), StatusCode::kCorruption)
+        << "count=" << huge;
+  }
+}
+
+TEST_F(PageFilePersistenceTest, SaveLeavesOldFileIntactOnInjectedCrash) {
+  PageFile first;
+  const PageId id = first.Allocate();
+  Page page;
+  page.bytes[0] = 42;
+  ASSERT_TRUE(first.Write(id, page).ok());
+  ASSERT_TRUE(first.SaveTo(path_).ok());
+
+  // Crash a bigger save at every write step: the file at `path_` must stay
+  // byte-for-byte loadable as the first save's content.
+  PageFile second;
+  second.Allocate();
+  second.Allocate();
+  for (std::uint64_t step = 1;; ++step) {
+    testing::CrashPolicy policy(step);
+    const Status saved = second.SaveTo(path_, &policy);
+    PageFile loaded;
+    ASSERT_TRUE(loaded.LoadFrom(path_).ok()) << "step " << step;
+    if (saved.ok()) {
+      EXPECT_EQ(loaded.page_count(), 2u);
+      break;
+    }
+    // Before the rename the old single-page file survives; a crash on the
+    // directory sync lands after the rename, so the new file is already
+    // (atomically) published. Anything else — a torn or mixed file — fails
+    // the LoadFrom above.
+    if (loaded.page_count() == 1u) {
+      Page check;
+      ASSERT_TRUE(loaded.Read(id, &check).ok());
+      EXPECT_EQ(check.bytes[0], 42);
+    } else {
+      EXPECT_EQ(loaded.page_count(), 2u) << "step " << step;
+      EXPECT_STREQ(policy.crashed_step().c_str(), "dirsync")
+          << "step " << step;
+    }
+    ASSERT_LT(step, 100u) << "crash sweep did not terminate";
+    std::error_code ec;
+    std::filesystem::remove(path_ + ".tmp", ec);  // crash debris
+  }
 }
 
 TEST(PageFileTest, CorruptForTestingValidatesArguments) {

@@ -5,6 +5,7 @@
 //   fuzz_queries --seed=1..50 --iters=200          # the acceptance sweep
 //   fuzz_queries --seed=7 --case=13                # reproduce one failure
 //   fuzz_queries --mutate --seed=1..20 --iters=100 # concurrent-write sweep
+//   fuzz_queries --checkpoint --seed=1..5 --iters=3 # crash-recovery sweep
 //
 // Every divergence prints a self-contained repro line and the tool exits
 // non-zero.
@@ -13,7 +14,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+
+#include <unistd.h>
 
 #include "testing/differential.h"
 
@@ -26,8 +30,10 @@ struct FuzzOptions {
   bool have_case = false;
   std::size_t case_index = 0;
   bool mutate = false;
+  bool checkpoint = false;
   tsq::testing::DiffConfig diff;
   tsq::testing::MutateConfig mutate_config;
+  tsq::testing::CheckpointConfig checkpoint_config;
 };
 
 void Usage(const char* argv0) {
@@ -35,6 +41,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed=N | --seed=A..B] [--iters=N] [--case=K]\n"
       "          [--with-faults | --no-faults] [--tol=X] [--mutate]\n"
+      "          [--checkpoint] [--ckpt-dir=PATH]\n"
       "\n"
       "Runs seeded query workloads through {scan, ST-index, MT-index,\n"
       "auto} x {1,4,8} threads x {pool on/off} and compares every result\n"
@@ -45,7 +52,14 @@ void Usage(const char* argv0) {
       "--mutate switches to the concurrent-write sweep: a seeded mutator\n"
       "thread commits Insert/Remove while the queries run, and each result\n"
       "is checked against the oracle evaluated at the snapshot version the\n"
-      "query pinned (fault injection does not apply in this mode).\n",
+      "query pinned (fault injection does not apply in this mode).\n"
+      "\n"
+      "--checkpoint switches to the crash-recovery sweep: each case saves a\n"
+      "baseline checkpoint, commits a few writes, then aborts SaveTo at\n"
+      "every write step in turn; after each simulated crash LoadFrom must\n"
+      "recover an engine answering exactly at the old or new checkpoint.\n"
+      "--ckpt-dir picks the scratch directory (default: a fresh directory\n"
+      "under the system temp dir, removed on success).\n",
       argv0);
 }
 
@@ -83,6 +97,11 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       options->case_index = static_cast<std::size_t>(value);
     } else if (arg == "--mutate") {
       options->mutate = true;
+    } else if (arg == "--checkpoint") {
+      options->checkpoint = true;
+    } else if (arg.rfind("--ckpt-dir=", 0) == 0) {
+      options->checkpoint_config.prefix = arg.substr(11);
+      if (options->checkpoint_config.prefix.empty()) return false;
     } else if (arg == "--with-faults") {
       options->diff.with_faults = true;
     } else if (arg == "--no-faults") {
@@ -92,6 +111,7 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       options->diff.tolerance = std::strtod(arg.c_str() + 6, &end);
       if (end == arg.c_str() + 6 || *end != '\0') return false;
       options->mutate_config.tolerance = options->diff.tolerance;
+      options->checkpoint_config.tolerance = options->diff.tolerance;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       std::exit(0);
@@ -102,6 +122,10 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
   }
   if (options->seed_hi < options->seed_lo) {
     std::fprintf(stderr, "--seed: empty range\n");
+    return false;
+  }
+  if (options->mutate && options->checkpoint) {
+    std::fprintf(stderr, "--mutate and --checkpoint are exclusive\n");
     return false;
   }
   return true;
@@ -116,6 +140,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Scratch directory for --checkpoint; per-seed prefixes keep manifests
+  // apart. A user-chosen --ckpt-dir is kept, an auto-created one is removed
+  // when the sweep passes (failures leave the torn files for inspection).
+  bool cleanup_ckpt_dir = false;
+  std::filesystem::path ckpt_dir;
+  if (options.checkpoint) {
+    if (options.checkpoint_config.prefix.empty()) {
+      std::error_code ec;
+      ckpt_dir = std::filesystem::temp_directory_path(ec);
+      if (ec) ckpt_dir = ".";
+      ckpt_dir /= "tsq_fuzz_ckpt_" + std::to_string(::getpid());
+      cleanup_ckpt_dir = true;
+    } else {
+      ckpt_dir = options.checkpoint_config.prefix;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint dir %s: %s\n",
+                   ckpt_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   std::size_t cases = 0;
   std::size_t runs = 0;
   std::size_t fault_runs = 0;
@@ -125,13 +173,22 @@ int main(int argc, char** argv) {
 
   for (std::uint64_t seed = options.seed_lo; seed <= options.seed_hi; ++seed) {
     tsq::testing::DifferentialRunner runner(seed);
+    tsq::testing::CheckpointConfig checkpoint_config =
+        options.checkpoint_config;
+    if (options.checkpoint) {
+      checkpoint_config.prefix =
+          (ckpt_dir / ("seed" + std::to_string(seed))).string();
+    }
     const std::size_t begin = options.have_case ? options.case_index : 0;
     const std::size_t end =
         options.have_case ? options.case_index + 1 : options.iters;
     for (std::size_t index = begin; index < end; ++index) {
       const tsq::testing::CaseOutcome outcome =
-          options.mutate ? runner.RunMutateCase(index, options.mutate_config)
-                         : runner.RunCase(index, options.diff);
+          options.checkpoint
+              ? runner.RunCheckpointCase(index, checkpoint_config)
+              : options.mutate
+                    ? runner.RunMutateCase(index, options.mutate_config)
+                    : runner.RunCase(index, options.diff);
       ++cases;
       runs += outcome.runs;
       fault_runs += outcome.fault_runs;
@@ -143,7 +200,13 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(seed), index,
                      outcome.failure.c_str());
         std::fprintf(stderr, "  query: %s\n", outcome.description.c_str());
-        if (options.mutate) {
+        if (options.checkpoint) {
+          // Checkpoint cases also mutate the dataset case over case.
+          std::fprintf(stderr,
+                       "  repro: fuzz_queries --checkpoint --seed=%llu "
+                       "--iters=%zu\n",
+                       static_cast<unsigned long long>(seed), index + 1);
+        } else if (options.mutate) {
           // Mutate cases change the dataset, so case K only reproduces
           // after replaying cases 0..K-1 against the same runner.
           std::fprintf(stderr,
@@ -163,5 +226,9 @@ int main(int argc, char** argv) {
       "fuzz_queries: %zu case(s), %zu engine run(s), %zu fault run(s) "
       "(%zu surfaced errors), %zu concurrent write(s), %zu failure(s)\n",
       cases, runs, fault_runs, fault_errors, writes, failures);
+  if (cleanup_ckpt_dir && failures == 0) {
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir, ec);  // best-effort
+  }
   return failures == 0 ? 0 : 1;
 }
