@@ -18,7 +18,8 @@ cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebI
 cmake --build "$BUILD_DIR" -j --target \
   page_file_test atomic_file_test buffer_pool_test record_store_test \
   persistence_test checkpoint_robustness_test \
-  parallel_test exec_determinism_test exec_concurrency_test
+  parallel_test exec_determinism_test exec_concurrency_test \
+  batch_concurrency_test result_cache_test
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -R 'PageFile|AtomicFile|BufferPool|ShardedBufferPool|RecordStore|Persistence|CheckpointRobustness|EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency'
+ctest --output-on-failure -R 'PageFile|AtomicFile|BufferPool|ShardedBufferPool|RecordStore|Persistence|CheckpointRobustness|EffectiveThreads|ThreadPool|ParallelFor|Chunk|ExecutorDeterminism|ExecutorConcurrency|BatchConcurrency|ResultCache'

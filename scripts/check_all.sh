@@ -12,12 +12,16 @@
 #   4. scripts/persist_tests.sh — crash-safety gate: the "-L persist"
 #      checkpoint robustness suite plus a crash-recovery sweep that aborts
 #      SaveTo at every write step and re-loads;
-#   5. scripts/tsan_exec_tests.sh — data-race gate over the executor and
+#   5. the batch gate — "-L batch" runs the ExecuteBatch determinism,
+#      result-cache and concurrency suites plus the batched differential
+#      fuzz slices, then a fast batch-throughput bench run re-verifies
+#      that batched and single-query match sets are identical;
+#   6. scripts/tsan_exec_tests.sh — data-race gate over the executor and
 #      the sharded buffer pool;
-#   6. scripts/tsan_write_tests.sh — data-race gate over the write path:
+#   7. scripts/tsan_write_tests.sh — data-race gate over the write path:
 #      Execute() threads racing a continuous Insert/Remove writer through
 #      the engine's snapshot layer;
-#   7. scripts/asan_storage_tests.sh — lifetime/UB gate over the same
+#   8. scripts/asan_storage_tests.sh — lifetime/UB gate over the same
 #      plus the new atomic save/load paths.
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build-check)
@@ -27,27 +31,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 
-echo "==> [1/7] tier-1 build (-DTSQ_WERROR=ON) + ctest"
+echo "==> [1/8] tier-1 build (-DTSQ_WERROR=ON) + ctest"
 cmake -B "$BUILD_DIR" -S . -DTSQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "==> [2/7] planner regressions (ctest -L planner)"
+echo "==> [2/8] planner regressions (ctest -L planner)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L planner
 
-echo "==> [3/7] differential fuzz smoke (fixed seeds, oracle-checked)"
+echo "==> [3/8] differential fuzz smoke (fixed seeds, oracle-checked)"
 scripts/fuzz_smoke.sh "$BUILD_DIR"
 
-echo "==> [4/7] persistence gate (ctest -L persist + crash-recovery sweep)"
+echo "==> [4/8] persistence gate (ctest -L persist + crash-recovery sweep)"
 scripts/persist_tests.sh "$BUILD_DIR"
 
-echo "==> [5/7] ThreadSanitizer: exec + storage tests"
+echo "==> [5/8] batch gate (ctest -L batch + batch-throughput smoke)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L batch
+TSQ_BENCH_FAST=1 "$BUILD_DIR"/bench/batch_throughput --threads=4
+
+echo "==> [6/8] ThreadSanitizer: exec + storage tests"
 scripts/tsan_exec_tests.sh
 
-echo "==> [6/7] ThreadSanitizer: engine write path (queries vs writers)"
+echo "==> [7/8] ThreadSanitizer: engine write path (queries vs writers)"
 scripts/tsan_write_tests.sh
 
-echo "==> [7/7] Address/UB sanitizer: storage + exec tests"
+echo "==> [8/8] Address/UB sanitizer: storage + exec tests"
 scripts/asan_storage_tests.sh
 
 echo "==> all checks passed"

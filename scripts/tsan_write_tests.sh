@@ -7,6 +7,9 @@
 # synchronization between the write lock, the read pins and the planner
 # epoch shows up as a TSAN report. engine_write_fault_test runs the
 # fault-injected commit/compensate paths under the same instrumentation.
+# batch_concurrency_test adds the batched path: concurrent ExecuteBatch
+# calls (shared result cache, shared fetch tables, one pin per batch)
+# racing the same continuous writer.
 #
 # Usage: scripts/tsan_write_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,7 +19,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  engine_write_fault_test engine_write_concurrency_test
+  engine_write_fault_test engine_write_concurrency_test \
+  batch_concurrency_test
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -R 'EngineWriteFault|EngineWriteConcurrency'
+ctest --output-on-failure -R 'EngineWriteFault|EngineWriteConcurrency|BatchConcurrency'

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "core/cost_model.h"
+#include "core/result_cache.h"
 #include "obs/metrics.h"
 #include "plan/planner.h"
 #include "storage/atomic_file.h"
@@ -186,9 +187,11 @@ SimilarityEngine::SimilarityEngine(std::vector<ts::Series> series,
   dataset_ = std::make_unique<Dataset>(std::move(series), options.layout);
   index_ = std::make_unique<SequenceIndex>(*dataset_, options.tree);
   planner_ = std::make_unique<plan::Planner>(*dataset_, *index_);
+  result_cache_ = std::make_unique<ResultCache>();
 }
 
-SimilarityEngine::SimilarityEngine() = default;
+SimilarityEngine::SimilarityEngine()
+    : result_cache_(std::make_unique<ResultCache>()) {}
 
 SimilarityEngine::~SimilarityEngine() = default;
 
@@ -367,6 +370,7 @@ void SimilarityEngine::SetSimulatedDiskLatency(std::uint64_t nanos) {
   index_->set_io_delay_nanos(nanos);
   // C_cmp was measured against the old page-read latency.
   planner_->InvalidateCalibration();
+  config_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void SimilarityEngine::EnableIndexBufferPool(std::size_t pages,
@@ -375,12 +379,14 @@ void SimilarityEngine::EnableIndexBufferPool(std::size_t pages,
   // running traversal would hand it freed pages.
   SnapshotManager::WriteLock write = snapshots_.LockWrite();
   index_->EnableBufferPool(pages, shards);
+  config_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void SimilarityEngine::SetReadFaultHook(storage::FaultHook* hook) {
   SnapshotManager::WriteLock write = snapshots_.LockWrite();
   dataset_->SetReadFaultHook(hook);
   index_->SetReadFaultHook(hook);
+  config_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void SimilarityEngine::SetCheckpointFaultHook(storage::FaultHook* hook) {

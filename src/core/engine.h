@@ -12,6 +12,7 @@
 #include "core/join_query.h"
 #include "core/knn_query.h"
 #include "core/query.h"
+#include "core/query_spec.h"
 #include "core/range_query.h"
 #include "core/snapshot.h"
 #include "storage/buffer_pool.h"
@@ -22,9 +23,7 @@ class Planner;
 
 namespace tsq::core {
 
-/// What a query asks, independent of how it is executed — one alternative
-/// per query type of the paper (Query 1, k-NN extension, Query 2).
-using QuerySpec = std::variant<RangeQuerySpec, KnnQuerySpec, JoinQuerySpec>;
+class ResultCache;
 
 /// Uniform result of SimilarityEngine::Execute: the per-type result plus,
 /// for range queries run with ExecOptions::collect_group_stats, the
@@ -49,6 +48,17 @@ struct QueryResult {
   const JoinQueryResult* join() const {
     return std::get_if<JoinQueryResult>(&value);
   }
+};
+
+/// How SimilarityEngine::ExecuteBatch runs a batch: one ExecOptions applied
+/// to every query of the batch, plus the result-cache switch.
+struct BatchOptions {
+  ExecOptions exec;
+  /// Consult (and fill) the engine's snapshot-keyed ResultCache: cache hits
+  /// are served without executing, and identical specs within one batch
+  /// execute once. Off, every spec executes — the configuration whose
+  /// results the differential fuzzer diffs against sequential Execute().
+  bool use_result_cache = true;
 };
 
 /// Facade over the whole system: owns the sequence relation, its record
@@ -144,9 +154,48 @@ class SimilarityEngine {
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions()) const;
 
+  /// Runs a batch of queries against ONE pinned snapshot with ONE planner
+  /// consultation, sharing work across the batch (see
+  /// docs/ARCHITECTURE.md, "Batched execution & result cache"):
+  ///
+  ///  * indexed range queries with the same transformation set and effective
+  ///    partition share a single index traversal per rectangle — the union
+  ///    query region drives the descent and each visited entry is re-tested
+  ///    against every member query's own epsilon band;
+  ///  * every candidate record fetch of the batch goes through a
+  ///    batch-scoped fetch table, so a page is read once however many
+  ///    queries (or rectangles) want it;
+  ///  * with `options.use_result_cache`, results are served from / published
+  ///    to the engine's bounded LRU ResultCache, keyed on (canonical spec,
+  ///    exec options, snapshot version, config epoch).
+  ///
+  /// Entry i of the returned vector is the result (or error Status) of
+  /// specs[i]. Matches are byte-identical to issuing the specs sequentially
+  /// via Execute() at the same snapshot, for any num_threads; stats follow
+  /// the deterministic attribution rules documented in ARCHITECTURE.md
+  /// (shared traversal counters go to the group leader, deduped fetch pages
+  /// to the lowest-indexed query that planned the fetch). A fault injected
+  /// into one query's I/O fails that entry only.
+  ///
+  /// Thread-safe like Execute(): any number of concurrent batches,
+  /// concurrently with Insert()/Remove().
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<QuerySpec>& specs,
+      const BatchOptions& options = BatchOptions()) const;
+
   /// The cost-based planner (plan cache, calibrated constants, epoch).
   /// Mostly for tests and benches; Execute() consults it automatically.
   plan::Planner& planner() const { return *planner_; }
+
+  /// The snapshot-keyed result cache ExecuteBatch serves hits from.
+  ResultCache& result_cache() const { return *result_cache_; }
+
+  /// Bumped by every configuration change that alters what a query would
+  /// read (buffer pool, simulated latency, fault hooks); part of the
+  /// ResultCache key, so reconfiguration invalidates every cached result.
+  std::uint64_t config_epoch() const {
+    return config_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Resets every I/O counter — record store, index page file and, when one
   /// is attached, the index buffer pool — between benchmark queries.
@@ -244,6 +293,13 @@ class SimilarityEngine {
   // after the manifest commit (before GC) so a post-commit failure still
   // leaves the engine agreeing with the disk.
   mutable std::atomic<std::uint64_t> checkpoint_epoch_{0};
+  // Configuration epoch: bumped (under the write lock) by every call that
+  // changes what a query would read — buffer pool attach/detach, simulated
+  // latency, fault hooks. Part of the ResultCache key.
+  mutable std::atomic<std::uint64_t> config_epoch_{0};
+  // Snapshot-keyed result cache for ExecuteBatch; mutable because batches
+  // run through const methods.
+  mutable std::unique_ptr<ResultCache> result_cache_;
   // Crash-injection schedule for SaveTo; written under the write lock, read
   // under SaveTo's read pin.
   storage::FaultHook* checkpoint_hook_ = nullptr;

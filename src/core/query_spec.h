@@ -1,0 +1,21 @@
+#ifndef TSQ_CORE_QUERY_SPEC_H_
+#define TSQ_CORE_QUERY_SPEC_H_
+
+#include <variant>
+
+#include "core/join_query.h"
+#include "core/knn_query.h"
+#include "core/range_query.h"
+
+namespace tsq::core {
+
+/// What a query asks, independent of how it is executed — one alternative
+/// per query type of the paper (Query 1, k-NN extension, Query 2). Lives in
+/// its own header so layers below the engine facade (the planner's batch
+/// entry point, the batch executor) can name the union without pulling in
+/// engine.h.
+using QuerySpec = std::variant<RangeQuerySpec, KnnQuerySpec, JoinQuerySpec>;
+
+}  // namespace tsq::core
+
+#endif  // TSQ_CORE_QUERY_SPEC_H_

@@ -12,17 +12,8 @@
 
 namespace tsq::core {
 
-namespace {
+namespace range_detail {
 
-// Task granularity of the parallel executor. These are part of the
-// determinism contract only insofar as they are *constants*: the chunk
-// boundaries (and hence the merge order) never depend on num_threads.
-constexpr std::size_t kScanChunk = 256;   // sequence ids per seq-scan task
-constexpr std::size_t kVerifyChunk = 32;  // candidates per verification task
-
-// Sorts the indices of one group into ascending dominance-chain order when
-// the whole transformation set forms a chain; returns false when it does not
-// (the caller falls back to the linear sweep).
 bool OrderGroupByChain(const std::vector<std::size_t>& chain,
                        std::vector<std::size_t>* group) {
   if (chain.empty()) return false;
@@ -43,8 +34,6 @@ double PredicateDistance2(const RangeQuerySpec& spec, std::size_t t,
                    candidate_spectrum, query_spectrum);
 }
 
-// Evaluates the distance predicate for one candidate against the (already
-// chain-ordered, when `ordered`) transformation indices of a group.
 void VerifyCandidate(const RangeQuerySpec& spec,
                      std::span<const dft::Complex> candidate_spectrum,
                      std::span<const dft::Complex> query_spectrum,
@@ -85,7 +74,7 @@ void VerifyCandidate(const RangeQuerySpec& spec,
   }
 }
 
-Status ValidateSpec(const Dataset& dataset, const RangeQuerySpec& spec) {
+Status ValidateRangeSpec(const Dataset& dataset, const RangeQuerySpec& spec) {
   if (spec.query.size() != dataset.length()) {
     return Status::InvalidArgument("query length does not match dataset");
   }
@@ -141,7 +130,14 @@ Status ValidateSpec(const Dataset& dataset, const RangeQuerySpec& spec) {
   return Status::Ok();
 }
 
-}  // namespace
+}  // namespace range_detail
+
+using range_detail::kScanChunk;
+using range_detail::kVerifyChunk;
+using range_detail::OrderGroupByChain;
+using range_detail::PredicateDistance2;
+using range_detail::ValidateRangeSpec;
+using range_detail::VerifyCandidate;
 
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
@@ -186,7 +182,7 @@ Result<RangeQueryResult> RunRangeQuery(const Dataset& dataset,
                                            partition_override) {
   const std::uint64_t query_start = MonotonicNanos();
   TSQ_RETURN_IF_ERROR(RejectUnresolvedAuto(options));
-  TSQ_RETURN_IF_ERROR(ValidateSpec(dataset, spec));
+  TSQ_RETURN_IF_ERROR(ValidateRangeSpec(dataset, spec));
   if (group_stats != nullptr) group_stats->clear();
 
   RangeQueryResult result;

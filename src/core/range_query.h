@@ -1,6 +1,7 @@
 #ifndef TSQ_CORE_RANGE_QUERY_H_
 #define TSQ_CORE_RANGE_QUERY_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +10,48 @@
 #include "core/query.h"
 
 namespace tsq::core {
+
+/// Internals of the range executor shared with the batch executor
+/// (src/core/batch_executor.cc). The batch path must reproduce the solo
+/// executor's task decomposition and per-candidate evaluation *exactly* —
+/// matches are asserted byte-identical between the two — so the pieces that
+/// define them live here instead of being duplicated.
+namespace range_detail {
+
+/// Task granularity of the parallel executors. Part of the determinism
+/// contract only insofar as they are *constants*: chunk boundaries (and
+/// hence the merge order) never depend on num_threads — or on whether the
+/// query ran solo or in a batch.
+inline constexpr std::size_t kScanChunk = 256;   // ids per seq-scan task
+inline constexpr std::size_t kVerifyChunk = 32;  // candidates per verify task
+
+/// Sorts the indices of one group into ascending dominance-chain order when
+/// the whole transformation set forms a chain; returns false when it does
+/// not (the caller falls back to the linear sweep).
+bool OrderGroupByChain(const std::vector<std::size_t>& chain,
+                       std::vector<std::size_t>* group);
+
+/// The Eq. 12 distance the predicate evaluates for transformation `t`,
+/// honouring the spec's TransformTarget.
+double PredicateDistance2(const RangeQuerySpec& spec, std::size_t t,
+                          std::span<const dft::Complex> candidate_spectrum,
+                          std::span<const dft::Complex> query_spectrum);
+
+/// Evaluates the distance predicate for one candidate against the (already
+/// chain-ordered, when `ordered`) transformation indices of a group,
+/// appending matches and counting comparisons.
+void VerifyCandidate(const RangeQuerySpec& spec,
+                     std::span<const dft::Complex> candidate_spectrum,
+                     std::span<const dft::Complex> query_spectrum,
+                     const std::vector<std::size_t>& group, bool ordered,
+                     std::size_t series_id, std::vector<Match>* matches,
+                     QueryStats* stats);
+
+/// Full spec validation (lengths, thresholds, partition well-formedness);
+/// the exact Status a malformed spec gets from solo execution.
+Status ValidateRangeSpec(const Dataset& dataset, const RangeQuerySpec& spec);
+
+}  // namespace range_detail
 
 /// Executes Query 1 with the chosen algorithm (Section 4):
 ///

@@ -1,0 +1,52 @@
+#include "exec/batch_schedule.h"
+
+#include <mutex>
+
+#include "exec/parallel.h"
+
+namespace tsq::exec {
+
+std::vector<BatchTaskRef> FlattenBatchTasks(
+    const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (const std::size_t count : counts) total += count;
+  std::vector<BatchTaskRef> tasks;
+  tasks.reserve(total);
+  for (std::size_t item = 0; item < counts.size(); ++item) {
+    for (std::size_t subtask = 0; subtask < counts[item]; ++subtask) {
+      tasks.push_back(BatchTaskRef{item, subtask});
+    }
+  }
+  return tasks;
+}
+
+std::vector<Status> ParallelForBatch(
+    std::size_t num_threads, const std::vector<std::size_t>& counts,
+    const std::function<Status(std::size_t item, std::size_t subtask)>& fn) {
+  const std::vector<BatchTaskRef> tasks = FlattenBatchTasks(counts);
+  std::vector<Status> statuses(counts.size(), Status::Ok());
+  // first_bad[i] = lowest failing subtask index of item i seen so far; the
+  // winning status is chosen by subtask index, not completion order, so the
+  // aggregate is the same for every thread count.
+  std::vector<std::size_t> first_bad(counts.size(), SIZE_MAX);
+  std::mutex mu;
+  // The outer ParallelFor never sees a failure: per-item statuses are
+  // captured here, so no item can cut another item's subtasks short (it
+  // could not anyway — ParallelFor runs every task — but the aggregation
+  // must also stay per-item).
+  (void)ParallelFor(num_threads, tasks.size(), [&](std::size_t index) {
+    const BatchTaskRef& task = tasks[index];
+    Status status = fn(task.item, task.subtask);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (task.subtask < first_bad[task.item]) {
+        first_bad[task.item] = task.subtask;
+        statuses[task.item] = std::move(status);
+      }
+    }
+    return Status::Ok();
+  });
+  return statuses;
+}
+
+}  // namespace tsq::exec

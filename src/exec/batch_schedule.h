@@ -1,0 +1,41 @@
+#ifndef TSQ_EXEC_BATCH_SCHEDULE_H_
+#define TSQ_EXEC_BATCH_SCHEDULE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsq::exec {
+
+/// One task of a flattened batch: subtask `subtask` of item `item`. Batch
+/// execution runs many per-item task lists (one list per query) through one
+/// ParallelFor, so slow items steal workers from fast ones instead of each
+/// item fanning out alone.
+struct BatchTaskRef {
+  std::size_t item = 0;
+  std::size_t subtask = 0;
+};
+
+/// Flattens per-item subtask counts into one task list, item-major:
+/// item 0's subtasks in order, then item 1's, ... The order is part of the
+/// determinism contract — batch executors merge per-item results in
+/// flattened-task order, which must equal the order the item's solo
+/// execution would have used.
+std::vector<BatchTaskRef> FlattenBatchTasks(
+    const std::vector<std::size_t>& counts);
+
+/// ParallelFor over a flattened batch. `fn(item, subtask)` statuses are
+/// aggregated *per item*: entry i of the returned vector is the
+/// lowest-subtask-index non-OK status of item i (or OK). Every subtask runs
+/// regardless of failures — including failures of other items, so one item's
+/// fault never truncates a co-batched item's work. The per-item aggregation
+/// mirrors what item i's solo ParallelFor would have returned.
+std::vector<Status> ParallelForBatch(
+    std::size_t num_threads, const std::vector<std::size_t>& counts,
+    const std::function<Status(std::size_t item, std::size_t subtask)>& fn);
+
+}  // namespace tsq::exec
+
+#endif  // TSQ_EXEC_BATCH_SCHEDULE_H_

@@ -63,6 +63,16 @@ std::string FormatTrace(const QueryTrace& trace) {
                 static_cast<unsigned long long>(trace.snapshot_version),
                 static_cast<unsigned long long>(trace.checkpoint_epoch));
   os << line;
+  if (trace.batch_size > 0) {
+    std::snprintf(line, sizeof line,
+                  "  batch: %zu queries, group of %zu%s%s, deduped fetches "
+                  "%llu\n",
+                  trace.batch_size, trace.batch_group_queries,
+                  trace.shared_traversal ? ", shared traversal" : "",
+                  trace.result_cache_hit ? ", result-cache hit" : "",
+                  static_cast<unsigned long long>(trace.deduped_fetches));
+    os << line;
+  }
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
     const PhaseStats& phase = trace.phases[p];
     if (phase.empty()) continue;
@@ -105,7 +115,17 @@ std::string TraceToJson(const QueryTrace& trace) {
      << ",\"num_threads\":" << trace.num_threads
      << ",\"total_nanos\":" << trace.total_nanos
      << ",\"snapshot_version\":" << trace.snapshot_version
-     << ",\"checkpoint_epoch\":" << trace.checkpoint_epoch << ",\"phases\":[";
+     << ",\"checkpoint_epoch\":" << trace.checkpoint_epoch;
+  if (trace.batch_size > 0) {
+    os << ",\"batch\":{\"size\":" << trace.batch_size
+       << ",\"group_queries\":" << trace.batch_group_queries
+       << ",\"shared_traversal\":"
+       << (trace.shared_traversal ? "true" : "false")
+       << ",\"result_cache_hit\":"
+       << (trace.result_cache_hit ? "true" : "false")
+       << ",\"deduped_fetches\":" << trace.deduped_fetches << '}';
+  }
+  os << ",\"phases\":[";
   bool first = true;
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
     const PhaseStats& phase = trace.phases[p];

@@ -133,6 +133,45 @@ Result<Planned> Planner::Plan(const core::JoinQuerySpec& spec,
                     epsilon, /*use_ordering=*/false, options);
 }
 
+std::vector<Result<Planned>> Planner::PlanBatch(
+    const std::vector<const core::QuerySpec*>& specs,
+    const core::PlannerOptions& options) {
+  std::vector<Result<Planned>> planned;
+  planned.reserve(specs.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const core::QuerySpec* spec : specs) {
+    planned.push_back(PlanOneLocked(*spec, options));
+  }
+  return planned;
+}
+
+Result<Planned> Planner::PlanOneLocked(const core::QuerySpec& spec,
+                                       const core::PlannerOptions& options) {
+  if (options.algorithm != core::Algorithm::kAuto) {
+    return ForcedDecision(options.algorithm);
+  }
+  if (const auto* range = std::get_if<core::RangeQuerySpec>(&spec)) {
+    return PlanLocked(QueryKind::kRange, range->transforms, range->partition,
+                      range->epsilon, range->use_ordering, options);
+  }
+  if (const auto* knn = std::get_if<core::KnnQuerySpec>(&spec)) {
+    // The best-first search expands from distance 0 outward; epsilon 0
+    // prices the lower bound of its traversal, which is enough to rank
+    // partitions.
+    return PlanLocked(QueryKind::kKnn, knn->transforms, knn->partition,
+                      /*epsilon=*/0.0, /*use_ordering=*/false, options);
+  }
+  const auto& join = std::get<core::JoinQuerySpec>(spec);
+  const double epsilon =
+      join.mode == core::JoinMode::kDistance
+          ? join.epsilon
+          : ts::CorrelationToDistanceThreshold(join.min_correlation,
+                                               dataset_.length()) *
+                join.slack;
+  return PlanLocked(QueryKind::kJoin, join.transforms, join.partition,
+                    epsilon, /*use_ordering=*/false, options);
+}
+
 Result<const core::TreeCostEstimator*> Planner::SnapshotLocked() {
   if (!snapshot_.has_value() || snapshot_epoch_ != epoch_) {
     Result<core::TreeCostEstimator> created =

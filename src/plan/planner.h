@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
 #include "core/cost_model.h"
@@ -14,6 +15,7 @@
 #include "core/join_query.h"
 #include "core/knn_query.h"
 #include "core/query.h"
+#include "core/query_spec.h"
 #include "obs/trace.h"
 #include "plan/plan_cache.h"
 #include "transform/partition.h"
@@ -91,10 +93,22 @@ class Planner {
   Result<Planned> Plan(const core::JoinQuerySpec& spec,
                        const core::PlannerOptions& options);
 
+  /// Plans a whole batch under ONE mutex acquisition — one snapshot/
+  /// calibration check amortized over every spec, and no plan-cache
+  /// interleaving with concurrent planners mid-batch. Entry i is exactly
+  /// what Plan(*specs[i], options) would have returned at this epoch
+  /// (identical dispatch per kind, including the forced-algorithm
+  /// short-circuit and malformed-spec fallthrough).
+  std::vector<Result<Planned>> PlanBatch(
+      const std::vector<const core::QuerySpec*>& specs,
+      const core::PlannerOptions& options);
+
  private:
   enum class QueryKind { kRange = 0, kKnn = 1, kJoin = 2 };
 
   // All of these require mu_ held.
+  Result<Planned> PlanOneLocked(const core::QuerySpec& spec,
+                                const core::PlannerOptions& options);
   Result<const core::TreeCostEstimator*> SnapshotLocked();
   core::CostConstants CalibrateLocked();
   Result<Planned> PlanLocked(QueryKind kind,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/join_query.h"
@@ -131,6 +133,123 @@ std::string CompareJoin(const std::vector<core::JoinMatch>& expected,
     }
   }
   return "";
+}
+
+// Byte-for-byte equality between a batch entry and its per-spec sequential
+// baseline. No tolerance and no sorting: both ran at the same snapshot
+// through the same deterministic executors, and ExecuteBatch's contract is
+// that matches come back in the identical order with identical bits. Stats
+// and traces are deliberately NOT compared — attribution legitimately
+// differs under shared traversals and deduped fetches.
+std::string ExactDiff(const core::QueryResult& expected,
+                      const core::QueryResult& got) {
+  const auto mismatch = [](const char* kind, std::size_t i,
+                           const std::string& detail) {
+    std::ostringstream out;
+    out << kind << " match " << i << " differs from sequential baseline ("
+        << detail << ")";
+    return out.str();
+  };
+  if (const auto* range = expected.range()) {
+    const auto* g = got.range();
+    if (g == nullptr) return "result kind differs from sequential baseline";
+    if (range->matches.size() != g->matches.size()) {
+      std::ostringstream out;
+      out << "range match count: sequential " << range->matches.size()
+          << ", batch " << g->matches.size();
+      return out.str();
+    }
+    for (std::size_t i = 0; i < range->matches.size(); ++i) {
+      if (!(range->matches[i] == g->matches[i])) {
+        std::ostringstream out;
+        out << "series " << range->matches[i].series_id << " vs "
+            << g->matches[i].series_id;
+        return mismatch("range", i, out.str());
+      }
+    }
+    return "";
+  }
+  if (const auto* knn = expected.knn()) {
+    const auto* g = got.knn();
+    if (g == nullptr) return "result kind differs from sequential baseline";
+    if (knn->matches.size() != g->matches.size()) {
+      std::ostringstream out;
+      out << "knn match count: sequential " << knn->matches.size()
+          << ", batch " << g->matches.size();
+      return out.str();
+    }
+    for (std::size_t i = 0; i < knn->matches.size(); ++i) {
+      const core::KnnMatch& e = knn->matches[i];
+      const core::KnnMatch& b = g->matches[i];
+      if (e.series_id != b.series_id ||
+          e.transform_index != b.transform_index ||
+          e.distance != b.distance) {
+        std::ostringstream out;
+        out << "series " << e.series_id << " vs " << b.series_id;
+        return mismatch("knn", i, out.str());
+      }
+    }
+    return "";
+  }
+  const auto* join = expected.join();
+  const auto* g = got.join();
+  if (join == nullptr || g == nullptr) {
+    return "result kind differs from sequential baseline";
+  }
+  if (join->matches.size() != g->matches.size()) {
+    std::ostringstream out;
+    out << "join match count: sequential " << join->matches.size()
+        << ", batch " << g->matches.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < join->matches.size(); ++i) {
+    if (!(join->matches[i] == g->matches[i])) {
+      std::ostringstream out;
+      out << "(" << join->matches[i].a << "," << join->matches[i].b
+          << ") vs (" << g->matches[i].a << "," << g->matches[i].b << ")";
+      return mismatch("join", i, out.str());
+    }
+  }
+  return "";
+}
+
+// The oracle's verdict for one spec, evaluated once and diffed against many
+// batch entries.
+struct OracleExpectation {
+  std::vector<core::Match> range;
+  std::vector<core::KnnMatch> knn;
+  std::vector<core::JoinMatch> join;
+  bool correlation_join = false;
+};
+
+OracleExpectation ExpectedFor(const Oracle& oracle,
+                              const core::QuerySpec& spec,
+                              const std::vector<bool>* live = nullptr) {
+  OracleExpectation expected;
+  if (const auto* range = std::get_if<core::RangeQuerySpec>(&spec)) {
+    expected.range = oracle.Range(*range, live);
+  } else if (const auto* knn = std::get_if<core::KnnQuerySpec>(&spec)) {
+    expected.knn = oracle.Knn(*knn, live);
+  } else {
+    const auto& join = std::get<core::JoinQuerySpec>(spec);
+    expected.join = oracle.Join(join, live);
+    expected.correlation_join = join.mode == core::JoinMode::kCorrelation;
+  }
+  return expected;
+}
+
+std::string OracleDiff(const OracleExpectation& expected,
+                       const core::QueryResult& got,
+                       core::Algorithm algorithm, double tol) {
+  if (const auto* range = got.range()) {
+    return CompareRange(expected.range, range->matches, tol);
+  }
+  if (const auto* knn = got.knn()) {
+    return CompareKnn(expected.knn, knn->matches, tol);
+  }
+  const bool subset_ok = expected.correlation_join &&
+                         algorithm != core::Algorithm::kSequentialScan;
+  return CompareJoin(expected.join, got.join()->matches, tol, subset_ok);
 }
 
 }  // namespace
@@ -498,6 +617,518 @@ CaseOutcome DifferentialRunner::RunMutateCase(std::size_t index,
           << DescribeConfig(run.algorithm, run.threads, index % 2 == 1)
           << ": " << diff;
       fail(out.str());
+    }
+  }
+  return outcome;
+}
+
+CaseOutcome DifferentialRunner::RunBatchCase(std::size_t index,
+                                             const BatchConfig& config) {
+  CaseOutcome outcome;
+  const auto fail = [&](const std::string& what) {
+    if (outcome.passed) {
+      outcome.passed = false;
+      outcome.failure = what;
+    }
+  };
+
+  // Assemble the batch: a few generated base specs (MakeCase cycles the
+  // query kinds, so batches mix range / k-NN / join) plus seeded verbatim
+  // duplicates of earlier entries. origin[i] names the base entry specs[i]
+  // copies (origin[i] == i for base specs).
+  Rng rng(generator_.seed() * 0x94D049BB133111EBull + index);
+  const std::size_t base_count =
+      config.min_specs +
+      (config.max_specs > config.min_specs
+           ? static_cast<std::size_t>(rng.UniformInt(
+                 0, static_cast<std::int64_t>(config.max_specs -
+                                              config.min_specs)))
+           : 0);
+  std::vector<core::QuerySpec> specs;
+  std::vector<std::size_t> origin;
+  std::ostringstream description;
+  description << "batch{";
+  for (std::size_t j = 0; j < base_count; ++j) {
+    WorkloadCase work = generator_.MakeCase(index * 8 + j, engine_, oracle_);
+    if (j > 0) description << "; ";
+    description << work.description;
+    origin.push_back(specs.size());
+    specs.push_back(std::move(work.spec));
+  }
+  for (std::size_t j = 0; j < base_count; ++j) {
+    if (rng.Bernoulli(config.duplicate_probability)) {
+      origin.push_back(j);
+      specs.push_back(specs[j]);
+    }
+  }
+  description << "} +" << (specs.size() - base_count) << " dup";
+  outcome.description = description.str();
+
+  std::vector<OracleExpectation> expected;
+  expected.reserve(base_count);
+  for (std::size_t j = 0; j < base_count; ++j) {
+    expected.push_back(ExpectedFor(oracle_, specs[j]));
+  }
+
+  const bool pool_on = index % 2 == 1;
+  engine_.EnableIndexBufferPool(pool_on ? config.pool_pages : 0,
+                                config.pool_shards);
+
+  static constexpr core::Algorithm kAlgorithms[] = {
+      core::Algorithm::kSequentialScan, core::Algorithm::kStIndex,
+      core::Algorithm::kMtIndex, core::Algorithm::kAuto};
+  static constexpr std::size_t kThreadCounts[] = {1, 4, 8};
+
+  // Per-algorithm sequential baselines: Execute() one spec at a time, check
+  // each against the oracle, then hold the results as the exactness
+  // reference for every batched configuration of that algorithm.
+  std::vector<std::vector<core::QueryResult>> baselines(std::size(kAlgorithms));
+  for (std::size_t a = 0; a < std::size(kAlgorithms); ++a) {
+    const core::Algorithm algorithm = kAlgorithms[a];
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      core::ExecOptions options;
+      options.planner.algorithm = algorithm;
+      options.num_threads = 1;
+      Result<core::QueryResult> result = engine_.Execute(specs[i], options);
+      ++outcome.runs;
+      if (!result.ok()) {
+        fail("sequential baseline failed under " +
+             DescribeConfig(algorithm, 1, pool_on) + ": " +
+             result.status().ToString());
+        engine_.EnableIndexBufferPool(0);
+        return outcome;
+      }
+      const std::string diff = OracleDiff(expected[origin[i]], *result,
+                                          algorithm, config.tolerance);
+      if (!diff.empty()) {
+        fail("sequential baseline diverged from oracle under " +
+             DescribeConfig(algorithm, 1, pool_on) + ": " + diff);
+      }
+      baselines[a].push_back(std::move(*result));
+    }
+  }
+
+  // The batched sweep: every entry must match its sequential baseline
+  // byte-for-byte, every entry of one batch must pin the same snapshot
+  // version and report the batch size, and a repeated cache-on batch must
+  // serve every entry from the cache with identical matches.
+  for (std::size_t a = 0; a < std::size(kAlgorithms) && outcome.passed; ++a) {
+    const core::Algorithm algorithm = kAlgorithms[a];
+    for (const std::size_t threads : kThreadCounts) {
+      for (const bool use_cache : {false, true}) {
+        core::BatchOptions options;
+        options.exec.planner.algorithm = algorithm;
+        options.exec.num_threads = threads;
+        options.use_result_cache = use_cache;
+        const std::string config_text =
+            DescribeConfig(algorithm, threads, pool_on) +
+            (use_cache ? "/cache" : "/no-cache");
+
+        const auto check_batch = [&](const char* phase, bool expect_hits) {
+          const std::vector<Result<core::QueryResult>> batch =
+              engine_.ExecuteBatch(specs, options);
+          ++outcome.runs;
+          if (batch.size() != specs.size()) {
+            fail(std::string(phase) + " returned " +
+                 std::to_string(batch.size()) + " results for " +
+                 std::to_string(specs.size()) + " specs (" + config_text +
+                 ")");
+            return;
+          }
+          std::uint64_t version = 0;
+          bool have_version = false;
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!batch[i].ok()) {
+              fail(std::string(phase) + " entry " + std::to_string(i) +
+                   " errored (" + config_text +
+                   "): " + batch[i].status().ToString());
+              return;
+            }
+            const core::QueryResult& result = *batch[i];
+            const std::string diff = ExactDiff(baselines[a][i], result);
+            if (!diff.empty()) {
+              fail(std::string(phase) + " entry " + std::to_string(i) +
+                   " (" + config_text + "): " + diff);
+              return;
+            }
+            if (result.trace().batch_size != specs.size()) {
+              fail(std::string(phase) + " entry " + std::to_string(i) +
+                   " reports batch_size " +
+                   std::to_string(result.trace().batch_size) + " for a " +
+                   std::to_string(specs.size()) + "-spec batch (" +
+                   config_text + ")");
+              return;
+            }
+            if (!have_version) {
+              version = result.trace().snapshot_version;
+              have_version = true;
+            } else if (result.trace().snapshot_version != version) {
+              fail(std::string(phase) + " pinned two snapshot versions (" +
+                   config_text + "): v" + std::to_string(version) + " and v" +
+                   std::to_string(result.trace().snapshot_version));
+              return;
+            }
+            if (expect_hits && !result.trace().result_cache_hit) {
+              fail(std::string(phase) + " entry " + std::to_string(i) +
+                   " was not served from the result cache (" + config_text +
+                   ")");
+              return;
+            }
+          }
+        };
+
+        check_batch("batch", false);
+        if (use_cache && outcome.passed) {
+          // Identical batch, same snapshot, same config epoch: every entry
+          // must now be a cache hit and still carry identical matches.
+          check_batch("cached rerun", true);
+        }
+        if (!outcome.passed) break;
+      }
+      if (!outcome.passed) break;
+    }
+  }
+  engine_.EnableIndexBufferPool(0);
+  if (!outcome.passed || !config.with_faults) return outcome;
+
+  // Fault sweep: under each policy every batch entry must either surface a
+  // non-OK Status or carry the exact fault-free matches (a fault on a shared
+  // traversal or a deduped fetch may fail several entries at once — each of
+  // them must error, none may silently degrade). A clean rerun right after
+  // must fully match: the fault left storage, pool, and cache state intact.
+  const std::vector<FaultPolicyConfig> policies = [] {
+    std::vector<FaultPolicyConfig> list;
+    FaultPolicyConfig p;
+    p.fail_nth_read = 1;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_nth_read = 5;
+    p.failure_code = StatusCode::kCorruption;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_nth_read = 33;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.fail_every_k = 7;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.corrupt_nth_read = 3;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.short_nth_read = 2;
+    p.short_read_bytes = 512;
+    list.push_back(p);
+    p = FaultPolicyConfig();
+    p.delay_nanos = 2000;  // latency only: every entry must *match*
+    list.push_back(p);
+    return list;
+  }();
+
+  struct FaultRunConfig {
+    std::size_t algorithm_index;  // into kAlgorithms / baselines
+    std::size_t threads;
+    bool pool_on;
+  };
+  static constexpr FaultRunConfig kFaultRuns[] = {
+      {2, 4, true},   // MT-index, the shared-traversal path
+      {0, 4, false},  // sequential scan, the shared-fetch path
+  };
+
+  for (const FaultPolicyConfig& policy_config : policies) {
+    for (const FaultRunConfig& run : kFaultRuns) {
+      engine_.EnableIndexBufferPool(run.pool_on ? config.pool_pages : 0,
+                                    config.pool_shards);
+      const core::Algorithm algorithm = kAlgorithms[run.algorithm_index];
+      core::BatchOptions options;
+      options.exec.planner.algorithm = algorithm;
+      options.exec.num_threads = run.threads;
+      options.use_result_cache = false;
+
+      FaultPolicy policy(policy_config);
+      engine_.SetReadFaultHook(&policy);
+      const std::vector<Result<core::QueryResult>> faulted =
+          engine_.ExecuteBatch(specs, options);
+      engine_.SetReadFaultHook(nullptr);
+      ++outcome.fault_runs;
+      const std::string config_text =
+          DescribeConfig(algorithm, run.threads, run.pool_on) + " under " +
+          policy.Describe();
+      if (faulted.size() != specs.size()) {
+        fail("faulted batch returned " + std::to_string(faulted.size()) +
+             " results for " + std::to_string(specs.size()) + " specs (" +
+             config_text + ")");
+      }
+      for (std::size_t i = 0; i < faulted.size() && outcome.passed; ++i) {
+        if (!faulted[i].ok()) {
+          ++outcome.fault_errors;
+          continue;
+        }
+        const std::string diff =
+            ExactDiff(baselines[run.algorithm_index][i], *faulted[i]);
+        if (!diff.empty()) {
+          fail("fault batch entry " + std::to_string(i) +
+               " neither matched nor errored (" + config_text + "): " + diff);
+        }
+      }
+
+      // Clean rerun: the whole batch must come back exact.
+      const std::vector<Result<core::QueryResult>> clean =
+          engine_.ExecuteBatch(specs, options);
+      for (std::size_t i = 0; i < clean.size() && outcome.passed; ++i) {
+        if (!clean[i].ok()) {
+          fail("clean batch rerun after " + config_text + " entry " +
+               std::to_string(i) + " failed: " + clean[i].status().ToString());
+          break;
+        }
+        const std::string diff =
+            ExactDiff(baselines[run.algorithm_index][i], *clean[i]);
+        if (!diff.empty()) {
+          fail("clean batch rerun after " + config_text + " diverged at entry " +
+               std::to_string(i) + ": " + diff);
+        }
+      }
+      engine_.EnableIndexBufferPool(0);
+      if (!outcome.passed) return outcome;
+    }
+  }
+  return outcome;
+}
+
+CaseOutcome DifferentialRunner::RunBatchMutateCase(std::size_t index,
+                                                   const BatchConfig& config) {
+  // Batch assembly against the *current* dataset state (the runner's
+  // construction-time oracle has stale spectra once mutate cases ran).
+  const Oracle pre_oracle(engine_.dataset());
+  Rng rng(generator_.seed() * 0xBF58476D1CE4E5B9ull + index);
+  const std::size_t base_count =
+      config.min_specs +
+      (config.max_specs > config.min_specs
+           ? static_cast<std::size_t>(rng.UniformInt(
+                 0, static_cast<std::int64_t>(config.max_specs -
+                                              config.min_specs)))
+           : 0);
+  std::vector<core::QuerySpec> specs;
+  std::vector<std::size_t> origin;
+  std::ostringstream description;
+  description << "batch{";
+  for (std::size_t j = 0; j < base_count; ++j) {
+    WorkloadCase work = generator_.MakeCase(index * 8 + j, engine_, pre_oracle);
+    if (j > 0) description << "; ";
+    description << work.description;
+    origin.push_back(specs.size());
+    specs.push_back(std::move(work.spec));
+  }
+  for (std::size_t j = 0; j < base_count; ++j) {
+    if (rng.Bernoulli(config.duplicate_probability)) {
+      origin.push_back(j);
+      specs.push_back(specs[j]);
+    }
+  }
+  description << "} +" << (specs.size() - base_count) << " dup [mutate]";
+
+  CaseOutcome outcome;
+  outcome.description = description.str();
+  const auto fail = [&](const std::string& what) {
+    if (outcome.passed) {
+      outcome.passed = false;
+      outcome.failure = what;
+    }
+  };
+
+  const std::uint64_t base_version = engine_.write_version();
+  std::vector<bool> base_live(engine_.dataset().size());
+  for (std::size_t i = 0; i < base_live.size(); ++i) {
+    base_live[i] = !engine_.dataset().removed(i);
+  }
+
+  engine_.EnableIndexBufferPool(index % 2 == 1 ? config.pool_pages : 0,
+                                config.pool_shards);
+
+  struct WriteOp {
+    std::uint64_t version;
+    bool insert;
+    std::size_t id;
+  };
+  std::vector<WriteOp> log;  // mutator-only until join(), then main-only
+  log.reserve(config.inserts + config.removes);
+  std::string mutator_failure;
+
+  std::thread mutator([&] {
+    Rng mutator_rng(generator_.seed() * 0x2545F4914F6CDD1Dull + index);
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < base_live.size(); ++i) {
+      if (base_live[i]) live.push_back(i);
+    }
+    std::size_t inserts_left = config.inserts;
+    std::size_t removes_left = config.removes;
+    while (inserts_left + removes_left > 0) {
+      const bool do_insert =
+          removes_left == 0 || live.empty() ||
+          (inserts_left > 0 && mutator_rng.Bernoulli(0.5));
+      if (do_insert) {
+        --inserts_left;
+        const ts::Series series =
+            ts::GenerateRandomWalk(engine_.length(), 500.0, mutator_rng);
+        const Result<std::size_t> id = engine_.Insert(series);
+        if (!id.ok()) {
+          mutator_failure = "insert failed: " + id.status().ToString();
+          return;
+        }
+        live.push_back(*id);
+        log.push_back(WriteOp{engine_.write_version(), true, *id});
+      } else {
+        --removes_left;
+        const std::size_t pick =
+            static_cast<std::size_t>(mutator_rng.UniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+        const std::size_t id = live[pick];
+        live.erase(live.begin() + pick);
+        const Status removed = engine_.Remove(id);
+        if (!removed.ok()) {
+          mutator_failure = "remove failed: " + removed.ToString();
+          return;
+        }
+        log.push_back(WriteOp{engine_.write_version(), false, id});
+      }
+      if (log.back().version != base_version + log.size()) {
+        mutator_failure = "unexpected write version (another writer?)";
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // The concurrent batch sweep: cache off on pass 0, on for pass 1 (hits can
+  // only come from in-batch duplicates or an identical snapshot+epoch, so
+  // a concurrent writer naturally tests invalidation-by-version). Each batch
+  // must pin exactly ONE snapshot for all of its entries, and — since this
+  // thread is the only issuer — pinned versions must never go backwards.
+  static constexpr core::Algorithm kAlgorithms[] = {
+      core::Algorithm::kSequentialScan, core::Algorithm::kStIndex,
+      core::Algorithm::kMtIndex, core::Algorithm::kAuto};
+  static constexpr std::size_t kThreadCounts[] = {1, 4};
+  struct RecordedBatch {
+    core::Algorithm algorithm = core::Algorithm::kAuto;
+    std::size_t threads = 0;
+    std::uint64_t version = 0;
+    std::vector<core::QueryResult> results;
+  };
+  std::vector<RecordedBatch> recorded;
+  std::uint64_t last_version = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const core::Algorithm algorithm : kAlgorithms) {
+      for (const std::size_t threads : kThreadCounts) {
+        core::BatchOptions options;
+        options.exec.planner.algorithm = algorithm;
+        options.exec.num_threads = threads;
+        options.use_result_cache = pass == 1;
+        std::vector<Result<core::QueryResult>> batch =
+            engine_.ExecuteBatch(specs, options);
+        ++outcome.runs;
+        const std::string config_text =
+            DescribeConfig(algorithm, threads, index % 2 == 1);
+        if (batch.size() != specs.size()) {
+          fail("batch returned " + std::to_string(batch.size()) +
+               " results for " + std::to_string(specs.size()) + " specs (" +
+               config_text + ")");
+          continue;
+        }
+        RecordedBatch rec;
+        rec.algorithm = algorithm;
+        rec.threads = threads;
+        bool usable = true;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (!batch[i].ok()) {
+            fail("unexpected error status (no faults injected) entry " +
+                 std::to_string(i) + " under " + config_text + ": " +
+                 batch[i].status().ToString());
+            usable = false;
+            break;
+          }
+          const std::uint64_t version = batch[i]->trace().snapshot_version;
+          if (i == 0) {
+            rec.version = version;
+          } else if (version != rec.version) {
+            fail("batch pinned two snapshot versions under " + config_text +
+                 ": v" + std::to_string(rec.version) + " and v" +
+                 std::to_string(version));
+            usable = false;
+            break;
+          }
+          rec.results.push_back(std::move(*batch[i]));
+        }
+        if (!usable) continue;
+        if (rec.version < last_version) {
+          fail("batch snapshot went backwards under " + config_text + ": v" +
+               std::to_string(rec.version) + " after v" +
+               std::to_string(last_version));
+        }
+        last_version = rec.version;
+        // Duplicates ran at the same pinned snapshot as their original, so
+        // their matches must be bitwise identical.
+        for (std::size_t i = 0; i < rec.results.size(); ++i) {
+          if (origin[i] == i) continue;
+          const std::string diff =
+              ExactDiff(rec.results[origin[i]], rec.results[i]);
+          if (!diff.empty()) {
+            fail("duplicate entry " + std::to_string(i) +
+                 " diverged from its original under " + config_text + ": " +
+                 diff);
+          }
+        }
+        recorded.push_back(std::move(rec));
+      }
+    }
+  }
+
+  mutator.join();
+  engine_.EnableIndexBufferPool(0);
+  outcome.writes = log.size();
+  if (!mutator_failure.empty()) fail("mutator: " + mutator_failure);
+
+  // Replay each batch against the oracle at the snapshot it pinned. The
+  // expectation for one (base spec, version) pair is memoized: duplicates
+  // share it, and every batch issued after the mutator drained pins the
+  // same final version.
+  const Oracle post_oracle(engine_.dataset());
+  const auto live_at = [&](std::uint64_t version) {
+    std::vector<bool> live = base_live;
+    live.resize(engine_.dataset().size(), false);
+    for (const WriteOp& op : log) {
+      if (op.version > version) break;
+      live[op.id] = op.insert;
+    }
+    return live;
+  };
+  std::map<std::pair<std::size_t, std::uint64_t>, OracleExpectation> memo;
+  for (const RecordedBatch& run : recorded) {
+    if (run.version < base_version ||
+        run.version > base_version + log.size()) {
+      std::ostringstream out;
+      out << "pinned snapshot v" << run.version << " outside ["
+          << base_version << ", " << base_version + log.size() << "]";
+      fail(out.str());
+      continue;
+    }
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+      const std::pair<std::size_t, std::uint64_t> key(origin[i], run.version);
+      auto it = memo.find(key);
+      if (it == memo.end()) {
+        const std::vector<bool> live = live_at(run.version);
+        it = memo.emplace(key, ExpectedFor(post_oracle, specs[origin[i]],
+                                           &live))
+                 .first;
+      }
+      const std::string diff = OracleDiff(it->second, run.results[i],
+                                          run.algorithm, config.tolerance);
+      if (!diff.empty()) {
+        std::ostringstream out;
+        out << "entry " << i << " divergence at snapshot v" << run.version
+            << " under "
+            << DescribeConfig(run.algorithm, run.threads, index % 2 == 1)
+            << ": " << diff;
+        fail(out.str());
+      }
     }
   }
   return outcome;

@@ -40,6 +40,28 @@ struct MutateConfig {
   std::size_t removes = 4;
 };
 
+/// Knobs of one batched-execution case (RunBatchCase / RunBatchMutateCase).
+struct BatchConfig {
+  double tolerance = 1e-6;
+  /// Also repeat a slice of the sweep under each FaultPolicy (RunBatchCase
+  /// only): every batch entry must either surface a non-OK Status or carry
+  /// the exact fault-free matches, and a clean rerun must fully match.
+  bool with_faults = true;
+  /// Pool used on odd-indexed cases (even cases run pool-less).
+  std::size_t pool_pages = 8;
+  std::size_t pool_shards = 2;
+  /// Distinct generated specs per batch; the case RNG picks a count in
+  /// [min_specs, max_specs].
+  std::size_t min_specs = 3;
+  std::size_t max_specs = 5;
+  /// Per-base-spec chance of re-enqueueing it verbatim later in the batch,
+  /// so in-batch duplicate coalescing and cache serving are exercised.
+  double duplicate_probability = 0.4;
+  /// Writes the mutator thread commits (RunBatchMutateCase only).
+  std::size_t inserts = 4;
+  std::size_t removes = 3;
+};
+
 /// Knobs of one checkpoint crash-recovery case (RunCheckpointCase).
 struct CheckpointConfig {
   double tolerance = 1e-6;
@@ -94,6 +116,30 @@ class DifferentialRunner {
   /// against successively mutated states.
   CaseOutcome RunMutateCase(std::size_t index,
                             const MutateConfig& config = MutateConfig());
+
+  /// Batched-execution differential case. Builds a batch of generated specs
+  /// (mixed range / k-NN / join kinds, plus seeded verbatim duplicates) and
+  /// sweeps ExecuteBatch over {scan, ST, MT, auto} x {1, 4, 8} threads with
+  /// the result cache both off and on, diffing every entry three ways:
+  /// byte-for-byte against the per-spec sequential Execute() at the same
+  /// configuration (the batch executor's exactness contract), against the
+  /// Oracle, and — for duplicates — against their in-batch original. Every
+  /// batch entry must report the same pinned snapshot version, and a
+  /// repeated cache-on batch must serve hits with identical matches.
+  /// Optionally repeats a slice under each FaultPolicy (error-or-exact per
+  /// entry, clean rerun must match).
+  CaseOutcome RunBatchCase(std::size_t index,
+                           const BatchConfig& config = BatchConfig());
+
+  /// Concurrency variant of RunBatchCase: a seeded mutator thread commits
+  /// Insert/Remove operations while the main thread issues batches across
+  /// {scan, ST, MT, auto} x {1, 4} threads (cache off on the first pass, on
+  /// for the second). All entries of one batch must pin ONE snapshot
+  /// version, successive batches must pin non-decreasing versions, and every
+  /// entry is checked against the Oracle replayed at the batch's pinned
+  /// version via the mutation log. Mutations persist into later cases.
+  CaseOutcome RunBatchMutateCase(std::size_t index,
+                                 const BatchConfig& config = BatchConfig());
 
   /// Crash-recovery differential case. Writes a baseline checkpoint, commits
   /// a few Insert/Remove operations, then for k = 1, 2, ... reruns SaveTo

@@ -6,6 +6,8 @@
 //   fuzz_queries --seed=7 --case=13                # reproduce one failure
 //   fuzz_queries --mutate --seed=1..20 --iters=100 # concurrent-write sweep
 //   fuzz_queries --checkpoint --seed=1..5 --iters=3 # crash-recovery sweep
+//   fuzz_queries --batch --seed=1..20 --iters=100  # batched-execution sweep
+//   fuzz_queries --batch --mutate --seed=1..20 --iters=100
 //
 // Every divergence prints a self-contained repro line and the tool exits
 // non-zero.
@@ -31,9 +33,11 @@ struct FuzzOptions {
   std::size_t case_index = 0;
   bool mutate = false;
   bool checkpoint = false;
+  bool batch = false;
   tsq::testing::DiffConfig diff;
   tsq::testing::MutateConfig mutate_config;
   tsq::testing::CheckpointConfig checkpoint_config;
+  tsq::testing::BatchConfig batch_config;
 };
 
 void Usage(const char* argv0) {
@@ -41,7 +45,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed=N | --seed=A..B] [--iters=N] [--case=K]\n"
       "          [--with-faults | --no-faults] [--tol=X] [--mutate]\n"
-      "          [--checkpoint] [--ckpt-dir=PATH]\n"
+      "          [--checkpoint] [--ckpt-dir=PATH] [--batch]\n"
       "\n"
       "Runs seeded query workloads through {scan, ST-index, MT-index,\n"
       "auto} x {1,4,8} threads x {pool on/off} and compares every result\n"
@@ -59,7 +63,15 @@ void Usage(const char* argv0) {
       "every write step in turn; after each simulated crash LoadFrom must\n"
       "recover an engine answering exactly at the old or new checkpoint.\n"
       "--ckpt-dir picks the scratch directory (default: a fresh directory\n"
-      "under the system temp dir, removed on success).\n",
+      "under the system temp dir, removed on success).\n"
+      "\n"
+      "--batch switches to the batched-execution sweep: each case groups\n"
+      "several generated specs (plus seeded duplicates) into one\n"
+      "ExecuteBatch call and diffs every entry byte-for-byte against the\n"
+      "per-spec sequential Execute, against the oracle, and — cache on —\n"
+      "against a repeated all-hits batch; faults apply per entry\n"
+      "(error-or-exact). Combine with --mutate for concurrent-write batches\n"
+      "checked at each batch's single pinned snapshot.\n",
       argv0);
 }
 
@@ -97,6 +109,8 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       options->case_index = static_cast<std::size_t>(value);
     } else if (arg == "--mutate") {
       options->mutate = true;
+    } else if (arg == "--batch") {
+      options->batch = true;
     } else if (arg == "--checkpoint") {
       options->checkpoint = true;
     } else if (arg.rfind("--ckpt-dir=", 0) == 0) {
@@ -104,14 +118,17 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
       if (options->checkpoint_config.prefix.empty()) return false;
     } else if (arg == "--with-faults") {
       options->diff.with_faults = true;
+      options->batch_config.with_faults = true;
     } else if (arg == "--no-faults") {
       options->diff.with_faults = false;
+      options->batch_config.with_faults = false;
     } else if (arg.rfind("--tol=", 0) == 0) {
       char* end = nullptr;
       options->diff.tolerance = std::strtod(arg.c_str() + 6, &end);
       if (end == arg.c_str() + 6 || *end != '\0') return false;
       options->mutate_config.tolerance = options->diff.tolerance;
       options->checkpoint_config.tolerance = options->diff.tolerance;
+      options->batch_config.tolerance = options->diff.tolerance;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       std::exit(0);
@@ -126,6 +143,10 @@ bool ParseArgs(int argc, char** argv, FuzzOptions* options) {
   }
   if (options->mutate && options->checkpoint) {
     std::fprintf(stderr, "--mutate and --checkpoint are exclusive\n");
+    return false;
+  }
+  if (options->batch && options->checkpoint) {
+    std::fprintf(stderr, "--batch and --checkpoint are exclusive\n");
     return false;
   }
   return true;
@@ -186,9 +207,14 @@ int main(int argc, char** argv) {
       const tsq::testing::CaseOutcome outcome =
           options.checkpoint
               ? runner.RunCheckpointCase(index, checkpoint_config)
-              : options.mutate
-                    ? runner.RunMutateCase(index, options.mutate_config)
-                    : runner.RunCase(index, options.diff);
+              : options.batch
+                    ? (options.mutate
+                           ? runner.RunBatchMutateCase(index,
+                                                       options.batch_config)
+                           : runner.RunBatchCase(index, options.batch_config))
+                    : options.mutate
+                          ? runner.RunMutateCase(index, options.mutate_config)
+                          : runner.RunCase(index, options.diff);
       ++cases;
       runs += outcome.runs;
       fault_runs += outcome.fault_runs;
@@ -210,12 +236,14 @@ int main(int argc, char** argv) {
           // Mutate cases change the dataset, so case K only reproduces
           // after replaying cases 0..K-1 against the same runner.
           std::fprintf(stderr,
-                       "  repro: fuzz_queries --mutate --seed=%llu "
+                       "  repro: fuzz_queries %s--mutate --seed=%llu "
                        "--iters=%zu\n",
+                       options.batch ? "--batch " : "",
                        static_cast<unsigned long long>(seed), index + 1);
         } else {
           std::fprintf(stderr,
-                       "  repro: fuzz_queries --seed=%llu --case=%zu\n",
+                       "  repro: fuzz_queries %s--seed=%llu --case=%zu\n",
+                       options.batch ? "--batch " : "",
                        static_cast<unsigned long long>(seed), index);
         }
       }
