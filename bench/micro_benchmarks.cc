@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/polar_bounds.h"
 #include "dft/fft.h"
+#include "kernels/kernels.h"
 #include "rstar/rstar_tree.h"
 #include "storage/page_file.h"
 #include "transform/builders.h"
@@ -48,6 +49,30 @@ void BM_TransformedDistance(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TransformedDistance);
+
+// Raw per-ISA kernel throughput. Arg(0..2) selects the variant (scalar,
+// sse2, avx2); unsupported variants skip. The standalone kernel_suite
+// binary runs the full sweep and writes BENCH_kernels.json.
+void BM_KernelSquaredDistance(benchmark::State& state) {
+  const auto isa = static_cast<tsq::kernels::Isa>(state.range(0));
+  if (!tsq::kernels::IsaSupported(isa)) {
+    state.SkipWithError("ISA not supported on this machine");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(n);
+  const auto x = RandomSignal(n, rng);
+  const auto y = RandomSignal(n, rng);
+  const auto& table = tsq::kernels::TableFor(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.squared_distance(x.data(), y.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+  state.SetLabel(tsq::kernels::IsaName(isa));
+}
+BENCHMARK(BM_KernelSquaredDistance)
+    ->ArgsProduct({{0, 1, 2}, {128, 4096}});
 
 void BM_RStarInsert(benchmark::State& state) {
   const std::size_t count = static_cast<std::size_t>(state.range(0));

@@ -16,13 +16,18 @@
 #      result-cache and concurrency suites plus the batched differential
 #      fuzz slices, then a fast batch-throughput bench run re-verifies
 #      that batched and single-query match sets are identical;
-#   6. scripts/tsan_exec_tests.sh — data-race gate over the executor and
+#   6. the kernel gate — "-L kernels" runs the cross-ISA bitwise identity
+#      and early-abandon property suites, then the whole tier-1 suite is
+#      re-run with TSQ_KERNEL_ISA=scalar: every test must pass bit-for-bit
+#      on the scalar reference path too, proving SIMD is a pure speed knob;
+#   7. scripts/tsan_exec_tests.sh — data-race gate over the executor and
 #      the sharded buffer pool;
-#   7. scripts/tsan_write_tests.sh — data-race gate over the write path:
+#   8. scripts/tsan_write_tests.sh — data-race gate over the write path:
 #      Execute() threads racing a continuous Insert/Remove writer through
 #      the engine's snapshot layer;
-#   8. scripts/asan_storage_tests.sh — lifetime/UB gate over the same
-#      plus the new atomic save/load paths.
+#   9. scripts/asan_storage_tests.sh + scripts/kernel_tests.sh —
+#      lifetime/UB gate over storage, exec and the SIMD kernel layer
+#      (unaligned loads, complex reinterpret casts, blocked-loop tails).
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build-check)
 # The sanitizer stages use their own build trees (build-tsan, build-asan).
@@ -31,31 +36,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 
-echo "==> [1/8] tier-1 build (-DTSQ_WERROR=ON) + ctest"
+echo "==> [1/9] tier-1 build (-DTSQ_WERROR=ON) + ctest"
 cmake -B "$BUILD_DIR" -S . -DTSQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
-echo "==> [2/8] planner regressions (ctest -L planner)"
+echo "==> [2/9] planner regressions (ctest -L planner)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L planner
 
-echo "==> [3/8] differential fuzz smoke (fixed seeds, oracle-checked)"
+echo "==> [3/9] differential fuzz smoke (fixed seeds, oracle-checked)"
 scripts/fuzz_smoke.sh "$BUILD_DIR"
 
-echo "==> [4/8] persistence gate (ctest -L persist + crash-recovery sweep)"
+echo "==> [4/9] persistence gate (ctest -L persist + crash-recovery sweep)"
 scripts/persist_tests.sh "$BUILD_DIR"
 
-echo "==> [5/8] batch gate (ctest -L batch + batch-throughput smoke)"
+echo "==> [5/9] batch gate (ctest -L batch + batch-throughput smoke)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L batch
 TSQ_BENCH_FAST=1 "$BUILD_DIR"/bench/batch_throughput --threads=4
 
-echo "==> [6/8] ThreadSanitizer: exec + storage tests"
+echo "==> [6/9] kernel gate (ctest -L kernels + forced-scalar tier-1 pass)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L kernels
+TSQ_KERNEL_ISA=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "==> [7/9] ThreadSanitizer: exec + storage tests"
 scripts/tsan_exec_tests.sh
 
-echo "==> [7/8] ThreadSanitizer: engine write path (queries vs writers)"
+echo "==> [8/9] ThreadSanitizer: engine write path (queries vs writers)"
 scripts/tsan_write_tests.sh
 
-echo "==> [8/8] Address/UB sanitizer: storage + exec tests"
+echo "==> [9/9] Address/UB sanitizer: storage + exec + kernel tests"
 scripts/asan_storage_tests.sh
+scripts/kernel_tests.sh
 
 echo "==> all checks passed"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the kernel-layer test suites under Address+UB sanitizers and runs
+# them.
+#
+# The kernel TUs do exactly the kind of work sanitizers are good at
+# auditing: reinterpret_cast from std::complex to interleaved doubles,
+# unaligned vector loads at every offset, and blocked loops whose tail
+# handling is easy to get off by one. The property suite already sweeps
+# lengths 1..257 at offsets 0..3, so running it under ASan/UBSan turns any
+# out-of-bounds lane read into a hard failure instead of a silently
+# correct-looking sum.
+#
+# Usage: scripts/kernel_tests.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DTSQ_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target kernel_property_test kernel_dispatch_test
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L kernels

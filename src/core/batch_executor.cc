@@ -46,6 +46,7 @@
 #include "core/result_cache.h"
 #include "exec/batch_schedule.h"
 #include "exec/parallel.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "plan/planner.h"
 #include "transform/ordering.h"
@@ -226,6 +227,7 @@ void StampTrace(QueryResult* out, const SimilarityEngine& engine,
   (void)engine;
   trace.snapshot_version = snapshot_version;
   trace.checkpoint_epoch = checkpoint_epoch;
+  trace.kernel_isa = kernels::IsaName(kernels::ActiveIsa());
   trace.batch_size = batch_size;
   if (planned != nullptr && planned->decision->trace.planned) {
     trace.planner = planned->decision->trace;

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "core/cost_model.h"
 #include "core/result_cache.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "plan/planner.h"
 #include "storage/atomic_file.h"
@@ -335,6 +336,7 @@ Result<QueryResult> SimilarityEngine::Execute(const QuerySpec& spec,
       out.value);
   trace.snapshot_version = pin.version();
   trace.checkpoint_epoch = checkpoint_epoch_.load(std::memory_order_relaxed);
+  trace.kernel_isa = kernels::IsaName(kernels::ActiveIsa());
   if (decision->trace.planned) {
     trace.planner = decision->trace;
     trace.planner.cache_hit = planned->cache_hit;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/clock.h"
 #include "core/polar_bounds.h"
+#include "kernels/kernels.h"
 #include "exec/parallel.h"
 #include "obs/trace.h"
 #include "rstar/join.h"
@@ -55,9 +56,13 @@ bool EvaluatePair(const JoinQuerySpec& spec,
                   std::span<const dft::Complex> x,
                   std::span<const dft::Complex> y, double* value) {
   if (spec.mode == JoinMode::kDistance) {
-    const double d2 = t.TransformedSquaredDistance(x, y);
+    const double eps2 = spec.epsilon * spec.epsilon;
+    // Early-abandons against eps^2: qualifying pairs get the exact distance,
+    // rejected ones may get an abandoned partial sum > eps^2, which the
+    // strict predicate rejects identically (and *value is unused then).
+    const double d2 = t.TransformedSquaredDistanceWithin(x, y, eps2);
     *value = std::sqrt(d2);
-    return d2 < spec.epsilon * spec.epsilon;
+    return d2 < eps2;
   }
   *value = TransformedCorrelation(t, x, y);
   return *value >= spec.min_correlation;
@@ -77,18 +82,18 @@ double TransformedCorrelation(const transform::SpectralTransform& t,
   TSQ_CHECK_EQ(x.size(), t.length());
   TSQ_CHECK_EQ(y.size(), t.length());
   const std::size_t n = t.length();
-  double dot = 0.0, energy_u = 0.0, energy_v = 0.0;
-  for (std::size_t f = 0; f < n; ++f) {
-    const double gain = std::norm(t.multiplier(f));
-    dot += gain * (x[f] * std::conj(y[f])).real();
-    energy_u += gain * std::norm(x[f]);
-    energy_v += gain * std::norm(y[f]);
-  }
-  if (energy_u <= 0.0 || energy_v <= 0.0) return 0.0;
+  // One fused kernel pass over the interleaved components: per frequency,
+  // Re(X conj(Y)) = xr*yr + xi*yi is exactly the component-wise dot, and the
+  // |M_f|^2 gains are the transform's cached duplicated weights.
+  const kernels::WeightedDotSums sums = kernels::WeightedDotEnergies(
+      {reinterpret_cast<const double*>(x.data()), 2 * n},
+      {reinterpret_cast<const double*>(y.data()), 2 * n},
+      t.component_squared_magnitudes());
+  if (sums.energy_x <= 0.0 || sums.energy_y <= 0.0) return 0.0;
   // Both transformed sequences are zero-mean (normal forms have X_0 = 0), so
   // sigma^2 = energy / (n-1) and rho = (dot/n) / (sigma_u * sigma_v).
-  return (static_cast<double>(n) - 1.0) * dot /
-         (static_cast<double>(n) * std::sqrt(energy_u * energy_v));
+  return (static_cast<double>(n) - 1.0) * sums.dot /
+         (static_cast<double>(n) * std::sqrt(sums.energy_x * sums.energy_y));
 }
 
 std::vector<JoinMatch> BruteForceJoinQuery(const Dataset& dataset,

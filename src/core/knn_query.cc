@@ -57,19 +57,27 @@ Status ValidateSpec(const Dataset& dataset, const KnnQuerySpec& spec) {
   return Status::Ok();
 }
 
-// Exact best transformation for one candidate: (distance^2, transform index).
+// Best transformation for one candidate: (distance^2, transform index).
+// Each evaluation abandons early once its partial sum exceeds both the
+// running best and `bound` (the caller's current k-th-best distance). The
+// result is exact — identical to the unbounded evaluation — whenever it is
+// <= bound; a returned value > bound may be an abandoned partial sum, which
+// is safe because the caller discards such candidates entirely.
 std::pair<double, std::size_t> BestTransform(
     const KnnQuerySpec& spec, std::span<const dft::Complex> candidate,
-    std::span<const dft::Complex> query, QueryStats* stats) {
+    std::span<const dft::Complex> query, QueryStats* stats,
+    double bound = std::numeric_limits<double>::infinity()) {
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_t = 0;
   for (std::size_t t = 0; t < spec.transforms.size(); ++t) {
     if (stats != nullptr) ++stats->comparisons;
+    const double limit = std::min(best, bound);
     const double d2 =
         spec.target == TransformTarget::kBoth
-            ? spec.transforms[t].TransformedSquaredDistance(candidate, query)
-            : spec.transforms[t].TransformedToPlainSquaredDistance(candidate,
-                                                                   query);
+            ? spec.transforms[t].TransformedSquaredDistanceWithin(candidate,
+                                                                  query, limit)
+            : spec.transforms[t].TransformedToPlainSquaredDistanceWithin(
+                  candidate, query, limit);
     if (d2 < best) {
       best = d2;
       best_t = t;
@@ -144,6 +152,14 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
           const exec::ChunkRange slice =
               exec::ChunkBounds(dataset.size(), kScanChunk, task);
           ScanPart& part = parts[task];
+          // Task-local k best exact distances; the heap top bounds the early
+          // abandon. A candidate whose evaluation exceeds it has a true
+          // distance strictly above this task's k-th best, hence strictly
+          // above the global k-th best, so dropping it cannot change the
+          // merged top k (strict ">" keeps distance ties, which are broken
+          // by series id, intact). The slice decomposition is fixed by
+          // kScanChunk, so results stay independent of num_threads.
+          std::priority_queue<double> best_k;
           for (std::size_t i = slice.first; i < slice.last; ++i) {
             if (dataset.removed(i)) continue;
             const std::uint64_t fetch_start = MonotonicNanos();
@@ -152,9 +168,23 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
             if (!spectrum.ok()) return spectrum.status();
             ++part.stats.candidates;
             const std::uint64_t verify_start = MonotonicNanos();
-            const auto [d2, t] =
-                BestTransform(spec, *spectrum, query_spectrum, &part.stats);
-            part.matches.push_back(KnnMatch{i, t, std::sqrt(d2)});
+            const double bound =
+                spec.k > 0 && best_k.size() == spec.k
+                    ? best_k.top()
+                    : std::numeric_limits<double>::infinity();
+            const auto [d2, t] = BestTransform(spec, *spectrum, query_spectrum,
+                                               &part.stats, bound);
+            if (!(d2 > bound)) {  // d2 <= bound is always exact
+              part.matches.push_back(KnnMatch{i, t, std::sqrt(d2)});
+              if (spec.k > 0) {
+                if (best_k.size() < spec.k) {
+                  best_k.push(d2);
+                } else if (d2 < best_k.top()) {
+                  best_k.pop();
+                  best_k.push(d2);
+                }
+              }
+            }
             part.fetch_nanos += verify_start - fetch_start;
             part.verify_nanos += MonotonicNanos() - verify_start;
           }
@@ -251,6 +281,12 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
   }
 
   rstar::SearchStats search_stats;
+  // The k best exact distances refined so far; the heap top bounds the early
+  // abandon inside BestTransform. When a refinement exceeds it, k entries
+  // with strictly smaller exact keys are already in the result or the queue,
+  // every one of which surfaces first — so the abandoned entry can never be
+  // popped before the search terminates and is dropped outright.
+  std::priority_queue<double> refined_k;
   // The best-first loop is serial, so phase times are accumulated locally
   // and reported as one task each.
   std::uint64_t traversal_nanos = 0;
@@ -275,9 +311,23 @@ Result<KnnQueryResult> RunKnnQuery(const Dataset& dataset,
         if (!spectrum.ok()) return spectrum.status();
         ++stats.candidates;
         const std::uint64_t verify_start = MonotonicNanos();
+        const double bound =
+            spec.k > 0 && refined_k.size() == spec.k
+                ? refined_k.top()
+                : std::numeric_limits<double>::infinity();
         const auto [d2, t] =
-            BestTransform(spec, *spectrum, query_spectrum, &stats);
-        queue.push(Item{d2, Kind::kExact, item.id, t});
+            BestTransform(spec, *spectrum, query_spectrum, &stats, bound);
+        if (!(d2 > bound)) {  // d2 <= bound is always exact
+          queue.push(Item{d2, Kind::kExact, item.id, t});
+          if (spec.k > 0) {
+            if (refined_k.size() < spec.k) {
+              refined_k.push(d2);
+            } else if (d2 < refined_k.top()) {
+              refined_k.pop();
+              refined_k.push(d2);
+            }
+          }
+        }
         fetch_nanos += verify_start - fetch_start;
         verify_nanos += MonotonicNanos() - verify_start;
         break;

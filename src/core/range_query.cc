@@ -34,6 +34,17 @@ double PredicateDistance2(const RangeQuerySpec& spec, std::size_t t,
                    candidate_spectrum, query_spectrum);
 }
 
+double PredicateDistance2Within(const RangeQuerySpec& spec, std::size_t t,
+                                std::span<const dft::Complex> candidate_spectrum,
+                                std::span<const dft::Complex> query_spectrum,
+                                double bound) {
+  return spec.target == TransformTarget::kBoth
+             ? spec.transforms[t].TransformedSquaredDistanceWithin(
+                   candidate_spectrum, query_spectrum, bound)
+             : spec.transforms[t].TransformedToPlainSquaredDistanceWithin(
+                   candidate_spectrum, query_spectrum, bound);
+}
+
 void VerifyCandidate(const RangeQuerySpec& spec,
                      std::span<const dft::Complex> candidate_spectrum,
                      std::span<const dft::Complex> query_spectrum,
@@ -52,8 +63,12 @@ void VerifyCandidate(const RangeQuerySpec& spec,
     const auto distance2 = [&](std::size_t pos) {
       if (cached[pos] < 0.0) {
         ++stats->comparisons;
-        cached[pos] = PredicateDistance2(spec, group[pos], candidate_spectrum,
-                                         query_spectrum);
+        // Abandoned evaluations cache a partial sum > eps2: non-negative (so
+        // the sentinel stays unambiguous), correctly rejected by the
+        // predicate, and never reported (matches have d2 < eps2, hence are
+        // exact).
+        cached[pos] = PredicateDistance2Within(
+            spec, group[pos], candidate_spectrum, query_spectrum, eps2);
       }
       return cached[pos];
     };
@@ -66,8 +81,8 @@ void VerifyCandidate(const RangeQuerySpec& spec,
   }
   for (const std::size_t t : group) {
     ++stats->comparisons;
-    const double d2 =
-        PredicateDistance2(spec, t, candidate_spectrum, query_spectrum);
+    const double d2 = PredicateDistance2Within(spec, t, candidate_spectrum,
+                                               query_spectrum, eps2);
     if (d2 < eps2) {
       matches->push_back(Match{series_id, t, std::sqrt(d2)});
     }

@@ -37,6 +37,15 @@ double PredicateDistance2(const RangeQuerySpec& spec, std::size_t t,
                           std::span<const dft::Complex> candidate_spectrum,
                           std::span<const dft::Complex> query_spectrum);
 
+/// Early-abandoning PredicateDistance2: exact whenever the result is
+/// <= bound; any value > bound (exact or abandoned partial) means "no
+/// match". Since partial sums are monotone, the `d2 < eps2` predicate and
+/// every reported match distance are identical to the plain evaluation.
+double PredicateDistance2Within(const RangeQuerySpec& spec, std::size_t t,
+                                std::span<const dft::Complex> candidate_spectrum,
+                                std::span<const dft::Complex> query_spectrum,
+                                double bound);
+
 /// Evaluates the distance predicate for one candidate against the (already
 /// chain-ordered, when `ordered`) transformation indices of a group,
 /// appending matches and counting comparisons.

@@ -1,0 +1,31 @@
+#include <vector>
+
+#include "common/check.h"
+#include "dft/spectrum.h"
+#include "kernels/kernels.h"
+
+namespace tsq::dft {
+
+std::vector<Complex> ApplySpectrumMultipliers(
+    std::span<const Complex> spectrum, std::span<const Complex> multipliers) {
+  TSQ_CHECK_EQ(spectrum.size(), multipliers.size());
+  const std::size_t n = spectrum.size();
+  // One-off duplication into the component arrays the kernel consumes;
+  // callers with a long-lived multiplier set should hold a
+  // transform::SpectralTransform instead, which caches these.
+  std::vector<double> mre2(2 * n);
+  std::vector<double> mim2(2 * n);
+  for (std::size_t f = 0; f < n; ++f) {
+    mre2[2 * f] = multipliers[f].real();
+    mre2[2 * f + 1] = multipliers[f].real();
+    mim2[2 * f] = multipliers[f].imag();
+    mim2[2 * f + 1] = multipliers[f].imag();
+  }
+  std::vector<Complex> out(n);
+  kernels::ComplexPointwiseMultiply(
+      {reinterpret_cast<const double*>(spectrum.data()), 2 * n}, mre2, mim2,
+      {reinterpret_cast<double*>(out.data()), 2 * n});
+  return out;
+}
+
+}  // namespace tsq::dft

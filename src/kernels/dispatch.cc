@@ -1,0 +1,254 @@
+// Runtime dispatch: the active ISA is resolved once (TSQ_KERNEL_ISA, then
+// CPUID) and cached in an atomic; every dispatched entry point routes through
+// the selected variant's table and maintains the engine.kernels.* metrics.
+// Because all variants are bitwise identical (see internal.h), the choice is
+// purely a speed decision and is excluded from deterministic signatures.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "kernels/internal.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
+
+namespace tsq::kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr bool kX86Build = true;
+#else
+constexpr bool kX86Build = false;
+#endif
+
+struct KernelMetrics {
+  obs::Counter* calls;
+  obs::Counter* elements;
+  obs::Counter* early_abandons;
+  obs::Gauge* isa;
+};
+
+KernelMetrics& Metrics() {
+  static KernelMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return KernelMetrics{reg.counter("engine.kernels.calls"),
+                         reg.counter("engine.kernels.elements"),
+                         reg.counter("engine.kernels.early_abandons"),
+                         reg.gauge("engine.kernels.isa")};
+  }();
+  return m;
+}
+
+inline void Count(std::size_t elements) {
+  KernelMetrics& m = Metrics();
+  m.calls->Increment();
+  m.elements->Increment(elements);
+}
+
+// kScalar + 1 etc.; 0 means "not yet resolved".
+std::atomic<int> g_active{0};
+
+Isa ResolveActiveIsa() {
+  const Isa isa = ResolveIsa(std::getenv("TSQ_KERNEL_ISA"), BestSupportedIsa());
+  Metrics().isa->Set(static_cast<std::int64_t>(isa));
+  return isa;
+}
+
+inline const KernelTable& ActiveTable() {
+  return TableFor(ActiveIsa());
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      return kX86Build;  // SSE2 is the x86-64 baseline.
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa BestSupportedIsa() {
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  if (IsaSupported(Isa::kSse2)) return Isa::kSse2;
+  return Isa::kScalar;
+}
+
+Isa ResolveIsa(const char* env_value, Isa best_supported) {
+  if (env_value == nullptr || *env_value == '\0' ||
+      std::strcmp(env_value, "auto") == 0) {
+    return best_supported;
+  }
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    if (std::strcmp(env_value, IsaName(isa)) == 0) {
+      // Pure function of the arguments: variants are ordered, so a request
+      // is satisfiable exactly when it does not exceed best_supported.
+      return static_cast<int>(isa) <= static_cast<int>(best_supported)
+                 ? isa
+                 : best_supported;
+    }
+  }
+  return best_supported;
+}
+
+Isa ActiveIsa() {
+  int packed = g_active.load(std::memory_order_acquire);
+  if (packed == 0) {
+    const Isa resolved = ResolveActiveIsa();
+    packed = static_cast<int>(resolved) + 1;
+    int expected = 0;
+    // Racing first callers resolve identically (pure function of env+CPU),
+    // so whoever wins the CAS is equivalent.
+    g_active.compare_exchange_strong(expected, packed,
+                                     std::memory_order_acq_rel);
+  }
+  return static_cast<Isa>(packed - 1);
+}
+
+void ForceIsaForTesting(Isa isa) {
+  TSQ_CHECK(IsaSupported(isa))
+      << "cannot force unsupported kernel ISA " << IsaName(isa);
+  g_active.store(static_cast<int>(isa) + 1, std::memory_order_release);
+  Metrics().isa->Set(static_cast<std::int64_t>(isa));
+}
+
+const KernelTable& TableFor(Isa isa) {
+  TSQ_CHECK(IsaSupported(isa))
+      << "kernel ISA " << IsaName(isa) << " not supported on this machine";
+  switch (isa) {
+    case Isa::kScalar:
+      return ScalarKernelTable();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return Sse2KernelTable();
+    case Isa::kAvx2:
+      return Avx2KernelTable();
+#else
+    default:
+      break;
+#endif
+  }
+  return ScalarKernelTable();
+}
+
+double SquaredDistance(std::span<const double> x, std::span<const double> y) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  Count(x.size());
+  return ActiveTable().squared_distance(x.data(), y.data(), x.size());
+}
+
+double SquaredDistanceWithin(std::span<const double> x,
+                             std::span<const double> y, double bound) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  const EarlyAbandonResult r =
+      ActiveTable().squared_distance_within(x.data(), y.data(), x.size(),
+                                            bound);
+  Count(r.consumed);
+  if (r.consumed < x.size()) Metrics().early_abandons->Increment();
+  return r.value;
+}
+
+double WeightedSquaredDistance(std::span<const double> x,
+                               std::span<const double> y,
+                               std::span<const double> w) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  TSQ_CHECK_EQ(x.size(), w.size());
+  Count(x.size());
+  return ActiveTable().weighted_squared_distance(x.data(), y.data(), w.data(),
+                                                 x.size());
+}
+
+double WeightedSquaredDistanceWithin(std::span<const double> x,
+                                     std::span<const double> y,
+                                     std::span<const double> w, double bound) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  TSQ_CHECK_EQ(x.size(), w.size());
+  const EarlyAbandonResult r = ActiveTable().weighted_squared_distance_within(
+      x.data(), y.data(), w.data(), x.size(), bound);
+  Count(r.consumed);
+  if (r.consumed < x.size()) Metrics().early_abandons->Increment();
+  return r.value;
+}
+
+double TransformedToPlainSquaredDistance(std::span<const double> x,
+                                         std::span<const double> q,
+                                         std::span<const double> mul_re,
+                                         std::span<const double> mul_im) {
+  TSQ_CHECK_EQ(x.size(), q.size());
+  TSQ_CHECK_EQ(x.size(), mul_re.size());
+  TSQ_CHECK_EQ(x.size(), mul_im.size());
+  Count(x.size());
+  return ActiveTable().transformed_to_plain(x.data(), q.data(), mul_re.data(),
+                                            mul_im.data(), x.size());
+}
+
+double TransformedToPlainSquaredDistanceWithin(std::span<const double> x,
+                                               std::span<const double> q,
+                                               std::span<const double> mul_re,
+                                               std::span<const double> mul_im,
+                                               double bound) {
+  TSQ_CHECK_EQ(x.size(), q.size());
+  TSQ_CHECK_EQ(x.size(), mul_re.size());
+  TSQ_CHECK_EQ(x.size(), mul_im.size());
+  const EarlyAbandonResult r = ActiveTable().transformed_to_plain_within(
+      x.data(), q.data(), mul_re.data(), mul_im.data(), x.size(), bound);
+  Count(r.consumed);
+  if (r.consumed < x.size()) Metrics().early_abandons->Increment();
+  return r.value;
+}
+
+void ComplexPointwiseMultiply(std::span<const double> x,
+                              std::span<const double> mul_re,
+                              std::span<const double> mul_im,
+                              std::span<double> out) {
+  TSQ_CHECK_EQ(x.size(), mul_re.size());
+  TSQ_CHECK_EQ(x.size(), mul_im.size());
+  TSQ_CHECK_EQ(x.size(), out.size());
+  Count(x.size());
+  ActiveTable().complex_pointwise_multiply(x.data(), mul_re.data(),
+                                           mul_im.data(), out.data(),
+                                           x.size());
+}
+
+CorrelationSums ShiftedCorrelationSums(std::span<const double> x,
+                                       std::span<const double> y,
+                                       double x_shift, double y_shift) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  Count(x.size());
+  return ActiveTable().correlation_sums(x.data(), y.data(), x.size(), x_shift,
+                                        y_shift);
+}
+
+WeightedDotSums WeightedDotEnergies(std::span<const double> x,
+                                    std::span<const double> y,
+                                    std::span<const double> w) {
+  TSQ_CHECK_EQ(x.size(), y.size());
+  TSQ_CHECK_EQ(x.size(), w.size());
+  Count(x.size());
+  return ActiveTable().weighted_dot_sums(x.data(), y.data(), w.data(),
+                                         x.size());
+}
+
+}  // namespace tsq::kernels

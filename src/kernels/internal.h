@@ -1,0 +1,129 @@
+#ifndef TSQ_KERNELS_INTERNAL_H_
+#define TSQ_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+#include "kernels/kernels.h"
+
+// Shared building blocks of the kernel variants. Every TU that includes this
+// header is compiled with -ffp-contract=off, so the scalar arithmetic below
+// produces identical bit patterns whatever arch flags the enclosing TU uses
+// — plain IEEE-754 add/sub/mul are fully determined by their operands.
+//
+// The determinism contract, implemented identically by every variant:
+//   * element i accumulates into lane (i mod 4);
+//   * the final result is (L0 + L2) + (L1 + L3) — exactly the horizontal
+//     reduction a 4-wide vector (or a pair of 2-wide vectors) performs;
+//   * early-abandoning kernels test the partial reduction strictly
+//     (`partial > bound`) after every full 64-element chunk of the blocked
+//     region, never inside a chunk and never in the scalar tail;
+//   * no fused multiply-add anywhere (FMA rounds once where mul+add rounds
+//     twice, which would make results ISA-dependent).
+//
+// SIMD variants run the blocked region with vectors and then feed their
+// lanes through the same Tail* helpers for the last n mod 4 elements, so
+// scalar and SIMD results agree bitwise — including for NaN, infinity and
+// denormal inputs, which propagate through identical op sequences.
+
+namespace tsq::kernels::internal {
+
+/// Elements per early-abandon checkpoint. A multiple of 4 (the lane block)
+/// so checkpoints land on identical element positions in every variant.
+inline constexpr std::size_t kAbandonCheckElements = 64;
+
+inline double ReduceLanes(const double lanes[4]) {
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+// --- per-kernel element loops over [first, last), lane = index mod 4 ---
+
+inline void TailSquaredDistance(double lanes[4], const double* x,
+                                const double* y, std::size_t first,
+                                std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = x[i] - y[i];
+    lanes[i & 3] += d * d;
+  }
+}
+
+inline void TailWeightedSquaredDistance(double lanes[4], const double* x,
+                                        const double* y, const double* w,
+                                        std::size_t first, std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = x[i] - y[i];
+    lanes[i & 3] += w[i] * (d * d);
+  }
+}
+
+// One transformed-minus-query component: x holds interleaved (re, im)
+// doubles, mul_re/mul_im are component-duplicated multiplier arrays. Even
+// components compute re(M*X) = re*mr - im*mi, odd ones im(M*X) = im*mr +
+// re*mi; the partner component is x[i ^ 1]. This is exactly the
+// multiply/swap-multiply/addsub sequence the vector variants execute.
+inline double TransformedComponent(const double* x, const double* mul_re,
+                                   const double* mul_im, std::size_t i) {
+  const double a = x[i] * mul_re[i];
+  const double b = x[i ^ 1] * mul_im[i];
+  return (i & 1) == 0 ? a - b : a + b;
+}
+
+inline void TailTransformedToPlain(double lanes[4], const double* x,
+                                   const double* q, const double* mul_re,
+                                   const double* mul_im, std::size_t first,
+                                   std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = TransformedComponent(x, mul_re, mul_im, i) - q[i];
+    lanes[i & 3] += d * d;
+  }
+}
+
+inline void TailComplexMultiply(const double* x, const double* mul_re,
+                                const double* mul_im, double* out,
+                                std::size_t first, std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    out[i] = TransformedComponent(x, mul_re, mul_im, i);
+  }
+}
+
+inline void TailCorrelationSums(double dx[4], double dy[4], double dxx[4],
+                                double dyy[4], double dxy[4], const double* x,
+                                const double* y, double x_shift,
+                                double y_shift, std::size_t first,
+                                std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = x[i] - x_shift;
+    const double e = y[i] - y_shift;
+    const std::size_t lane = i & 3;
+    dx[lane] += d;
+    dy[lane] += e;
+    dxx[lane] += d * d;
+    dyy[lane] += e * e;
+    dxy[lane] += d * e;
+  }
+}
+
+inline void TailWeightedDotSums(double dot[4], double ex[4], double ey[4],
+                                const double* x, const double* y,
+                                const double* w, std::size_t first,
+                                std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const std::size_t lane = i & 3;
+    dot[lane] += w[i] * (x[i] * y[i]);
+    ex[lane] += w[i] * (x[i] * x[i]);
+    ey[lane] += w[i] * (y[i] * y[i]);
+  }
+}
+
+}  // namespace tsq::kernels::internal
+
+namespace tsq::kernels {
+
+/// Raw variant tables, one per TU. Sse2/Avx2 are only compiled (and only
+/// referenced by dispatch.cc) on x86-64 builds.
+const KernelTable& ScalarKernelTable();
+const KernelTable& Sse2KernelTable();
+const KernelTable& Avx2KernelTable();
+
+}  // namespace tsq::kernels
+
+#endif  // TSQ_KERNELS_INTERNAL_H_

@@ -1,0 +1,180 @@
+#ifndef TSQ_KERNELS_KERNELS_H_
+#define TSQ_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace tsq::kernels {
+
+/// The instruction sets the kernel layer can dispatch to. Every variant of
+/// every kernel — including the scalar reference — computes the same fixed
+/// 4-lane blocked reduction (element i accumulates into lane i mod 4, lanes
+/// folded as (L0+L2) + (L1+L3), no fused multiply-add anywhere), so results
+/// are **bitwise identical** across ISAs. Switching the active ISA can never
+/// change a query result, only its speed.
+enum class Isa : int {
+  kScalar = 0,  ///< portable reference, compiled without arch extensions
+  kSse2 = 1,    ///< 2×2-wide SSE2 (x86-64 baseline)
+  kAvx2 = 2,    ///< 4-wide AVX2 (TU built with -mavx2 -mfma)
+};
+inline constexpr int kIsaCount = 3;
+
+/// Stable lowercase name ("scalar", "sse2", "avx2") used by traces, metrics
+/// and the TSQ_KERNEL_ISA environment variable.
+const char* IsaName(Isa isa);
+
+/// True when this build + this CPU can run the variant. kScalar is always
+/// supported; kSse2/kAvx2 require an x86-64 build and, for AVX2, CPUID
+/// confirmation of AVX2+FMA.
+bool IsaSupported(Isa isa);
+
+/// The fastest supported variant on this machine.
+Isa BestSupportedIsa();
+
+/// Pure resolution rule used at startup (exposed for unit tests):
+/// env_value "scalar"/"sse2"/"avx2" selects that variant when supported;
+/// nullptr, "", "auto", unknown strings, and unsupported requests all fall
+/// back to `best_supported`.
+Isa ResolveIsa(const char* env_value, Isa best_supported);
+
+/// The variant every dispatched entry point below uses. Resolved once, on
+/// first use, from TSQ_KERNEL_ISA and CPUID; stamped into the
+/// `engine.kernels.isa` gauge and every QueryTrace.
+Isa ActiveIsa();
+
+/// Overrides the active variant (tests and benchmarks only — e.g. measuring
+/// scalar-vs-SIMD verification phases in one process). Aborts if `isa` is
+/// not supported. Results are bitwise unaffected by construction.
+void ForceIsaForTesting(Isa isa);
+
+/// Result of an early-abandoning reduction. `value` is the exact full sum
+/// when `consumed == n` (no abandon); when `consumed < n` the kernel stopped
+/// at a 64-element checkpoint whose partial sum already exceeded the bound —
+/// `value` is that partial sum, a lower bound of the true result, and
+/// `value > bound` holds. Abandon checks are strict (`partial > bound`), so
+/// a full sum exactly equal to the bound is never abandoned.
+struct EarlyAbandonResult {
+  double value = 0.0;
+  std::size_t consumed = 0;
+};
+
+/// Accumulated sums of the fused correlation pass over shifted values
+/// d_i = x_i - x_shift, e_i = y_i - y_shift.
+struct CorrelationSums {
+  double dx = 0.0;   ///< sum d_i
+  double dy = 0.0;   ///< sum e_i
+  double dxx = 0.0;  ///< sum d_i^2
+  double dyy = 0.0;  ///< sum e_i^2
+  double dxy = 0.0;  ///< sum d_i * e_i
+};
+
+/// Accumulated sums of the fused weighted dot/energy pass:
+/// dot = sum w_i x_i y_i, energy_x = sum w_i x_i^2, energy_y = sum w_i y_i^2.
+struct WeightedDotSums {
+  double dot = 0.0;
+  double energy_x = 0.0;
+  double energy_y = 0.0;
+};
+
+/// One ISA variant's raw kernel implementations. All pointers take raw
+/// double arrays (complex data is passed as its interleaved re,im doubles —
+/// `n` always counts doubles, so a length-m complex vector passes n = 2m).
+/// `mul_re`/`mul_im` are the *component-duplicated* multiplier arrays
+/// ([re0, re0, re1, re1, ...]) cached by transform::SpectralTransform.
+struct KernelTable {
+  double (*squared_distance)(const double* x, const double* y, std::size_t n);
+  double (*weighted_squared_distance)(const double* x, const double* y,
+                                      const double* w, std::size_t n);
+  double (*transformed_to_plain)(const double* x, const double* q,
+                                 const double* mul_re, const double* mul_im,
+                                 std::size_t n);
+  EarlyAbandonResult (*squared_distance_within)(const double* x,
+                                                const double* y,
+                                                std::size_t n, double bound);
+  EarlyAbandonResult (*weighted_squared_distance_within)(const double* x,
+                                                         const double* y,
+                                                         const double* w,
+                                                         std::size_t n,
+                                                         double bound);
+  EarlyAbandonResult (*transformed_to_plain_within)(const double* x,
+                                                    const double* q,
+                                                    const double* mul_re,
+                                                    const double* mul_im,
+                                                    std::size_t n,
+                                                    double bound);
+  void (*complex_pointwise_multiply)(const double* x, const double* mul_re,
+                                     const double* mul_im, double* out,
+                                     std::size_t n);
+  CorrelationSums (*correlation_sums)(const double* x, const double* y,
+                                      std::size_t n, double x_shift,
+                                      double y_shift);
+  WeightedDotSums (*weighted_dot_sums)(const double* x, const double* y,
+                                       const double* w, std::size_t n);
+};
+
+/// The raw table of one variant (aborts if unsupported). Tests use this to
+/// compare variants bitwise without touching the process-wide dispatch.
+const KernelTable& TableFor(Isa isa);
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. These are what production code calls: they route
+// through the active variant and maintain the engine.kernels.* metrics
+// (calls, elements processed, early abandons).
+// ---------------------------------------------------------------------------
+
+/// sum_i (x_i - y_i)^2. Requires x.size() == y.size().
+double SquaredDistance(std::span<const double> x, std::span<const double> y);
+
+/// Early-abandoning SquaredDistance: returns the exact distance when it is
+/// <= bound (and often when slightly above); any return value > bound means
+/// "no match", whether exact or abandoned partial. See EarlyAbandonResult
+/// for the contract.
+double SquaredDistanceWithin(std::span<const double> x,
+                             std::span<const double> y, double bound);
+
+/// sum_i w_i * (x_i - y_i)^2 — Eq. 12 with precomputed |M_f|^2 weights when
+/// called on interleaved complex components with duplicated weights.
+double WeightedSquaredDistance(std::span<const double> x,
+                               std::span<const double> y,
+                               std::span<const double> w);
+
+double WeightedSquaredDistanceWithin(std::span<const double> x,
+                                     std::span<const double> y,
+                                     std::span<const double> w, double bound);
+
+/// sum_f |M_f * X_f - Q_f|^2 over interleaved complex doubles, with the
+/// multiplier passed as duplicated component arrays.
+double TransformedToPlainSquaredDistance(std::span<const double> x,
+                                         std::span<const double> q,
+                                         std::span<const double> mul_re,
+                                         std::span<const double> mul_im);
+
+double TransformedToPlainSquaredDistanceWithin(std::span<const double> x,
+                                               std::span<const double> q,
+                                               std::span<const double> mul_re,
+                                               std::span<const double> mul_im,
+                                               double bound);
+
+/// out_f = M_f * X_f over interleaved complex doubles (spectrum×multiplier
+/// application, Eq. 5). `out` may not alias `x`.
+void ComplexPointwiseMultiply(std::span<const double> x,
+                              std::span<const double> mul_re,
+                              std::span<const double> mul_im,
+                              std::span<double> out);
+
+/// Fused single-pass statistics for time-domain cross-correlation: sums of
+/// shifted values, their squares and cross products (see CorrelationSums).
+/// Shifting by a data value (typically x[0], y[0]) keeps the sums
+/// well-conditioned for large-mean/tiny-variance inputs.
+CorrelationSums ShiftedCorrelationSums(std::span<const double> x,
+                                       std::span<const double> y,
+                                       double x_shift, double y_shift);
+
+/// Fused weighted dot + energies in one pass (frequency-domain correlation).
+WeightedDotSums WeightedDotEnergies(std::span<const double> x,
+                                    std::span<const double> y,
+                                    std::span<const double> w);
+
+}  // namespace tsq::kernels
+
+#endif  // TSQ_KERNELS_KERNELS_H_

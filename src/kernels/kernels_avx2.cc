@@ -1,0 +1,261 @@
+// AVX2 variant: one 4-wide register per reduction carries the 4 lanes
+// directly, so element i lands in vector lane (i mod 4) and the horizontal
+// reduce matches ReduceLanes exactly. The TU is built with -mavx2 -mfma
+// -ffp-contract=off; with contraction off the compiler never fuses the
+// explicit mul/add intrinsics below, keeping results bitwise identical to
+// the scalar reference (see internal.h for the contract).
+
+#include <immintrin.h>
+
+#include "kernels/internal.h"
+#include "kernels/kernels.h"
+
+namespace tsq::kernels {
+
+namespace {
+
+using internal::kAbandonCheckElements;
+using internal::ReduceLanes;
+
+inline double Reduce(__m256d acc) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return ReduceLanes(lanes);
+}
+
+// One transformed complex pair per 128-bit half: re(M*X) = re*mr - im*mi in
+// even slots, im(M*X) = im*mr + re*mi in odd slots. _mm256_permute_pd with
+// control 0b0101 swaps (re, im) within each pair; addsub subtracts in even
+// slots and adds in odd ones — the same op sequence as the scalar reference
+// and the SSE2 xor/add emulation.
+inline __m256d TransformedQuad(__m256d x, __m256d mre, __m256d mim) {
+  const __m256d a = _mm256_mul_pd(x, mre);
+  const __m256d b = _mm256_mul_pd(_mm256_permute_pd(x, 0b0101), mim);
+  return _mm256_addsub_pd(a, b);
+}
+
+// --- squared distance ---
+
+inline void SquaredDistanceBlocks(__m256d& acc, const double* x,
+                                  const double* y, std::size_t first,
+                                  std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+}
+
+double SquaredDistanceAvx2(const double* x, const double* y, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  SquaredDistanceBlocks(acc, x, y, 0, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailSquaredDistance(lanes, x, y, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult SquaredDistanceWithinAvx2(const double* x, const double* y,
+                                             std::size_t n, double bound) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    SquaredDistanceBlocks(acc, x, y, i, i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc);
+    if (partial > bound) return {partial, i};
+  }
+  SquaredDistanceBlocks(acc, x, y, i, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailSquaredDistance(lanes, x, y, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- weighted squared distance ---
+
+inline void WeightedBlocks(__m256d& acc, const double* x, const double* y,
+                           const double* w, std::size_t first,
+                           std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(w + i), _mm256_mul_pd(d, d)));
+  }
+}
+
+double WeightedSquaredDistanceAvx2(const double* x, const double* y,
+                                   const double* w, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  WeightedBlocks(acc, x, y, w, 0, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult WeightedSquaredDistanceWithinAvx2(const double* x,
+                                                     const double* y,
+                                                     const double* w,
+                                                     std::size_t n,
+                                                     double bound) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    WeightedBlocks(acc, x, y, w, i, i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc);
+    if (partial > bound) return {partial, i};
+  }
+  WeightedBlocks(acc, x, y, w, i, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- transformed-to-plain squared distance ---
+
+inline void TransformedToPlainBlocks(__m256d& acc, const double* x,
+                                     const double* q, const double* mre,
+                                     const double* mim, std::size_t first,
+                                     std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m256d p = TransformedQuad(_mm256_loadu_pd(x + i),
+                                      _mm256_loadu_pd(mre + i),
+                                      _mm256_loadu_pd(mim + i));
+    const __m256d d = _mm256_sub_pd(p, _mm256_loadu_pd(q + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+}
+
+double TransformedToPlainAvx2(const double* x, const double* q,
+                              const double* mre, const double* mim,
+                              std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  TransformedToPlainBlocks(acc, x, q, mre, mim, 0, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailTransformedToPlain(lanes, x, q, mre, mim, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult TransformedToPlainWithinAvx2(const double* x,
+                                                const double* q,
+                                                const double* mre,
+                                                const double* mim,
+                                                std::size_t n, double bound) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    TransformedToPlainBlocks(acc, x, q, mre, mim, i,
+                             i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc);
+    if (partial > bound) return {partial, i};
+  }
+  TransformedToPlainBlocks(acc, x, q, mre, mim, i, n4);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  internal::TailTransformedToPlain(lanes, x, q, mre, mim, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- complex pointwise multiply ---
+
+void ComplexPointwiseMultiplyAvx2(const double* x, const double* mre,
+                                  const double* mim, double* out,
+                                  std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     TransformedQuad(_mm256_loadu_pd(x + i),
+                                     _mm256_loadu_pd(mre + i),
+                                     _mm256_loadu_pd(mim + i)));
+  }
+  internal::TailComplexMultiply(x, mre, mim, out, n4, n);
+}
+
+// --- fused correlation sums ---
+
+CorrelationSums CorrelationSumsAvx2(const double* x, const double* y,
+                                    std::size_t n, double x_shift,
+                                    double y_shift) {
+  const __m256d xs = _mm256_set1_pd(x_shift);
+  const __m256d ys = _mm256_set1_pd(y_shift);
+  __m256d dx_v = _mm256_setzero_pd();
+  __m256d dy_v = _mm256_setzero_pd();
+  __m256d dxx_v = _mm256_setzero_pd();
+  __m256d dyy_v = _mm256_setzero_pd();
+  __m256d dxy_v = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), xs);
+    const __m256d e = _mm256_sub_pd(_mm256_loadu_pd(y + i), ys);
+    dx_v = _mm256_add_pd(dx_v, d);
+    dy_v = _mm256_add_pd(dy_v, e);
+    dxx_v = _mm256_add_pd(dxx_v, _mm256_mul_pd(d, d));
+    dyy_v = _mm256_add_pd(dyy_v, _mm256_mul_pd(e, e));
+    dxy_v = _mm256_add_pd(dxy_v, _mm256_mul_pd(d, e));
+  }
+  double dx[4], dy[4], dxx[4], dyy[4], dxy[4];
+  _mm256_storeu_pd(dx, dx_v);
+  _mm256_storeu_pd(dy, dy_v);
+  _mm256_storeu_pd(dxx, dxx_v);
+  _mm256_storeu_pd(dyy, dyy_v);
+  _mm256_storeu_pd(dxy, dxy_v);
+  internal::TailCorrelationSums(dx, dy, dxx, dyy, dxy, x, y, x_shift, y_shift,
+                                n4, n);
+  return {ReduceLanes(dx), ReduceLanes(dy), ReduceLanes(dxx),
+          ReduceLanes(dyy), ReduceLanes(dxy)};
+}
+
+// --- fused weighted dot/energies ---
+
+WeightedDotSums WeightedDotSumsAvx2(const double* x, const double* y,
+                                    const double* w, std::size_t n) {
+  __m256d dot_v = _mm256_setzero_pd();
+  __m256d ex_v = _mm256_setzero_pd();
+  __m256d ey_v = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    const __m256d wv = _mm256_loadu_pd(w + i);
+    dot_v = _mm256_add_pd(dot_v, _mm256_mul_pd(wv, _mm256_mul_pd(xv, yv)));
+    ex_v = _mm256_add_pd(ex_v, _mm256_mul_pd(wv, _mm256_mul_pd(xv, xv)));
+    ey_v = _mm256_add_pd(ey_v, _mm256_mul_pd(wv, _mm256_mul_pd(yv, yv)));
+  }
+  double dot[4], ex[4], ey[4];
+  _mm256_storeu_pd(dot, dot_v);
+  _mm256_storeu_pd(ex, ex_v);
+  _mm256_storeu_pd(ey, ey_v);
+  internal::TailWeightedDotSums(dot, ex, ey, x, y, w, n4, n);
+  return {ReduceLanes(dot), ReduceLanes(ex), ReduceLanes(ey)};
+}
+
+}  // namespace
+
+const KernelTable& Avx2KernelTable() {
+  static const KernelTable table = {
+      SquaredDistanceAvx2,
+      WeightedSquaredDistanceAvx2,
+      TransformedToPlainAvx2,
+      SquaredDistanceWithinAvx2,
+      WeightedSquaredDistanceWithinAvx2,
+      TransformedToPlainWithinAvx2,
+      ComplexPointwiseMultiplyAvx2,
+      CorrelationSumsAvx2,
+      WeightedDotSumsAvx2,
+  };
+  return table;
+}
+
+}  // namespace tsq::kernels

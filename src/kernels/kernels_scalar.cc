@@ -1,0 +1,137 @@
+// Scalar reference variant. This TU is compiled with no arch extensions and
+// -ffp-contract=off; it *defines* the numeric contract (4-lane blocked
+// reduction, 64-element abandon checkpoints) the SIMD variants must match
+// bitwise — see internal.h for the contract and tests/kernels for the
+// property suite that enforces it.
+
+#include "kernels/internal.h"
+#include "kernels/kernels.h"
+
+namespace tsq::kernels {
+
+namespace {
+
+using internal::kAbandonCheckElements;
+using internal::ReduceLanes;
+
+double SquaredDistanceScalar(const double* x, const double* y,
+                             std::size_t n) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  internal::TailSquaredDistance(lanes, x, y, 0, n);
+  return ReduceLanes(lanes);
+}
+
+double WeightedSquaredDistanceScalar(const double* x, const double* y,
+                                     const double* w, std::size_t n) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, 0, n);
+  return ReduceLanes(lanes);
+}
+
+double TransformedToPlainScalar(const double* x, const double* q,
+                                const double* mul_re, const double* mul_im,
+                                std::size_t n) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  internal::TailTransformedToPlain(lanes, x, q, mul_re, mul_im, 0, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult SquaredDistanceWithinScalar(const double* x,
+                                               const double* y, std::size_t n,
+                                               double bound) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    internal::TailSquaredDistance(lanes, x, y, i, i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = ReduceLanes(lanes);
+    if (partial > bound) return {partial, i};
+  }
+  internal::TailSquaredDistance(lanes, x, y, i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+EarlyAbandonResult WeightedSquaredDistanceWithinScalar(const double* x,
+                                                       const double* y,
+                                                       const double* w,
+                                                       std::size_t n,
+                                                       double bound) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    internal::TailWeightedSquaredDistance(lanes, x, y, w, i,
+                                          i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = ReduceLanes(lanes);
+    if (partial > bound) return {partial, i};
+  }
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+EarlyAbandonResult TransformedToPlainWithinScalar(const double* x,
+                                                  const double* q,
+                                                  const double* mul_re,
+                                                  const double* mul_im,
+                                                  std::size_t n,
+                                                  double bound) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    internal::TailTransformedToPlain(lanes, x, q, mul_re, mul_im, i,
+                                     i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = ReduceLanes(lanes);
+    if (partial > bound) return {partial, i};
+  }
+  internal::TailTransformedToPlain(lanes, x, q, mul_re, mul_im, i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+void ComplexPointwiseMultiplyScalar(const double* x, const double* mul_re,
+                                    const double* mul_im, double* out,
+                                    std::size_t n) {
+  internal::TailComplexMultiply(x, mul_re, mul_im, out, 0, n);
+}
+
+CorrelationSums CorrelationSumsScalar(const double* x, const double* y,
+                                      std::size_t n, double x_shift,
+                                      double y_shift) {
+  double dx[4] = {0.0, 0.0, 0.0, 0.0};
+  double dy[4] = {0.0, 0.0, 0.0, 0.0};
+  double dxx[4] = {0.0, 0.0, 0.0, 0.0};
+  double dyy[4] = {0.0, 0.0, 0.0, 0.0};
+  double dxy[4] = {0.0, 0.0, 0.0, 0.0};
+  internal::TailCorrelationSums(dx, dy, dxx, dyy, dxy, x, y, x_shift, y_shift,
+                                0, n);
+  return {ReduceLanes(dx), ReduceLanes(dy), ReduceLanes(dxx),
+          ReduceLanes(dyy), ReduceLanes(dxy)};
+}
+
+WeightedDotSums WeightedDotSumsScalar(const double* x, const double* y,
+                                      const double* w, std::size_t n) {
+  double dot[4] = {0.0, 0.0, 0.0, 0.0};
+  double ex[4] = {0.0, 0.0, 0.0, 0.0};
+  double ey[4] = {0.0, 0.0, 0.0, 0.0};
+  internal::TailWeightedDotSums(dot, ex, ey, x, y, w, 0, n);
+  return {ReduceLanes(dot), ReduceLanes(ex), ReduceLanes(ey)};
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernelTable() {
+  static const KernelTable table = {
+      SquaredDistanceScalar,
+      WeightedSquaredDistanceScalar,
+      TransformedToPlainScalar,
+      SquaredDistanceWithinScalar,
+      WeightedSquaredDistanceWithinScalar,
+      TransformedToPlainWithinScalar,
+      ComplexPointwiseMultiplyScalar,
+      CorrelationSumsScalar,
+      WeightedDotSumsScalar,
+  };
+  return table;
+}
+
+}  // namespace tsq::kernels

@@ -1,0 +1,295 @@
+// SSE2 variant: the 4-lane blocked reduction is carried in two 2-wide
+// registers — acc01 holds lanes {0,1} (elements 4b, 4b+1), acc23 lanes
+// {2,3}. SSE2 lacks addsub, so complex multiplies compute both a-b and a+b
+// and blend with a shuffle; a real subtraction (not the xor-sign/add idiom,
+// which flips the sign bit of a propagated NaN) is required for bitwise
+// identity with the scalar reference and the AVX2 addsub path on NaN
+// inputs. Compiled with -msse2 -ffp-contract=off (see internal.h).
+
+#include <emmintrin.h>
+
+#include "kernels/internal.h"
+#include "kernels/kernels.h"
+
+namespace tsq::kernels {
+
+namespace {
+
+using internal::kAbandonCheckElements;
+using internal::ReduceLanes;
+
+inline void StoreLanes(double lanes[4], __m128d acc01, __m128d acc23) {
+  _mm_storeu_pd(lanes, acc01);
+  _mm_storeu_pd(lanes + 2, acc23);
+}
+
+inline double Reduce(__m128d acc01, __m128d acc23) {
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  return ReduceLanes(lanes);
+}
+
+// One transformed complex component pair: re(M*X), im(M*X) for the complex
+// value in `x` (interleaved), multiplier components in `mre`/`mim`. The
+// even (re) slot needs a - b, the odd (im) slot a + b; compute both and
+// blend {sub[0], add[1]} so each slot runs the exact IEEE operation the
+// scalar reference runs (NaNs propagate with identical bit patterns).
+inline __m128d TransformedPair(__m128d x, __m128d mre, __m128d mim) {
+  const __m128d a = _mm_mul_pd(x, mre);
+  const __m128d swapped = _mm_shuffle_pd(x, x, 0b01);
+  const __m128d b = _mm_mul_pd(swapped, mim);
+  const __m128d sub = _mm_sub_pd(a, b);
+  const __m128d add = _mm_add_pd(a, b);
+  return _mm_shuffle_pd(sub, add, 0b10);
+}
+
+// --- squared distance ---
+
+inline void SquaredDistanceBlocks(__m128d& acc01, __m128d& acc23,
+                                  const double* x, const double* y,
+                                  std::size_t first, std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m128d d0 = _mm_sub_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(y + i));
+    const __m128d d1 =
+        _mm_sub_pd(_mm_loadu_pd(x + i + 2), _mm_loadu_pd(y + i + 2));
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d0, d0));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d1, d1));
+  }
+}
+
+double SquaredDistanceSse2(const double* x, const double* y, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  SquaredDistanceBlocks(acc01, acc23, x, y, 0, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailSquaredDistance(lanes, x, y, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult SquaredDistanceWithinSse2(const double* x, const double* y,
+                                             std::size_t n, double bound) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    SquaredDistanceBlocks(acc01, acc23, x, y, i, i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc01, acc23);
+    if (partial > bound) return {partial, i};
+  }
+  SquaredDistanceBlocks(acc01, acc23, x, y, i, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailSquaredDistance(lanes, x, y, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- weighted squared distance ---
+
+inline void WeightedBlocks(__m128d& acc01, __m128d& acc23, const double* x,
+                           const double* y, const double* w, std::size_t first,
+                           std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m128d d0 = _mm_sub_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(y + i));
+    const __m128d d1 =
+        _mm_sub_pd(_mm_loadu_pd(x + i + 2), _mm_loadu_pd(y + i + 2));
+    acc01 = _mm_add_pd(
+        acc01, _mm_mul_pd(_mm_loadu_pd(w + i), _mm_mul_pd(d0, d0)));
+    acc23 = _mm_add_pd(
+        acc23, _mm_mul_pd(_mm_loadu_pd(w + i + 2), _mm_mul_pd(d1, d1)));
+  }
+}
+
+double WeightedSquaredDistanceSse2(const double* x, const double* y,
+                                   const double* w, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  WeightedBlocks(acc01, acc23, x, y, w, 0, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult WeightedSquaredDistanceWithinSse2(const double* x,
+                                                     const double* y,
+                                                     const double* w,
+                                                     std::size_t n,
+                                                     double bound) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    WeightedBlocks(acc01, acc23, x, y, w, i, i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc01, acc23);
+    if (partial > bound) return {partial, i};
+  }
+  WeightedBlocks(acc01, acc23, x, y, w, i, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailWeightedSquaredDistance(lanes, x, y, w, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- transformed-to-plain squared distance ---
+
+inline void TransformedToPlainBlocks(__m128d& acc01, __m128d& acc23,
+                                     const double* x, const double* q,
+                                     const double* mre, const double* mim,
+                                     std::size_t first, std::size_t last) {
+  for (std::size_t i = first; i < last; i += 4) {
+    const __m128d p0 = TransformedPair(_mm_loadu_pd(x + i),
+                                       _mm_loadu_pd(mre + i),
+                                       _mm_loadu_pd(mim + i));
+    const __m128d p1 = TransformedPair(_mm_loadu_pd(x + i + 2),
+                                       _mm_loadu_pd(mre + i + 2),
+                                       _mm_loadu_pd(mim + i + 2));
+    const __m128d d0 = _mm_sub_pd(p0, _mm_loadu_pd(q + i));
+    const __m128d d1 = _mm_sub_pd(p1, _mm_loadu_pd(q + i + 2));
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d0, d0));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d1, d1));
+  }
+}
+
+double TransformedToPlainSse2(const double* x, const double* q,
+                              const double* mre, const double* mim,
+                              std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  TransformedToPlainBlocks(acc01, acc23, x, q, mre, mim, 0, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailTransformedToPlain(lanes, x, q, mre, mim, n4, n);
+  return ReduceLanes(lanes);
+}
+
+EarlyAbandonResult TransformedToPlainWithinSse2(const double* x,
+                                                const double* q,
+                                                const double* mre,
+                                                const double* mim,
+                                                std::size_t n, double bound) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  while (i + kAbandonCheckElements <= n) {
+    TransformedToPlainBlocks(acc01, acc23, x, q, mre, mim, i,
+                             i + kAbandonCheckElements);
+    i += kAbandonCheckElements;
+    const double partial = Reduce(acc01, acc23);
+    if (partial > bound) return {partial, i};
+  }
+  TransformedToPlainBlocks(acc01, acc23, x, q, mre, mim, i, n4);
+  double lanes[4];
+  StoreLanes(lanes, acc01, acc23);
+  internal::TailTransformedToPlain(lanes, x, q, mre, mim, n4 > i ? n4 : i, n);
+  return {ReduceLanes(lanes), n};
+}
+
+// --- complex pointwise multiply ---
+
+void ComplexPointwiseMultiplySse2(const double* x, const double* mre,
+                                  const double* mim, double* out,
+                                  std::size_t n) {
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    _mm_storeu_pd(out + i,
+                  TransformedPair(_mm_loadu_pd(x + i), _mm_loadu_pd(mre + i),
+                                  _mm_loadu_pd(mim + i)));
+  }
+  internal::TailComplexMultiply(x, mre, mim, out, n2, n);
+}
+
+// --- fused correlation sums ---
+
+CorrelationSums CorrelationSumsSse2(const double* x, const double* y,
+                                    std::size_t n, double x_shift,
+                                    double y_shift) {
+  const __m128d xs = _mm_set1_pd(x_shift);
+  const __m128d ys = _mm_set1_pd(y_shift);
+  __m128d dx01 = _mm_setzero_pd(), dx23 = _mm_setzero_pd();
+  __m128d dy01 = _mm_setzero_pd(), dy23 = _mm_setzero_pd();
+  __m128d dxx01 = _mm_setzero_pd(), dxx23 = _mm_setzero_pd();
+  __m128d dyy01 = _mm_setzero_pd(), dyy23 = _mm_setzero_pd();
+  __m128d dxy01 = _mm_setzero_pd(), dxy23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128d d0 = _mm_sub_pd(_mm_loadu_pd(x + i), xs);
+    const __m128d d1 = _mm_sub_pd(_mm_loadu_pd(x + i + 2), xs);
+    const __m128d e0 = _mm_sub_pd(_mm_loadu_pd(y + i), ys);
+    const __m128d e1 = _mm_sub_pd(_mm_loadu_pd(y + i + 2), ys);
+    dx01 = _mm_add_pd(dx01, d0);
+    dx23 = _mm_add_pd(dx23, d1);
+    dy01 = _mm_add_pd(dy01, e0);
+    dy23 = _mm_add_pd(dy23, e1);
+    dxx01 = _mm_add_pd(dxx01, _mm_mul_pd(d0, d0));
+    dxx23 = _mm_add_pd(dxx23, _mm_mul_pd(d1, d1));
+    dyy01 = _mm_add_pd(dyy01, _mm_mul_pd(e0, e0));
+    dyy23 = _mm_add_pd(dyy23, _mm_mul_pd(e1, e1));
+    dxy01 = _mm_add_pd(dxy01, _mm_mul_pd(d0, e0));
+    dxy23 = _mm_add_pd(dxy23, _mm_mul_pd(d1, e1));
+  }
+  double dx[4], dy[4], dxx[4], dyy[4], dxy[4];
+  StoreLanes(dx, dx01, dx23);
+  StoreLanes(dy, dy01, dy23);
+  StoreLanes(dxx, dxx01, dxx23);
+  StoreLanes(dyy, dyy01, dyy23);
+  StoreLanes(dxy, dxy01, dxy23);
+  internal::TailCorrelationSums(dx, dy, dxx, dyy, dxy, x, y, x_shift, y_shift,
+                                n4, n);
+  return {ReduceLanes(dx), ReduceLanes(dy), ReduceLanes(dxx),
+          ReduceLanes(dyy), ReduceLanes(dxy)};
+}
+
+// --- fused weighted dot/energies ---
+
+WeightedDotSums WeightedDotSumsSse2(const double* x, const double* y,
+                                    const double* w, std::size_t n) {
+  __m128d dot01 = _mm_setzero_pd(), dot23 = _mm_setzero_pd();
+  __m128d ex01 = _mm_setzero_pd(), ex23 = _mm_setzero_pd();
+  __m128d ey01 = _mm_setzero_pd(), ey23 = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128d x0 = _mm_loadu_pd(x + i), x1 = _mm_loadu_pd(x + i + 2);
+    const __m128d y0 = _mm_loadu_pd(y + i), y1 = _mm_loadu_pd(y + i + 2);
+    const __m128d w0 = _mm_loadu_pd(w + i), w1 = _mm_loadu_pd(w + i + 2);
+    dot01 = _mm_add_pd(dot01, _mm_mul_pd(w0, _mm_mul_pd(x0, y0)));
+    dot23 = _mm_add_pd(dot23, _mm_mul_pd(w1, _mm_mul_pd(x1, y1)));
+    ex01 = _mm_add_pd(ex01, _mm_mul_pd(w0, _mm_mul_pd(x0, x0)));
+    ex23 = _mm_add_pd(ex23, _mm_mul_pd(w1, _mm_mul_pd(x1, x1)));
+    ey01 = _mm_add_pd(ey01, _mm_mul_pd(w0, _mm_mul_pd(y0, y0)));
+    ey23 = _mm_add_pd(ey23, _mm_mul_pd(w1, _mm_mul_pd(y1, y1)));
+  }
+  double dot[4], ex[4], ey[4];
+  StoreLanes(dot, dot01, dot23);
+  StoreLanes(ex, ex01, ex23);
+  StoreLanes(ey, ey01, ey23);
+  internal::TailWeightedDotSums(dot, ex, ey, x, y, w, n4, n);
+  return {ReduceLanes(dot), ReduceLanes(ex), ReduceLanes(ey)};
+}
+
+}  // namespace
+
+const KernelTable& Sse2KernelTable() {
+  static const KernelTable table = {
+      SquaredDistanceSse2,
+      WeightedSquaredDistanceSse2,
+      TransformedToPlainSse2,
+      SquaredDistanceWithinSse2,
+      WeightedSquaredDistanceWithinSse2,
+      TransformedToPlainWithinSse2,
+      ComplexPointwiseMultiplySse2,
+      CorrelationSumsSse2,
+      WeightedDotSumsSse2,
+  };
+  return table;
+}
+
+}  // namespace tsq::kernels

@@ -57,11 +57,13 @@ std::string FormatTrace(const QueryTrace& trace) {
   char line[160];
   std::snprintf(line, sizeof line,
                 "%s, %zu thread(s), total %.3f ms, snapshot v%llu, "
-                "checkpoint e%llu\n",
+                "checkpoint e%llu%s%s\n",
                 trace.algorithm.c_str(), trace.num_threads,
                 static_cast<double>(trace.total_nanos) * 1e-6,
                 static_cast<unsigned long long>(trace.snapshot_version),
-                static_cast<unsigned long long>(trace.checkpoint_epoch));
+                static_cast<unsigned long long>(trace.checkpoint_epoch),
+                trace.kernel_isa.empty() ? "" : ", kernels ",
+                trace.kernel_isa.c_str());
   os << line;
   if (trace.batch_size > 0) {
     std::snprintf(line, sizeof line,
@@ -116,6 +118,9 @@ std::string TraceToJson(const QueryTrace& trace) {
      << ",\"total_nanos\":" << trace.total_nanos
      << ",\"snapshot_version\":" << trace.snapshot_version
      << ",\"checkpoint_epoch\":" << trace.checkpoint_epoch;
+  if (!trace.kernel_isa.empty()) {
+    os << ",\"kernel_isa\":\"" << trace.kernel_isa << "\"";
+  }
   if (trace.batch_size > 0) {
     os << ",\"batch\":{\"size\":" << trace.batch_size
        << ",\"group_queries\":" << trace.batch_group_queries

@@ -5,13 +5,47 @@
 
 #include "common/check.h"
 #include "dft/spectrum.h"
+#include "kernels/kernels.h"
 
 namespace tsq::transform {
+
+namespace {
+
+// std::complex<double> is array-oriented-access compatible: a contiguous
+// complex vector is exactly its interleaved (re, im) doubles, which is the
+// layout the kernel layer consumes.
+inline std::span<const double> AsDoubles(std::span<const dft::Complex> x) {
+  return {reinterpret_cast<const double*>(x.data()), 2 * x.size()};
+}
+
+inline std::span<double> AsDoubles(std::span<dft::Complex> x) {
+  return {reinterpret_cast<double*>(x.data()), 2 * x.size()};
+}
+
+}  // namespace
 
 SpectralTransform::SpectralTransform(std::string label,
                                      std::vector<dft::Complex> multipliers)
     : label_(std::move(label)), multipliers_(std::move(multipliers)) {
   TSQ_CHECK_GE(multipliers_.size(), std::size_t{1});
+  const std::size_t n = multipliers_.size();
+  weights_.resize(n);
+  weights2_.resize(2 * n);
+  mul_re2_.resize(2 * n);
+  mul_im2_.resize(2 * n);
+  polar_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    const double re = multipliers_[f].real();
+    const double im = multipliers_[f].imag();
+    weights_[f] = re * re + im * im;
+    weights2_[2 * f] = weights_[f];
+    weights2_[2 * f + 1] = weights_[f];
+    mul_re2_[2 * f] = re;
+    mul_re2_[2 * f + 1] = re;
+    mul_im2_[2 * f] = im;
+    mul_im2_[2 * f + 1] = im;
+    polar_[f] = dft::ToPolar(multipliers_[f]);
+  }
 }
 
 SpectralTransform SpectralTransform::Identity(std::size_t n) {
@@ -33,9 +67,8 @@ std::vector<dft::Complex> SpectralTransform::ApplyToSpectrum(
     std::span<const dft::Complex> spectrum) const {
   TSQ_CHECK_EQ(spectrum.size(), multipliers_.size());
   std::vector<dft::Complex> out(spectrum.size());
-  for (std::size_t f = 0; f < spectrum.size(); ++f) {
-    out[f] = spectrum[f] * multipliers_[f];
-  }
+  kernels::ComplexPointwiseMultiply(AsDoubles(spectrum), mul_re2_, mul_im2_,
+                                    AsDoubles(std::span<dft::Complex>(out)));
   return out;
 }
 
@@ -50,22 +83,34 @@ double SpectralTransform::TransformedSquaredDistance(
     std::span<const dft::Complex> x, std::span<const dft::Complex> y) const {
   TSQ_CHECK_EQ(x.size(), multipliers_.size());
   TSQ_CHECK_EQ(y.size(), multipliers_.size());
-  double acc = 0.0;
-  for (std::size_t f = 0; f < x.size(); ++f) {
-    acc += std::norm(multipliers_[f]) * std::norm(x[f] - y[f]);
-  }
-  return acc;
+  return kernels::WeightedSquaredDistance(AsDoubles(x), AsDoubles(y),
+                                          weights2_);
+}
+
+double SpectralTransform::TransformedSquaredDistanceWithin(
+    std::span<const dft::Complex> x, std::span<const dft::Complex> y,
+    double bound) const {
+  TSQ_CHECK_EQ(x.size(), multipliers_.size());
+  TSQ_CHECK_EQ(y.size(), multipliers_.size());
+  return kernels::WeightedSquaredDistanceWithin(AsDoubles(x), AsDoubles(y),
+                                                weights2_, bound);
 }
 
 double SpectralTransform::TransformedToPlainSquaredDistance(
     std::span<const dft::Complex> x, std::span<const dft::Complex> q) const {
   TSQ_CHECK_EQ(x.size(), multipliers_.size());
   TSQ_CHECK_EQ(q.size(), multipliers_.size());
-  double acc = 0.0;
-  for (std::size_t f = 0; f < x.size(); ++f) {
-    acc += std::norm(multipliers_[f] * x[f] - q[f]);
-  }
-  return acc;
+  return kernels::TransformedToPlainSquaredDistance(AsDoubles(x), AsDoubles(q),
+                                                    mul_re2_, mul_im2_);
+}
+
+double SpectralTransform::TransformedToPlainSquaredDistanceWithin(
+    std::span<const dft::Complex> x, std::span<const dft::Complex> q,
+    double bound) const {
+  TSQ_CHECK_EQ(x.size(), multipliers_.size());
+  TSQ_CHECK_EQ(q.size(), multipliers_.size());
+  return kernels::TransformedToPlainSquaredDistanceWithin(
+      AsDoubles(x), AsDoubles(q), mul_re2_, mul_im2_, bound);
 }
 
 SpectralTransform SpectralTransform::Compose(
@@ -87,7 +132,7 @@ FeatureTransform SpectralTransform::ToFeatureTransform(
   for (std::size_t i = 0; i < layout.num_coefficients; ++i) {
     const std::size_t f = layout.coefficient(i);
     TSQ_CHECK_LT(f, multipliers_.size());
-    const dft::Polar polar = dft::ToPolar(multipliers_[f]);
+    const dft::Polar& polar = polar_[f];
     scale[layout.magnitude_dimension(i)] = polar.magnitude;
     offset[layout.magnitude_dimension(i)] = 0.0;
     scale[layout.angle_dimension(i)] = 1.0;

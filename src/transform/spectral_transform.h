@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dft/fft.h"
+#include "dft/spectrum.h"
 #include "transform/feature_layout.h"
 #include "transform/feature_transform.h"
 #include "ts/series.h"
@@ -54,9 +55,18 @@ class SpectralTransform {
 
   /// Squared Euclidean distance between the transformed versions of two
   /// spectra, computed directly in the frequency domain (Parseval):
-  ///   D^2(t(x), t(y)) = sum_f |M_f|^2 * |X_f - Y_f|^2.
+  ///   D^2(t(x), t(y)) = sum_f |M_f|^2 * |X_f - Y_f|^2
+  /// (Eq. 12), using the |M_f|^2 weight vector cached at construction.
   double TransformedSquaredDistance(std::span<const dft::Complex> x,
                                     std::span<const dft::Complex> y) const;
+
+  /// Early-abandoning TransformedSquaredDistance: exact whenever the result
+  /// is <= bound; any value > bound (exact or abandoned partial sum) means
+  /// "no match". See kernels::EarlyAbandonResult for the checkpoint
+  /// contract.
+  double TransformedSquaredDistanceWithin(std::span<const dft::Complex> x,
+                                          std::span<const dft::Complex> y,
+                                          double bound) const;
 
   /// Squared Euclidean distance between the transformed data sequence and a
   /// plain (untransformed) query:
@@ -67,6 +77,22 @@ class SpectralTransform {
   /// both sides would cancel out.
   double TransformedToPlainSquaredDistance(std::span<const dft::Complex> x,
                                            std::span<const dft::Complex> q) const;
+
+  /// Early-abandoning TransformedToPlainSquaredDistance (same contract as
+  /// TransformedSquaredDistanceWithin).
+  double TransformedToPlainSquaredDistanceWithin(
+      std::span<const dft::Complex> x, std::span<const dft::Complex> q,
+      double bound) const;
+
+  /// |M_f|^2 per coefficient, precomputed at construction (Eq. 12 weights).
+  std::span<const double> squared_magnitudes() const { return weights_; }
+
+  /// The same weights duplicated per complex component
+  /// ([w0, w0, w1, w1, ...], length 2n) — the layout the kernel layer
+  /// consumes for interleaved complex data.
+  std::span<const double> component_squared_magnitudes() const {
+    return weights2_;
+  }
 
   /// Composition (this after inner): multiplier product. Exact counterpart
   /// of Eq. 10 for multiplicative transformations. Requires equal lengths.
@@ -80,6 +106,17 @@ class SpectralTransform {
  private:
   std::string label_;
   std::vector<dft::Complex> multipliers_;
+  // Caches derived from multipliers_ at construction (so Compose products
+  // get them too), sized for the kernel layer's interleaved-double view:
+  // weights_[f] = |M_f|^2; weights2_/mul_re2_/mul_im2_ are the
+  // component-duplicated arrays ([v0, v0, v1, v1, ...], length 2n) the
+  // kernels consume; polar_ keeps the exact dft::ToPolar results so
+  // ToFeatureTransform stays bitwise identical to recomputation.
+  std::vector<double> weights_;
+  std::vector<double> weights2_;
+  std::vector<double> mul_re2_;
+  std::vector<double> mul_im2_;
+  std::vector<dft::Polar> polar_;
 };
 
 }  // namespace tsq::transform

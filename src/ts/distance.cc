@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 #include "ts/series.h"
 
 namespace tsq::ts {
@@ -10,12 +11,7 @@ namespace tsq::ts {
 double SquaredEuclideanDistance(std::span<const double> x,
                                 std::span<const double> y) {
   TSQ_CHECK_EQ(x.size(), y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::SquaredDistance(x, y);
 }
 
 double EuclideanDistance(std::span<const double> x, std::span<const double> y) {
@@ -32,13 +28,20 @@ double CityBlockDistance(std::span<const double> x, std::span<const double> y) {
 double CrossCorrelation(std::span<const double> x, std::span<const double> y) {
   TSQ_CHECK_EQ(x.size(), y.size());
   TSQ_CHECK_GE(x.size(), std::size_t{2});
-  const SeriesStats sx = ComputeStats(x);
-  const SeriesStats sy = ComputeStats(y);
-  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
-  double dot = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
-  const double mean_xy = dot / static_cast<double>(x.size());
-  return (mean_xy - sx.mean * sy.mean) / (sx.stddev * sy.stddev);
+  const double n = static_cast<double>(x.size());
+  // One fused pass over values shifted by x[0]/y[0]. Shifting keeps the
+  // sums-of-squares subtraction below well-conditioned even for series with
+  // a huge mean and tiny variance, where the old three-pass
+  // mean/stddev/dot formulation lost all significant digits.
+  const kernels::CorrelationSums s =
+      kernels::ShiftedCorrelationSums(x, y, x[0], y[0]);
+  const double ss_x = s.dxx - s.dx * s.dx / n;
+  const double ss_y = s.dyy - s.dy * s.dy / n;
+  if (ss_x <= 0.0 || ss_y <= 0.0) return 0.0;
+  const double ss_xy = s.dxy - s.dx * s.dy / n;
+  // Matches the historical convention: covariance over n, stddevs over n-1,
+  // so |rho| peaks at (n-1)/n rather than 1.
+  return (n - 1.0) / n * ss_xy / std::sqrt(ss_x * ss_y);
 }
 
 double CorrelationToSquaredDistance(double rho, std::size_t n) {

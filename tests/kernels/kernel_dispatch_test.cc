@@ -1,0 +1,122 @@
+// Dispatch-layer tests (ctest label `kernels`): TSQ_KERNEL_ISA resolution,
+// CPUID gating, metrics accounting, and the end-to-end guarantee that
+// forcing the scalar variant leaves engine-visible distances bitwise
+// unchanged.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
+#include "ts/distance.h"
+
+namespace tsq::kernels {
+namespace {
+
+TEST(ResolveIsaTest, ExplicitSupportedNamesAreHonored) {
+  EXPECT_EQ(ResolveIsa("scalar", BestSupportedIsa()), Isa::kScalar);
+  for (const Isa isa : {Isa::kSse2, Isa::kAvx2}) {
+    if (!IsaSupported(isa)) continue;
+    EXPECT_EQ(ResolveIsa(IsaName(isa), BestSupportedIsa()), isa);
+  }
+}
+
+TEST(ResolveIsaTest, AutoEmptyUnsetAndGarbageFallBackToBest) {
+  const Isa best = BestSupportedIsa();
+  EXPECT_EQ(ResolveIsa(nullptr, best), best);
+  EXPECT_EQ(ResolveIsa("", best), best);
+  EXPECT_EQ(ResolveIsa("auto", best), best);
+  EXPECT_EQ(ResolveIsa("avx512", best), best);
+  EXPECT_EQ(ResolveIsa("SCALAR", best), best);  // names are case-sensitive
+}
+
+TEST(ResolveIsaTest, UnsupportedRequestFallsBackToBest) {
+  // Pretend scalar is the best we have: requesting avx2 must not escape it.
+  EXPECT_EQ(ResolveIsa("avx2", Isa::kScalar), Isa::kScalar);
+}
+
+TEST(IsaSupportTest, ScalarAlwaysSupportedAndBestIsSupported) {
+  EXPECT_TRUE(IsaSupported(Isa::kScalar));
+  EXPECT_TRUE(IsaSupported(BestSupportedIsa()));
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kSse2), "sse2");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+}
+
+TEST(DispatchTest, MetricsCountCallsElementsAndAbandons) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* calls = registry.counter("engine.kernels.calls");
+  obs::Counter* elements = registry.counter("engine.kernels.elements");
+  obs::Counter* abandons = registry.counter("engine.kernels.early_abandons");
+
+  const std::vector<double> x(256, 3.0);
+  const std::vector<double> y(256, 1.0);
+
+  const std::uint64_t calls0 = calls->value();
+  const std::uint64_t elements0 = elements->value();
+  ASSERT_DOUBLE_EQ(SquaredDistance(x, y), 4.0 * 256);
+  EXPECT_EQ(calls->value(), calls0 + 1);
+  EXPECT_EQ(elements->value(), elements0 + 256);
+
+  // d^2 accumulates 4.0 per element, so a bound of 1.0 abandons at the
+  // first 64-element checkpoint: 64 elements consumed, one abandon event.
+  const std::uint64_t abandons0 = abandons->value();
+  const std::uint64_t elements1 = elements->value();
+  const double partial = SquaredDistanceWithin(x, y, 1.0);
+  EXPECT_GT(partial, 1.0);
+  EXPECT_EQ(abandons->value(), abandons0 + 1);
+  EXPECT_EQ(elements->value(), elements1 + 64);
+
+  // No abandon when the bound covers the full sum — and the exact value.
+  const double full = SquaredDistanceWithin(x, y, 4.0 * 256);
+  EXPECT_DOUBLE_EQ(full, 4.0 * 256);
+  EXPECT_EQ(abandons->value(), abandons0 + 1);
+}
+
+// The tentpole's user-facing promise: switching ISAs never changes results.
+// Compute library-level distances under the best variant and under forced
+// scalar; every value must be bitwise identical.
+TEST(DispatchTest, ForcedScalarMatchesBestIsaBitwise) {
+  Rng rng(1999);
+  std::vector<std::vector<double>> series(8);
+  for (auto& s : series) {
+    s.resize(128);
+    for (double& v : s) v = rng.Uniform(-5.0, 5.0);
+  }
+
+  const Isa best = BestSupportedIsa();
+  std::vector<std::uint64_t> best_bits;
+  ForceIsaForTesting(best);
+  ASSERT_EQ(ActiveIsa(), best);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      best_bits.push_back(std::bit_cast<std::uint64_t>(
+          ts::SquaredEuclideanDistance(series[i], series[j])));
+      best_bits.push_back(std::bit_cast<std::uint64_t>(
+          ts::CrossCorrelation(series[i], series[j])));
+    }
+  }
+
+  ForceIsaForTesting(Isa::kScalar);
+  ASSERT_EQ(ActiveIsa(), Isa::kScalar);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      EXPECT_EQ(best_bits[at++],
+                std::bit_cast<std::uint64_t>(
+                    ts::SquaredEuclideanDistance(series[i], series[j])))
+          << "distance(" << i << "," << j << ")";
+      EXPECT_EQ(best_bits[at++],
+                std::bit_cast<std::uint64_t>(
+                    ts::CrossCorrelation(series[i], series[j])))
+          << "correlation(" << i << "," << j << ")";
+    }
+  }
+  ForceIsaForTesting(best);
+}
+
+}  // namespace
+}  // namespace tsq::kernels

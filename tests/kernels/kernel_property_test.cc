@@ -1,0 +1,328 @@
+// Property suite for the SIMD kernel layer (ctest label `kernels`).
+//
+// The load-bearing property is *bitwise* cross-ISA identity: every variant
+// of every kernel must produce the exact same bit pattern as the scalar
+// reference for every input — random, unaligned, denormal, NaN, infinite.
+// Query results must never depend on which ISA the dispatcher picked.
+//
+// The second property is the early-abandon contract: a Within kernel that
+// does not abandon returns the bitwise-exact full sum; when it abandons, the
+// returned partial exceeds the bound (hence so does the true sum), and it
+// stopped at a 64-element checkpoint.
+
+#include "kernels/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "kernels/internal.h"
+
+namespace tsq::kernels {
+namespace {
+
+constexpr std::size_t kMaxLength = 257;
+constexpr std::size_t kMaxOffset = 3;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQnan = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Bitwise equality that treats any NaN payload mismatch as failure too —
+// identical op sequences must produce identical payloads.
+::testing::AssertionResult SameBits(double a, double b) {
+  if (Bits(a) == Bits(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << Bits(a) << ") vs " << b << " (0x"
+         << Bits(b) << ")";
+}
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    if (IsaSupported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// One buffer per operand, kMaxOffset doubles longer than the longest test
+// span so every offset in [0, kMaxOffset] yields a valid (and usually
+// unaligned) view.
+struct Inputs {
+  std::vector<double> x, y, w, q;
+};
+
+Inputs FillRandom(Rng& rng) {
+  Inputs in;
+  const std::size_t size = kMaxLength + kMaxOffset + 1;
+  in.x.resize(size);
+  in.y.resize(size);
+  in.w.resize(size);
+  in.q.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    in.x[i] = rng.Uniform(-10.0, 10.0);
+    in.y[i] = rng.Uniform(-10.0, 10.0);
+    in.w[i] = rng.Uniform(0.0, 4.0);
+    in.q[i] = rng.Uniform(-10.0, 10.0);
+  }
+  return in;
+}
+
+// Large mean, tiny variance — the ill-conditioned regime — plus a sprinkle
+// of denormals, NaNs and infinities so special values flow through every
+// lane position.
+Inputs FillNasty(Rng& rng) {
+  Inputs in = FillRandom(rng);
+  for (std::size_t i = 0; i < in.x.size(); ++i) {
+    in.x[i] = 1.0e12 + rng.Uniform(-1e-3, 1e-3);
+    in.y[i] = 1.0e12 + rng.Uniform(-1e-3, 1e-3);
+    switch (rng.UniformInt(0, 19)) {
+      case 0:
+        in.x[i] = 4.9406564584124654e-324;  // smallest denormal
+        break;
+      case 1:
+        in.y[i] = -2.2250738585072009e-308;  // largest-magnitude denormal
+        break;
+      case 2:
+        in.x[i] = kQnan;
+        break;
+      case 3:
+        in.y[i] = i % 2 == 0 ? kInf : -kInf;
+        break;
+      default:
+        break;
+    }
+  }
+  return in;
+}
+
+template <typename Fn>
+void ForEachCase(Fn&& fn) {
+  Rng rng(20260808);
+  const Inputs random = FillRandom(rng);
+  const Inputs nasty = FillNasty(rng);
+  for (const Inputs* in : {&random, &nasty}) {
+    for (std::size_t n = 1; n <= kMaxLength; ++n) {
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        fn(*in, n, off);
+      }
+    }
+  }
+}
+
+TEST(KernelBitwiseTest, SquaredDistanceMatchesScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    const double* x = in.x.data() + off;
+    const double* y = in.y.data() + off;
+    const double expected = ref.squared_distance(x, y, n);
+    for (const Isa isa : isas) {
+      EXPECT_TRUE(SameBits(expected, TableFor(isa).squared_distance(x, y, n)))
+          << IsaName(isa) << " n=" << n << " off=" << off;
+    }
+  });
+}
+
+TEST(KernelBitwiseTest, WeightedSquaredDistanceMatchesScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    const double* x = in.x.data() + off;
+    const double* y = in.y.data() + off;
+    const double* w = in.w.data() + off;
+    const double expected = ref.weighted_squared_distance(x, y, w, n);
+    for (const Isa isa : isas) {
+      EXPECT_TRUE(SameBits(
+          expected, TableFor(isa).weighted_squared_distance(x, y, w, n)))
+          << IsaName(isa) << " n=" << n << " off=" << off;
+    }
+  });
+}
+
+TEST(KernelBitwiseTest, TransformedToPlainMatchesScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  // Interleaved complex data: even lengths, even offsets (component pairs).
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    if (n % 2 != 0 || off % 2 != 0) return;
+    const double* x = in.x.data() + off;
+    const double* q = in.q.data() + off;
+    const double* mre = in.y.data() + off;
+    const double* mim = in.w.data() + off;
+    const double expected = ref.transformed_to_plain(x, q, mre, mim, n);
+    for (const Isa isa : isas) {
+      EXPECT_TRUE(SameBits(
+          expected, TableFor(isa).transformed_to_plain(x, q, mre, mim, n)))
+          << IsaName(isa) << " n=" << n << " off=" << off;
+    }
+  });
+}
+
+TEST(KernelBitwiseTest, ComplexPointwiseMultiplyMatchesScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    if (n % 2 != 0 || off % 2 != 0) return;
+    const double* x = in.x.data() + off;
+    const double* mre = in.y.data() + off;
+    const double* mim = in.w.data() + off;
+    std::vector<double> expected(n), got(n);
+    ref.complex_pointwise_multiply(x, mre, mim, expected.data(), n);
+    for (const Isa isa : isas) {
+      TableFor(isa).complex_pointwise_multiply(x, mre, mim, got.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(SameBits(expected[i], got[i]))
+            << IsaName(isa) << " n=" << n << " off=" << off << " i=" << i;
+      }
+    }
+  });
+}
+
+TEST(KernelBitwiseTest, CorrelationSumsMatchScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    const double* x = in.x.data() + off;
+    const double* y = in.y.data() + off;
+    const CorrelationSums expected =
+        ref.correlation_sums(x, y, n, x[0], y[0]);
+    for (const Isa isa : isas) {
+      const CorrelationSums got =
+          TableFor(isa).correlation_sums(x, y, n, x[0], y[0]);
+      EXPECT_TRUE(SameBits(expected.dx, got.dx)) << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.dy, got.dy)) << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.dxx, got.dxx))
+          << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.dyy, got.dyy))
+          << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.dxy, got.dxy))
+          << IsaName(isa) << " n=" << n;
+    }
+  });
+}
+
+TEST(KernelBitwiseTest, WeightedDotSumsMatchScalarOnAllIsas) {
+  const std::vector<Isa> isas = SupportedIsas();
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  ForEachCase([&](const Inputs& in, std::size_t n, std::size_t off) {
+    const double* x = in.x.data() + off;
+    const double* y = in.y.data() + off;
+    const double* w = in.w.data() + off;
+    const WeightedDotSums expected = ref.weighted_dot_sums(x, y, w, n);
+    for (const Isa isa : isas) {
+      const WeightedDotSums got = TableFor(isa).weighted_dot_sums(x, y, w, n);
+      EXPECT_TRUE(SameBits(expected.dot, got.dot))
+          << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.energy_x, got.energy_x))
+          << IsaName(isa) << " n=" << n;
+      EXPECT_TRUE(SameBits(expected.energy_y, got.energy_y))
+          << IsaName(isa) << " n=" << n;
+    }
+  });
+}
+
+// The early-abandon contract, checked for every ISA against that ISA's own
+// full kernel (which the bitwise tests above tie to the scalar reference):
+//  * consumed == n  =>  value is the bitwise-exact full sum;
+//  * consumed < n   =>  value > bound, the true sum > bound, and the kernel
+//    stopped at a 64-element checkpoint;
+//  * a bound at exactly the full sum is never abandoned (strict test).
+TEST(EarlyAbandonTest, WithinIsExactOrProvablyAboveBound) {
+  Rng rng(424242);
+  const Inputs in = FillRandom(rng);
+  for (const Isa isa : SupportedIsas()) {
+    const KernelTable& table = TableFor(isa);
+    for (std::size_t n : {1u, 63u, 64u, 65u, 128u, 200u, 256u, 257u}) {
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        const double* x = in.x.data() + off;
+        const double* y = in.y.data() + off;
+        const double* w = in.w.data() + off;
+        const double full = table.squared_distance(x, y, n);
+        const double wfull = table.weighted_squared_distance(x, y, w, n);
+        const double bounds[] = {0.0,        full * 0.25, full * 0.5,
+                                 full,       full * 2.0,  kInf};
+        for (const double bound : bounds) {
+          const EarlyAbandonResult r =
+              table.squared_distance_within(x, y, n, bound);
+          if (r.consumed == n) {
+            EXPECT_TRUE(SameBits(full, r.value))
+                << IsaName(isa) << " n=" << n << " bound=" << bound;
+          } else {
+            EXPECT_GT(r.value, bound) << IsaName(isa) << " n=" << n;
+            EXPECT_GT(full, bound) << IsaName(isa) << " n=" << n;
+            EXPECT_EQ(r.consumed % internal::kAbandonCheckElements, 0u);
+            EXPECT_GT(r.consumed, 0u);
+          }
+          const EarlyAbandonResult wr =
+              table.weighted_squared_distance_within(x, y, w, n, bound * 4.0);
+          if (wr.consumed == n) {
+            EXPECT_TRUE(SameBits(wfull, wr.value)) << IsaName(isa);
+          } else {
+            EXPECT_GT(wr.value, bound * 4.0) << IsaName(isa);
+            EXPECT_GT(wfull, bound * 4.0) << IsaName(isa);
+          }
+        }
+        // Bound exactly at the full sum: strict abandon must not trigger.
+        const EarlyAbandonResult exact =
+            table.squared_distance_within(x, y, n, full);
+        EXPECT_EQ(exact.consumed, n);
+        EXPECT_TRUE(SameBits(full, exact.value));
+      }
+    }
+  }
+}
+
+TEST(EarlyAbandonTest, WithinResultsBitwiseIdenticalAcrossIsas) {
+  Rng rng(77);
+  const Inputs in = FillRandom(rng);
+  const KernelTable& ref = TableFor(Isa::kScalar);
+  for (const Isa isa : SupportedIsas()) {
+    const KernelTable& table = TableFor(isa);
+    for (std::size_t n : {64u, 128u, 257u}) {
+      const double* x = in.x.data();
+      const double* y = in.y.data();
+      const double full = ref.squared_distance(x, y, n);
+      for (const double bound : {full * 0.1, full * 0.9, full * 1.1}) {
+        const EarlyAbandonResult a = ref.squared_distance_within(x, y, n, bound);
+        const EarlyAbandonResult b =
+            table.squared_distance_within(x, y, n, bound);
+        EXPECT_EQ(a.consumed, b.consumed) << IsaName(isa) << " n=" << n;
+        EXPECT_TRUE(SameBits(a.value, b.value)) << IsaName(isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(EarlyAbandonTest, TransformedToPlainWithinContract) {
+  Rng rng(99);
+  const Inputs in = FillRandom(rng);
+  for (const Isa isa : SupportedIsas()) {
+    const KernelTable& table = TableFor(isa);
+    for (std::size_t n : {2u, 64u, 128u, 256u}) {
+      const double* x = in.x.data();
+      const double* q = in.q.data();
+      const double* mre = in.y.data();
+      const double* mim = in.w.data();
+      const double full = table.transformed_to_plain(x, q, mre, mim, n);
+      for (const double bound : {0.0, full * 0.5, full, full * 2.0}) {
+        const EarlyAbandonResult r =
+            table.transformed_to_plain_within(x, q, mre, mim, n, bound);
+        if (r.consumed == n) {
+          EXPECT_TRUE(SameBits(full, r.value)) << IsaName(isa) << " n=" << n;
+        } else {
+          EXPECT_GT(r.value, bound);
+          EXPECT_GT(full, bound);
+          EXPECT_EQ(r.consumed % internal::kAbandonCheckElements, 0u);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsq::kernels

@@ -68,6 +68,41 @@ TEST(CrossCorrelationTest, IndependentSeriesNearZero) {
   EXPECT_NEAR(CrossCorrelation(x, y), 0.0, 0.1);
 }
 
+TEST(CrossCorrelationTest, IllConditionedLargeMeanTinyVariance) {
+  // A huge common mean with a tiny signal riding on it is the worst case for
+  // the fused single-pass formulation: the raw sums are ~1e8 while the
+  // variances are ~1e-8. Shifting by x[0]/y[0] inside the fused pass keeps
+  // the subtraction well-conditioned, so the correlation of two identical
+  // tiny signals must still hit the (n-1)/n convention ceiling.
+  const std::size_t n = 128;
+  Rng rng(6);
+  Series x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double signal = 1e-4 * std::sin(0.37 * static_cast<double>(i));
+    x[i] = 1.0e8 + signal;
+    y[i] = 2.0e8 + 3.0 * signal;  // affine image: perfectly correlated
+  }
+  // Tolerance: the stored doubles themselves quantize the 1e-4 signal to
+  // ~1.5e-8 ulps at a 1e8 mean, which costs a few 1e-9 of correlation; a
+  // naive three-pass sum-of-products loses *all* signal bits (sums ~1e18,
+  // ulp ~1e2) and returns garbage, so 1e-7 still pins the fused behavior.
+  const double ceiling = (static_cast<double>(n) - 1.0) / n;
+  EXPECT_NEAR(CrossCorrelation(x, y), ceiling, 1e-7);
+
+  // Anti-correlated affine image lands on the negative ceiling.
+  Series z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = 5.0e7 - 2.0 * (x[i] - 1.0e8);
+  EXPECT_NEAR(CrossCorrelation(x, z), -ceiling, 1e-7);
+
+  // Independent noise on the same huge mean must stay far from +/-1 — a
+  // naive three-pass sum-of-products would lose all signal bits here.
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0e8 + 1e-4 * rng.NextGaussian();
+    y[i] = 1.0e8 + 1e-4 * rng.NextGaussian();
+  }
+  EXPECT_LT(std::abs(CrossCorrelation(x, y)), 0.5);
+}
+
 TEST(Equation9Test, IdentityForNormalForms) {
   // Eq. 9: D^2(X, Y) == 2 (n - 1 - n rho(X, Y)) for normal forms.
   Rng rng(4);
